@@ -1,0 +1,79 @@
+// Extension experiment: projecting the paper's headline result onto the
+// exascale-era GPUs its conclusion anticipates ("seamless execution of XGC
+// on exascale-oriented heterogeneous architectures at the various
+// leadership supercomputing facilities" -- i.e. Frontier's MI250X and the
+// H100 generation). Same workload and pipeline as Fig. 9, with the
+// projection DeviceSpecs added next to the measured trio.
+#include <iostream>
+
+#include "common.hpp"
+
+int main()
+{
+    using namespace bsis;
+    const size_type nbatch = bench::quick_mode() ? 240 : 960;
+    const CpuExecutor skylake;
+
+    xgc::WorkloadParams wp;
+    wp.num_mesh_nodes = nbatch / 2;
+
+    Table table({"device", "generation", "gpu_ms", "skylake_ms",
+                 "speedup", "blocks_per_cu"});
+    const auto run_device = [&](const gpusim::DeviceSpec& spec,
+                                const char* generation) {
+        xgc::CollisionWorkload workload(wp);
+        const SimGpuExecutor gpu(spec);
+        SolverSettings settings;
+        settings.tolerance = 1e-10;
+        settings.max_iterations = 500;
+        double gpu_total = 0;
+        double cpu_total = 0;
+        int blocks_per_cu = 0;
+        const auto solver = [&](const BatchCsr<real_type>& a,
+                                const BatchVector<real_type>& b,
+                                BatchVector<real_type>& x, bool warm,
+                                int /*k*/) {
+            auto ell = to_ell(a);
+            SolverSettings local = settings;
+            local.use_initial_guess = warm;
+            auto report = gpu.solve(ell, b, x, local);
+            gpu_total += report.kernel_seconds;
+            blocks_per_cu = report.occupancy.blocks_per_cu;
+
+            BatchVector<real_type> x_cpu(a.num_batch(), a.rows());
+            cpu_total += skylake.gbsv(a, b, x_cpu).node_seconds;
+            return report.log;
+        };
+        implicit_collision_step(workload, xgc::PicardSettings{}, solver);
+        table.new_row()
+            .add(spec.name)
+            .add(generation)
+            .add(gpu_total * 1e3, 5)
+            .add(cpu_total * 1e3, 5)
+            .add(cpu_total / gpu_total, 3)
+            .add(blocks_per_cu);
+    };
+
+    int count = 0;
+    const auto* measured = gpusim::all_gpus(count);
+    for (int g = 0; g < count; ++g) {
+        run_device(measured[g], "paper (2022)");
+    }
+    int pcount = 0;
+    const auto* projected = gpusim::projection_gpus(pcount);
+    for (int g = 0; g < pcount; ++g) {
+        run_device(projected[g], "projection");
+    }
+
+    bench::emit("extension_exascale",
+                "Extension: Fig. 9's combined-batch speedup projected onto "
+                "exascale-era GPUs (5 Picard iterations, BiCGStab-ELL, "
+                "warm starts)",
+                table);
+    std::cout
+        << "\nReading guide: the projections inherit the paper-generation "
+           "calibration and\nonly change the published architectural "
+           "parameters (CUs, bandwidth, caches,\nshared-memory capacity) "
+           "-- treat them as the model's forecast, not a claim.\n";
+    return 0;
+}

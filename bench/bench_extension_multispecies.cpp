@@ -1,0 +1,63 @@
+// Extension experiment: multi-ion-species plasmas.
+//
+// Section II-A of the paper: "the future XGC application is expected to
+// simulate multiple ion species (~10) and electrons, the proxy app
+// currently simulates a plasma with one ion species (along with
+// electrons)". This benchmark scales the proxy app to several ion species
+// (main ion + progressively heavier, higher-charge impurities) and shows
+// how the batched solver absorbs the growing, increasingly heterogeneous
+// batch -- the argument for per-system convergence monitoring.
+#include <iostream>
+
+#include "common.hpp"
+
+int main()
+{
+    using namespace bsis;
+    const SimGpuExecutor gpu(gpusim::a100());
+    const size_type nodes = bench::quick_mode() ? 30 : 120;
+
+    Table table({"ion_species", "systems", "iters_min", "iters_mean",
+                 "iters_max", "gpu_ms", "us_per_entry"});
+    for (const int num_ions : {1, 2, 4, 9}) {
+        xgc::WorkloadParams wp;
+        wp.num_mesh_nodes = nodes;
+        wp.num_ion_species = num_ions;
+        xgc::CollisionWorkload workload(wp);
+        auto a = workload.make_matrix_batch();
+        workload.assemble_batch(workload.distributions(),
+                                workload.distributions(), 0.0035, a);
+        auto ell = to_ell(a);
+        BatchVector<real_type> x(workload.num_systems(), a.rows());
+        SolverSettings s;
+        s.tolerance = 1e-10;
+        s.max_iterations = 500;
+        const auto report = gpu.solve(ell, workload.distributions(), x, s);
+        int min_it = report.log.iterations(0);
+        for (size_type i = 0; i < report.log.num_batch(); ++i) {
+            min_it = std::min(min_it, report.log.iterations(i));
+        }
+        table.new_row()
+            .add(num_ions)
+            .add(workload.num_systems())
+            .add(min_it)
+            .add(report.log.mean_iterations(), 4)
+            .add(report.log.max_iterations())
+            .add(report.kernel_seconds * 1e3, 5)
+            .add(report.per_entry_seconds() * 1e6, 4);
+        if (!report.log.all_converged()) {
+            std::cerr << "WARNING: not all systems converged for "
+                      << num_ions << " ion species\n";
+        }
+    }
+    bench::emit("extension_multispecies",
+                "Extension: scaling the proxy app toward future XGC's "
+                "multi-ion plasmas (A100 model, BiCGStab-ELL)",
+                table);
+    std::cout
+        << "\nReading guide: the iteration-count spread widens with the "
+           "species mix\n(impurities collide faster, Z^4 scaling), which "
+           "is exactly the regime where\nper-system convergence "
+           "monitoring beats lock-step batched iteration.\n";
+    return 0;
+}

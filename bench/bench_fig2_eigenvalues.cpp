@@ -1,0 +1,87 @@
+// Fig. 2 of the paper: eigenvalue distributions of the ion and electron
+// collision matrices (ion clustered around 1 on a log real axis, electron
+// spread over a wider range of real parts), plus the Fig. 4 sparsity
+// characterization (992 rows, 9 nonzeros per row) and the condition
+// numbers motivating iterative solvers (Section II).
+//
+// The dense Hessenberg-QR eigensolver is O(n^3); the full 992-row spectra
+// take a couple of minutes on one core, so the default runs the paper grid
+// scaled to 16 x 15 = 240 rows (same stencil, same physics, same spectral
+// shape) and --full switches to 32 x 31 = 992.
+#include <cstring>
+#include <fstream>
+#include <iostream>
+
+#include "common.hpp"
+#include "lapack/dense.hpp"
+#include "lapack/eigen.hpp"
+#include "matrix/stats.hpp"
+
+int main(int argc, char** argv)
+{
+    using namespace bsis;
+    const bool full = argc > 1 && std::strcmp(argv[1], "--full") == 0;
+
+    xgc::WorkloadParams wp;
+    wp.n_vpar = full ? 32 : 16;
+    wp.n_vperp = full ? 31 : 15;
+    wp.num_mesh_nodes = 1;
+    xgc::CollisionWorkload w(wp);
+    auto a = w.make_matrix_batch();
+    w.assemble_batch(w.distributions(), w.distributions(), 0.0035, a);
+
+    // --- Fig. 4: sparsity pattern characterization ---
+    const auto stats = compute_stats(a);
+    Table pattern_table({"quantity", "value"});
+    pattern_table.new_row().add("rows").add(stats.rows);
+    pattern_table.new_row().add("nonzeros").add(stats.nnz);
+    pattern_table.new_row()
+        .add("max_nnz_per_row")
+        .add(stats.max_nnz_per_row);
+    pattern_table.new_row()
+        .add("min_nnz_per_row (boundary)")
+        .add(stats.min_nnz_per_row);
+    pattern_table.new_row().add("half_bandwidth_kl").add(stats.kl);
+    pattern_table.new_row().add("half_bandwidth_ku").add(stats.ku);
+    pattern_table.new_row()
+        .add("numerically_symmetric")
+        .add(stats.numerically_symmetric ? "yes" : "no");
+    bench::emit("fig4_pattern", "Fig. 4: sparsity pattern of one entry",
+                pattern_table);
+
+    // --- Fig. 2: spectra of the two species ---
+    Table table({"species", "min_real", "max_real", "max_abs_imag",
+                 "spread", "fraction_within_0.1_of_1", "kappa_1_estimate"});
+    Table eig_csv({"species", "real", "imag"});
+    const char* names[2] = {"ion", "electron"};
+    for (size_type s = 0; s < 2; ++s) {
+        const auto eigs = lapack::eigenvalues(a, s);
+        const auto summary = lapack::summarize_spectrum(eigs);
+        auto dense = to_dense(a);
+        const auto kappa = lapack::estimate_condition_1(
+            ConstDenseView<real_type>(dense.entry(s)));
+        table.new_row()
+            .add(names[s])
+            .add(summary.min_real)
+            .add(summary.max_real)
+            .add(summary.max_abs_imag)
+            .add(summary.spread, 4)
+            .add(summary.clustered_fraction, 3)
+            .add(kappa, 4);
+        for (const auto& e : eigs) {
+            eig_csv.new_row().add(names[s]).add(e.real(), 12).add(e.imag(),
+                                                                  12);
+        }
+    }
+    bench::emit("fig2_eigenvalues",
+                std::string("Fig. 2: spectra of the collision matrices (") +
+                    (full ? "992" : "240") + " rows)",
+                table);
+    eig_csv.write_csv("fig2_eigenvalues_points.csv");
+    std::cout << "[all eigenvalues written to fig2_eigenvalues_points.csv]\n";
+
+    std::cout << "\nShape check (paper: ion eigenvalues clustered around 1,"
+                 "\n             electron real parts spread wider; both "
+                 "well-conditioned)\n";
+    return 0;
+}

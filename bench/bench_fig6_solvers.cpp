@@ -1,0 +1,100 @@
+// Fig. 6 of the paper: time taken by the different solvers, with the two
+// batch matrix formats, on every platform, as a function of batch size.
+// Left plot = total time per batched solve, right plot = time per batch
+// entry (both columns below).
+//
+// Series reproduced:
+//   * batched BiCGStab + scalar Jacobi, BatchCsr and BatchEll, on the
+//     modeled V100 / A100 / MI100 (functional solve on the host feeds the
+//     per-system iteration counts into the device cost model),
+//   * LAPACK dgbsv distributed over the 38 cores of the Skylake node,
+//   * the batched sparse direct QR (cuSolver stand-in) on the V100.
+//
+// Batches mix equal numbers of ion and electron matrices at absolute
+// tolerance 1e-10, exactly as in the paper's evaluation.
+#include <iostream>
+
+#include "common.hpp"
+
+int main()
+{
+    using namespace bsis;
+    using bsis::bench::XgcBatch;
+
+    SolverSettings settings;
+    settings.tolerance = 1e-10;
+    settings.max_iterations = 500;
+
+    const SimGpuExecutor v100(gpusim::v100());
+    const SimGpuExecutor a100(gpusim::a100());
+    const SimGpuExecutor mi100(gpusim::mi100());
+    const CpuExecutor skylake;
+
+    Table table({"batch", "series", "total_ms", "us_per_entry"});
+    Table iters({"batch", "mean_iters_ion", "mean_iters_electron",
+                 "max_iters"});
+
+    for (const auto nbatch : bench::batch_sizes()) {
+        XgcBatch problem(nbatch);
+        auto ell = to_ell(problem.a);
+        BatchVector<real_type> x(nbatch, problem.a.rows());
+
+        const auto add_row = [&](const std::string& series, double seconds) {
+            table.new_row()
+                .add(nbatch)
+                .add(series)
+                .add(seconds * 1e3, 5)
+                .add(seconds * 1e6 / static_cast<double>(nbatch), 5);
+        };
+
+        for (const auto* exec : {&v100, &a100, &mi100}) {
+            const auto csr_report =
+                exec->solve(problem.a, problem.rhs(), x, settings);
+            add_row("bicgstab-csr-" + exec->device().name,
+                    csr_report.kernel_seconds);
+            const auto ell_report =
+                exec->solve(ell, problem.rhs(), x, settings);
+            add_row("bicgstab-ell-" + exec->device().name,
+                    ell_report.kernel_seconds);
+            if (exec == &v100) {
+                // Convergence statistics (same arithmetic on every
+                // device; report once).
+                double ion = 0;
+                double ele = 0;
+                for (size_type i = 0; i < nbatch; i += 2) {
+                    ion += ell_report.log.iterations(i);
+                    ele += ell_report.log.iterations(i + 1);
+                }
+                iters.new_row()
+                    .add(nbatch)
+                    .add(ion / (nbatch / 2.0), 4)
+                    .add(ele / (nbatch / 2.0), 4)
+                    .add(ell_report.log.max_iterations());
+            }
+        }
+
+        const auto cpu_report = skylake.gbsv(problem.a, problem.rhs(), x);
+        add_row("dgbsv-skylake-38cores", cpu_report.node_seconds);
+
+        const auto [kl, ku] = bandwidths(problem.a);
+        add_row("cusolver-qr-V100",
+                v100.direct_qr_seconds(problem.a.rows(), kl, ku, nbatch));
+    }
+
+    bench::emit("fig6_solvers",
+                "Fig. 6: solver time vs batch size (total and per entry)",
+                table);
+    bench::emit("fig6_iterations",
+                "Fig. 6 support: zero-guess BiCGStab iteration counts",
+                iters);
+
+    std::cout
+        << "\nShape checks (paper):\n"
+           "  * batched QR ~10-30x slower than BiCGStab-CSR on the V100\n"
+           "  * ELL significantly faster than CSR on all three GPUs\n"
+           "  * dgbsv on Skylake beats QR-V100 and CSR-MI100, loses to the "
+           "rest\n"
+           "  * per-entry time falls with batch size (GPU saturation)\n"
+           "  * MI100 total time steps at multiples of 120 systems\n";
+    return 0;
+}

@@ -1,0 +1,46 @@
+// Table I of the paper: theoretical performance numbers of the platforms
+// the evaluation models, as encoded in the gpusim device database.
+#include <iostream>
+
+#include "common.hpp"
+#include "gpusim/device.hpp"
+
+int main()
+{
+    using namespace bsis;
+    using namespace bsis::gpusim;
+
+    Table table({"architecture", "peak_fp64_tflops", "mem_bw_gbps",
+                 "l1_shared_kib_per_cu", "l2_mib", "num_cu", "warp",
+                 "scheduling"});
+    int count = 0;
+    const DeviceSpec* gpus = all_gpus(count);
+    for (int i = 0; i < count; ++i) {
+        const auto& d = gpus[i];
+        table.new_row()
+            .add(d.name)
+            .add(d.peak_fp64_tflops)
+            .add(d.mem_bw_gbps)
+            .add(d.l1_shared_kib_per_cu)
+            .add(d.l2_mib)
+            .add(d.num_cu)
+            .add(d.warp_size)
+            .add(d.scheduling == SchedulingPolicy::wave_quantized
+                     ? "wave-quantized"
+                     : "greedy-dynamic");
+    }
+    const auto& cpu = skylake_node();
+    table.new_row()
+        .add(cpu.name)
+        .add(cpu.peak_fp64_gflops_per_core * cpu.total_cores / 1000.0)
+        .add(cpu.mem_bw_gbps)
+        .add("-")
+        .add("-")
+        .add(cpu.total_cores)
+        .add("-")
+        .add("batch over cores");
+
+    bench::emit("table1_hardware",
+                "Table I: modeled platform characteristics", table);
+    return 0;
+}

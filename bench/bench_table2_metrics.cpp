@@ -1,0 +1,125 @@
+// Table II of the paper: profiler counters of the fused batched BiCGStab
+// solve on the different platforms with the two batch formats -- warp
+// (wavefront) utilization and L1/L2 hit rates -- collected here from the
+// SIMT trace simulator (our stand-in for NVIDIA Nsight Compute and AMD
+// rocprof; see DESIGN.md substitutions).
+//
+// A sample of blocks is traced per configuration: each simulated CU gets a
+// private L1 sized like the device's L1 after the shared-memory carve-out,
+// in front of a device-wide L2.
+#include <iostream>
+
+#include "common.hpp"
+#include "gpusim/simt_kernels.hpp"
+
+int main()
+{
+    using namespace bsis;
+    using namespace bsis::gpusim;
+
+    const auto pattern = make_stencil_pattern(32, 31,
+                                              StencilKind::nine_point);
+    BatchCsr<real_type> csr(1, pattern.rows(), pattern.row_ptrs,
+                            pattern.col_idxs);
+    const auto ell = to_ell(csr);
+    const int iterations = 20;  // a representative electron-ish solve
+    const int sample_blocks = bench::quick_mode() ? 2 : 6;
+
+    Table table({"processor", "format", "warp_use_%", "l1_hit_%",
+                 "l2_hit_%", "paper_warp_%", "paper_l1_%", "paper_l2_%"});
+    struct PaperRow {
+        const char* device;
+        const char* format;
+        double warp, l1, l2;
+    };
+    const PaperRow paper[] = {
+        {"V100", "csr", 75.1, 50.7, 63.1}, {"V100", "ell", 98.2, 24.5, 63.1},
+        {"A100", "csr", 72.9, 76.6, 97.2}, {"A100", "ell", 98.2, 74.5, 94.8},
+        {"MI100", "csr", 52.0, -1, 86.0},  {"MI100", "ell", 94.0, -1, 88.0},
+    };
+
+    int count = 0;
+    const auto* gpus = all_gpus(count);
+    for (int g = 0; g < count; ++g) {
+        const auto& device = gpus[g];
+        const auto config = configure_storage(
+            bicgstab_slots(1), pattern.rows(), device.warp_size,
+            sizeof(real_type),
+            static_cast<size_type>(device.max_shared_kib_per_block * 1024));
+        // L1 available to a block = carve-out remainder.
+        const auto l1_bytes = static_cast<std::int64_t>(
+            std::max(16.0 * 1024,
+                     device.l1_shared_kib_per_cu * 1024 -
+                         static_cast<double>(config.shared_bytes)));
+        // The device-wide L2 is shared by every RESIDENT block; each
+        // traced block sees its share (the paper's V100-vs-A100 L2 hit
+        // contrast comes exactly from this partitioning).
+        const auto occ = compute_occupancy(
+            device, ell_block_size(pattern.rows(), device.warp_size),
+            config.shared_bytes);
+        // The SHARED sparsity pattern occupies L2 once for every resident
+        // block (same addresses); the rest of the L2 is split among them.
+        const auto pattern_bytes = static_cast<double>(
+            (ell.col_idxs().size() + pattern.row_ptrs.size() +
+             pattern.col_idxs.size()) *
+            sizeof(index_type));
+        const auto l2_bytes = static_cast<std::int64_t>(
+            pattern_bytes +
+            std::max(0.0, device.l2_mib * 1024 * 1024 - pattern_bytes) /
+                std::max(1, occ.device_slots(device)));
+
+        for (const auto format : {TracedFormat::csr, TracedFormat::ell}) {
+            MemoryHierarchy mem(l1_bytes, l2_bytes);
+            const int block_threads =
+                format == TracedFormat::ell
+                    ? ell_block_size(pattern.rows(), device.warp_size)
+                    : csr_block_size(pattern.rows(), device.warp_size);
+            SimtCounters counters;
+            for (int blk = 0; blk < sample_blocks; ++blk) {
+                BlockTracer tracer(block_threads, device.warp_size, &mem);
+                const auto map = AddressMap::for_system(
+                    blk, pattern.rows(), ell.stored_per_entry(),
+                    config.num_global);
+                trace_bicgstab(tracer, map, format, pattern.row_ptrs,
+                               pattern.col_idxs, ell.col_idxs(),
+                               pattern.rows(), 9, iterations, config);
+                counters += tracer.counters();
+                // Next block lands on a different CU in general.
+                mem.invalidate_l1();
+            }
+            const char* fmt_name =
+                format == TracedFormat::ell ? "ell" : "csr";
+            const PaperRow* ref = nullptr;
+            for (const auto& row : paper) {
+                if (device.name == row.device &&
+                    std::string(fmt_name) == row.format) {
+                    ref = &row;
+                }
+            }
+            table.new_row()
+                .add(device.name)
+                .add(fmt_name)
+                .add(100.0 * counters.warp_utilization(device.warp_size), 4)
+                .add(100.0 * mem.l1_stats().hit_rate(), 4)
+                .add(100.0 * mem.l2_stats().hit_rate(), 4)
+                .add(ref ? ref->warp : 0.0, 4)
+                .add(ref && ref->l1 >= 0 ? ref->l1 : 0.0, 4)
+                .add(ref ? ref->l2 : 0.0, 4);
+        }
+    }
+    bench::emit("table2_metrics",
+                "Table II: simulated profiler counters of the fused "
+                "BiCGStab solve",
+                table);
+    std::cout
+        << "\nShape checks (paper):\n"
+           "  * ELL warp utilization >> CSR on every device\n"
+           "  * CSR utilization lowest on the MI100 (64-wide wavefronts)\n"
+           "  * A100 cache hit rates above V100 (larger L1 remainder, "
+           "larger L2)\n"
+           "Note: our warp-utilization counter weights by issued warp "
+           "instructions,\nwhich reads lower for CSR than the vendor "
+           "profilers' cycle-weighted metric;\nthe ordering is the "
+           "reproduced result.\n";
+    return 0;
+}

@@ -1,0 +1,113 @@
+// Section V of the paper (first paragraph): the tolerance study behind the
+// choice of 1e-10. Two claims are reproduced:
+//   1. "Conservation of relevant physical quantities in XGC to a
+//      pre-decided threshold (1e-7) was met with a minimum tolerance of
+//      1e-10" -- measured here as the deviation of the accepted step from
+//      a direct-solve (machine-precision) reference.
+//   2. "Increasing the linear solver tolerance above 1e-10 resulted in the
+//      Picard loop not converging up to 100 iterations" -- measured as the
+//      true nonlinear residual stagnating above the Picard tolerance
+//      (XGC's tight nonlinear threshold guarantees the conservation
+//      target with margin; the linear residual floor is what stalls it).
+#include <cmath>
+#include <iostream>
+
+#include "common.hpp"
+
+namespace {
+
+using namespace bsis;
+
+struct StudyResult {
+    bool picard_converged = false;
+    int picard_iterations = 0;
+    double deviation_from_reference = 0;
+    double raw_conservation = 0;
+};
+
+StudyResult run(real_type linear_tol,
+                const BatchVector<real_type>* reference)
+{
+    xgc::WorkloadParams wp;
+    wp.num_mesh_nodes = 2;
+    xgc::CollisionWorkload workload(wp);
+
+    SolverSettings settings;
+    settings.tolerance = linear_tol;
+    settings.max_iterations = 500;
+
+    xgc::PicardSettings ps;
+    ps.num_iterations = 100;
+    ps.nonlinear_tol = 1e-13;
+    const auto report = implicit_collision_step(
+        workload, ps, xgc::make_reference_solver(settings));
+
+    StudyResult result;
+    result.picard_converged = report.converged;
+    result.picard_iterations = report.picard_iterations;
+    for (const auto e : report.raw_conservation_errors) {
+        result.raw_conservation = std::max(result.raw_conservation, e);
+    }
+    if (reference != nullptr) {
+        // Max relative deviation of the accepted distributions from the
+        // tight-tolerance reference (the physics-facing error).
+        double worst = 0;
+        for (size_type sys = 0; sys < workload.num_systems(); ++sys) {
+            const auto f = workload.distributions().entry(sys);
+            const auto r = reference->entry(sys);
+            double num = 0;
+            double den = 0;
+            for (index_type i = 0; i < f.len; ++i) {
+                num += (f[i] - r[i]) * (f[i] - r[i]);
+                den += r[i] * r[i];
+            }
+            worst = std::max(worst, std::sqrt(num / den));
+        }
+        result.deviation_from_reference = worst;
+    }
+    return result;
+}
+
+}  // namespace
+
+int main()
+{
+    using namespace bsis;
+
+    // Machine-precision reference step.
+    BatchVector<real_type> reference;
+    {
+        xgc::WorkloadParams wp;
+        wp.num_mesh_nodes = 2;
+        xgc::CollisionWorkload workload(wp);
+        SolverSettings settings;
+        settings.tolerance = 1e-13;
+        settings.max_iterations = 1000;
+        xgc::PicardSettings ps;
+        ps.num_iterations = 100;
+        ps.nonlinear_tol = 1e-13;
+        implicit_collision_step(workload, ps,
+                                xgc::make_reference_solver(settings));
+        reference = workload.distributions();
+    }
+
+    Table table({"linear_tol", "picard_converged", "picard_iters",
+                 "deviation_from_reference", "meets_1e-7"});
+    for (const double tol : {1e-6, 1e-8, 1e-10, 1e-12}) {
+        const auto result = run(tol, &reference);
+        table.new_row()
+            .add(tol, 1)
+            .add(result.picard_converged ? "yes" : "NO (stalled)")
+            .add(result.picard_iterations)
+            .add(result.deviation_from_reference, 3)
+            .add(result.deviation_from_reference < 1e-7 ? "yes" : "no");
+    }
+    bench::emit("tolerance_study",
+                "Tolerance study: Picard convergence (tol 1e-13, max 100) "
+                "and solution fidelity vs linear solver tolerance",
+                table);
+    std::cout << "\nShape check (paper: tolerances looser than ~1e-10 stall "
+                 "the Picard loop\nand miss the 1e-7 fidelity threshold; "
+                 "1e-10 meets both)\n";
+    return 0;
+}

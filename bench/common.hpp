@@ -1,0 +1,79 @@
+// Shared helpers for the benchmark binaries.
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "exec/executor.hpp"
+#include "matrix/conversions.hpp"
+#include "util/table.hpp"
+#include "xgc/picard.hpp"
+#include "xgc/workload.hpp"
+
+namespace bsis::bench {
+
+/// True when the environment asks for a reduced sweep (BSIS_QUICK=1).
+inline bool quick_mode()
+{
+    const char* env = std::getenv("BSIS_QUICK");
+    return env != nullptr && env[0] == '1';
+}
+
+/// Batch sizes swept by the Fig. 6/7/8 benchmarks (numbers of systems;
+/// always even so ion and electron counts match, as in the paper).
+inline std::vector<size_type> batch_sizes()
+{
+    if (quick_mode()) {
+        return {120, 480};
+    }
+    return {120, 240, 480, 960, 1920, 2880};
+}
+
+/// First-Picard-iteration batch of collision matrices (zero-guess rhs is
+/// the pre-step distribution), mixed ion+electron.
+struct XgcBatch {
+    xgc::CollisionWorkload workload;
+    BatchCsr<real_type> a;
+
+    explicit XgcBatch(size_type num_systems, bool ions = true,
+                      bool electrons = true, real_type dt = 0.0035)
+        : workload(make_params(num_systems, ions, electrons)),
+          a(workload.make_matrix_batch())
+    {
+        workload.assemble_batch(workload.distributions(),
+                                workload.distributions(), dt, a);
+    }
+
+    const BatchVector<real_type>& rhs() const
+    {
+        return workload.distributions();
+    }
+
+private:
+    static xgc::WorkloadParams make_params(size_type num_systems, bool ions,
+                                           bool electrons)
+    {
+        xgc::WorkloadParams p;
+        p.include_ions = ions;
+        p.include_electrons = electrons;
+        const size_type per_node = (ions ? 1 : 0) + (electrons ? 1 : 0);
+        p.num_mesh_nodes = num_systems / per_node;
+        return p;
+    }
+};
+
+/// Prints a table plus a one-line header, and writes the CSV next to the
+/// binary as <name>.csv for plotting against the paper figures.
+inline void emit(const std::string& name, const std::string& title,
+                 const Table& table)
+{
+    std::cout << "\n=== " << title << "\n\n";
+    table.print(std::cout);
+    const std::string path = name + ".csv";
+    table.write_csv(path);
+    std::cout << "\n[csv written to " << path << "]\n";
+}
+
+}  // namespace bsis::bench

@@ -1,0 +1,77 @@
+// Runs the same batched solve through every modeled device and prints the
+// full performance-model breakdown: storage configuration (how many solver
+// vectors fit in shared memory), occupancy, scheduling, per-operation
+// costs, and the resulting kernel time -- the quantities Sections IV-C/D/E
+// of the paper reason about.
+#include <iostream>
+
+#include "exec/executor.hpp"
+#include "matrix/conversions.hpp"
+#include "util/table.hpp"
+#include "xgc/workload.hpp"
+
+int main()
+{
+    using namespace bsis;
+
+    xgc::WorkloadParams wp;
+    wp.num_mesh_nodes = 240;  // 480 systems, enough to saturate every GPU
+    xgc::CollisionWorkload workload(wp);
+    auto a = workload.make_matrix_batch();
+    workload.assemble_batch(workload.distributions(),
+                            workload.distributions(), 0.0035, a);
+    const auto ell = to_ell(a);
+    const auto& b = workload.distributions();
+
+    SolverSettings settings;
+    settings.tolerance = 1e-10;
+    settings.max_iterations = 500;
+
+    Table table({"device", "vectors_in_shared", "blocks_per_cu",
+                 "occupancy_limit", "waves", "spmv_us", "dot_us",
+                 "iteration_us", "kernel_ms", "h2d_ms", "us_per_entry"});
+    int count = 0;
+    const auto* gpus = gpusim::all_gpus(count);
+    for (int g = 0; g < count; ++g) {
+        const SimGpuExecutor exec(gpus[g]);
+        BatchVector<real_type> x(a.num_batch(), a.rows());
+        const auto report = exec.solve(ell, b, x, settings, true);
+        table.new_row()
+            .add(gpus[g].name)
+            .add(report.storage.num_shared)
+            .add(report.occupancy.blocks_per_cu)
+            .add(report.occupancy.limiter)
+            .add(report.num_waves)
+            .add(report.block_cost.spmv_us, 3)
+            .add(report.block_cost.dot_us, 3)
+            .add(report.block_cost.per_iteration_us, 4)
+            .add(report.kernel_seconds * 1e3, 4)
+            .add(report.h2d_seconds * 1e3, 4)
+            .add(report.per_entry_seconds() * 1e6, 4);
+    }
+    const CpuExecutor cpu;
+    BatchVector<real_type> x(a.num_batch(), a.rows());
+    const auto cpu_report = cpu.gbsv(a, b, x);
+    table.new_row()
+        .add(cpu.cpu().name)
+        .add("-")
+        .add("-")
+        .add("-")
+        .add(static_cast<std::int64_t>(
+            (a.num_batch() + cpu.cpu().cores_used - 1) /
+            cpu.cpu().cores_used))
+        .add("-")
+        .add("-")
+        .add("-")
+        .add(cpu_report.node_seconds * 1e3, 4)
+        .add("-")
+        .add(cpu_report.per_entry_seconds(a.num_batch()) * 1e6, 4);
+
+    table.print(std::cout);
+    std::cout << "\nReading guide: the V100 fits 6 of the 10 BiCGStab "
+                 "vectors in its 48 KiB\nper-block shared window; the A100 "
+                 "fits all of them; the MI100's 64 KiB LDS\nholds one "
+                 "block per CU, which is why its batch curve steps at "
+                 "multiples of 120.\n";
+    return 0;
+}

@@ -1,0 +1,59 @@
+// Quickstart: solve a batch of small sparse systems with the batched
+// BiCGStab solver.
+//
+// The workload is a batch of independent 9-point-stencil systems sharing
+// one sparsity pattern -- the structure the batched formats exploit. Build
+// and run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <iostream>
+
+#include "core/solver.hpp"
+#include "matrix/conversions.hpp"
+#include "matrix/stencil.hpp"
+#include "util/rng.hpp"
+
+int main()
+{
+    using namespace bsis;
+
+    // 1. A batch of 64 independent systems on a 16 x 16 grid (256 rows
+    //    each), all sharing the 9-point stencil pattern.
+    const size_type num_batch = 64;
+    const auto csr = make_synthetic_batch(16, 16, StencilKind::nine_point,
+                                          num_batch, {});
+
+    // 2. Convert to BatchEll: the right format for uniform short rows.
+    const auto ell = to_ell(csr);
+
+    // 3. Random right-hand sides, one per system.
+    BatchVector<real_type> b(num_batch, csr.rows());
+    Rng rng(42);
+    for (size_type i = 0; i < num_batch; ++i) {
+        for (auto& v : b.entry(i)) {
+            v = rng.uniform(-1.0, 1.0);
+        }
+    }
+
+    // 4. Compose the solver: BiCGStab + scalar Jacobi + absolute residual
+    //    stopping at 1e-10 (the paper's configuration).
+    SolverSettings settings;
+    settings.solver = SolverType::bicgstab;
+    settings.precond = PrecondType::jacobi;
+    settings.stop = StopType::abs_residual;
+    settings.tolerance = 1e-10;
+
+    // 5. Solve the whole batch; every system is monitored individually.
+    BatchVector<real_type> x(num_batch, csr.rows());
+    const auto result = solve_batch(ell, b, x, settings);
+
+    std::cout << "solved " << num_batch << " systems of "
+              << csr.rows() << " rows in " << result.wall_seconds * 1e3
+              << " ms\n"
+              << "all converged:   "
+              << (result.log.all_converged() ? "yes" : "no") << '\n'
+              << "mean iterations: " << result.log.mean_iterations() << '\n'
+              << "max iterations:  " << result.log.max_iterations() << '\n'
+              << "residual(0):     " << result.log.residual_norm(0) << '\n';
+    return result.log.all_converged() ? 0 : 1;
+}

@@ -1,0 +1,105 @@
+// Compares every solver composition the library offers on one batch of
+// XGC electron matrices (the hard species): the iterative solvers
+// (BiCGStab / GMRES / Richardson, with and without Jacobi), the banded
+// direct solvers (dgbsv-style LU and the Givens QR), and the format
+// auto-tuner's recommendation.
+#include <iostream>
+
+#include "core/solver.hpp"
+#include "core/tuning.hpp"
+#include "lapack/banded_lu.hpp"
+#include "lapack/banded_qr.hpp"
+#include "matrix/conversions.hpp"
+#include "matrix/stats.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+#include "xgc/workload.hpp"
+
+int main()
+{
+    using namespace bsis;
+
+    // Electron-only workload: 32 systems of 992 rows.
+    xgc::WorkloadParams wp;
+    wp.include_ions = false;
+    wp.num_mesh_nodes = 32;
+    xgc::CollisionWorkload workload(wp);
+    auto a = workload.make_matrix_batch();
+    workload.assemble_batch(workload.distributions(),
+                            workload.distributions(), 0.0035, a);
+    const auto& b = workload.distributions();
+    const auto ell = to_ell(a);
+
+    // What does the auto-tuner say?
+    const auto stats = compute_stats(a);
+    const auto choice = tune(stats, 32);
+    std::cout << "auto-tuner: format = "
+              << (choice.format == BatchFormat::ell ? "ELL" : "CSR")
+              << ", block size = " << choice.block_size << " ("
+              << choice.reason << ")\n"
+              << "pattern: " << stats.rows << " rows, "
+              << stats.avg_nnz_per_row << " avg nnz/row, ELL padding "
+              << 100.0 * choice.ell_padding_overhead << "%\n\n";
+
+    Table table({"method", "wall_ms", "mean_iters", "converged"});
+
+    const auto run_iterative = [&](const char* name, SolverType solver,
+                                   PrecondType precond) {
+        SolverSettings s;
+        s.solver = solver;
+        s.precond = precond;
+        s.tolerance = 1e-10;
+        s.max_iterations = 2000;
+        s.gmres_restart = 40;
+        s.richardson_omega = 0.7;
+        BatchVector<real_type> x(a.num_batch(), a.rows());
+        const auto result = solve_batch(ell, b, x, s);
+        table.new_row()
+            .add(name)
+            .add(result.wall_seconds * 1e3, 4)
+            .add(result.log.mean_iterations(), 4)
+            .add(result.log.all_converged() ? "yes" : "no");
+    };
+    run_iterative("bicgstab + jacobi", SolverType::bicgstab,
+                  PrecondType::jacobi);
+    run_iterative("bicgstab (unpreconditioned)", SolverType::bicgstab,
+                  PrecondType::identity);
+    run_iterative("bicgstab + block-jacobi(4)", SolverType::bicgstab,
+                  PrecondType::block_jacobi);
+    run_iterative("bicg + jacobi", SolverType::bicg, PrecondType::jacobi);
+    run_iterative("cgs + jacobi", SolverType::cgs, PrecondType::jacobi);
+    run_iterative("gmres(40) + jacobi", SolverType::gmres,
+                  PrecondType::jacobi);
+    run_iterative("chebyshev + jacobi (Gershgorin bounds)",
+                  SolverType::chebyshev, PrecondType::jacobi);
+    run_iterative("richardson + jacobi", SolverType::richardson,
+                  PrecondType::jacobi);
+
+    const auto run_direct = [&](const char* name, auto&& solve_fn) {
+        BatchVector<real_type> x(a.num_batch(), a.rows());
+        for (size_type i = 0; i < a.num_batch(); ++i) {
+            blas::copy(b.entry(i), x.entry(i));
+        }
+        auto banded = to_banded(a);
+        Timer timer;
+        solve_fn(banded, x);
+        table.new_row()
+            .add(name)
+            .add(timer.seconds() * 1e3, 4)
+            .add("-")
+            .add("yes (exact)");
+    };
+    run_direct("banded LU (dgbsv)",
+               [](BatchBanded<real_type>& m, BatchVector<real_type>& x) {
+                   lapack::batch_gbsv(m, x);
+               });
+    run_direct("banded QR (Givens)",
+               [](BatchBanded<real_type>& m, BatchVector<real_type>& x) {
+                   lapack::batch_gbqr_solve(m, x);
+               });
+
+    table.print(std::cout);
+    std::cout << "\nNote: host wall times; the GPU story is in "
+                 "bench/bench_fig6_solvers.\n";
+    return 0;
+}

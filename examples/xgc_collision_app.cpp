@@ -1,0 +1,87 @@
+// The XGC collision-kernel proxy app, end to end: a plasma with beam-
+// loaded ion and electron distributions at several mesh nodes relaxes
+// toward equilibrium over multiple implicit collision steps. Every step
+// runs the backward-Euler + Picard scheme with warm-started batched
+// BiCGStab solves and reports the linear-solver behavior, conservation,
+// and the approach to the Maxwellian.
+//
+//   ./build/examples/xgc_collision_app [num_steps] [num_mesh_nodes]
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+
+#include "util/table.hpp"
+#include "xgc/picard.hpp"
+#include "xgc/workload.hpp"
+
+int main(int argc, char** argv)
+{
+    using namespace bsis;
+    using namespace bsis::xgc;
+
+    const int num_steps = argc > 1 ? std::atoi(argv[1]) : 6;
+    const size_type num_nodes = argc > 2 ? std::atol(argv[2]) : 4;
+
+    WorkloadParams wp;
+    wp.num_mesh_nodes = num_nodes;
+    CollisionWorkload workload(wp);
+    std::cout << "collision proxy app: " << num_nodes
+              << " mesh nodes x 2 species, grid "
+              << workload.grid().n_vpar() << " x "
+              << workload.grid().n_vperp() << " ("
+              << workload.grid().rows() << " rows per system)\n";
+
+    SolverSettings solver;
+    solver.solver = SolverType::bicgstab;
+    solver.precond = PrecondType::jacobi;
+    solver.tolerance = 1e-10;
+    solver.max_iterations = 500;
+
+    PicardSettings picard;  // dt, 5 iterations, warm start, moment fix
+
+    // Distance of the electron distribution at node 0 from the Maxwellian
+    // of its own moments: the relaxation the collisions drive.
+    const auto deviation = [&]() {
+        const size_type sys = 1;  // node 0, electron
+        const auto f = workload.distributions().entry(sys);
+        const auto state = moments(workload.grid(), f);
+        std::vector<real_type> maxw(static_cast<std::size_t>(f.len));
+        maxwellian(workload.grid(), state,
+                   VecView<real_type>{maxw.data(), f.len});
+        real_type num = 0;
+        real_type den = 0;
+        for (index_type i = 0; i < f.len; ++i) {
+            num += (f[i] - maxw[static_cast<std::size_t>(i)]) *
+                   (f[i] - maxw[static_cast<std::size_t>(i)]);
+            den += maxw[static_cast<std::size_t>(i)] *
+                   maxw[static_cast<std::size_t>(i)];
+        }
+        return std::sqrt(num / den);
+    };
+
+    Table table({"step", "non_maxwellian_frac", "iters_ion_first",
+                 "iters_electron_first", "conservation_err",
+                 "nonlinear_residual"});
+    for (int step = 0; step < num_steps; ++step) {
+        const real_type before = deviation();
+        const auto report = implicit_collision_step(
+            workload, picard, make_reference_solver(solver));
+        table.new_row()
+            .add(step)
+            .add(before, 4)
+            .add(report.mean_species_iterations(0, 0, 2), 3)
+            .add(report.mean_species_iterations(0, 1, 2), 3)
+            .add(report.max_conservation_error(), 3)
+            .add(report.nonlinear_change, 3);
+        if (!report.linear_logs.front().all_converged()) {
+            std::cerr << "linear solver failed to converge at step "
+                      << step << "\n";
+            return 1;
+        }
+    }
+    table.print(std::cout);
+    std::cout << "\nfinal non-Maxwellian fraction: " << deviation()
+              << " (collisions relax the beam; conservation stays at "
+                 "machine precision)\n";
+    return 0;
+}

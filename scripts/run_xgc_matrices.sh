@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Reproduction of the paper appendix's run_xgc_matrices.sh workflow:
+# export a batch of collision matrices in the Zenodo folder layout, then
+# sweep the batched solvers over them on every modeled device and both
+# formats. Set BATCH_MATRIX_FOLDER to reuse an existing matrix folder
+# (e.g. one exported earlier, or the paper's own dgb_2 class).
+set -euo pipefail
+
+BUILD_DIR=${BUILD_DIR:-build}
+BATCH_MATRIX_FOLDER=${BATCH_MATRIX_FOLDER:-/tmp/bsis_dgb_2}
+NUM_MESH_NODES=${NUM_MESH_NODES:-8}
+
+if [ ! -f "${BATCH_MATRIX_FOLDER}/0/A.mtx" ]; then
+  echo "== exporting ${NUM_MESH_NODES} mesh nodes to ${BATCH_MATRIX_FOLDER}"
+  "${BUILD_DIR}/examples/export_batch" "${BATCH_MATRIX_FOLDER}" \
+      "${NUM_MESH_NODES}"
+fi
+
+for device in v100 a100 mi100; do
+  for format in csr ell; do
+    echo
+    echo "== device=${device} format=${format}"
+    "${BUILD_DIR}/examples/solve_from_files" "${BATCH_MATRIX_FOLDER}" \
+        --device "${device}" --format "${format}" --tol 1e-10
+  done
+done

@@ -1,0 +1,86 @@
+// Batched vector storage and views.
+//
+// A BatchVector holds `num_batch` independent vectors of equal length in one
+// contiguous allocation (entry-major). Solvers operate on per-entry
+// VecView/ConstVecView spans, so the same kernels work on owned storage, on
+// shared-memory-simulated workspaces, and on slices of larger arrays.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/types.hpp"
+
+namespace bsis {
+
+/// Mutable view of one vector of a batch: pointer + length.
+template <typename T>
+struct VecView {
+    T* data = nullptr;
+    index_type len = 0;
+
+    T& operator[](index_type i) const { return data[i]; }
+    T* begin() const { return data; }
+    T* end() const { return data + len; }
+};
+
+/// Read-only view of one vector of a batch.
+template <typename T>
+struct ConstVecView {
+    const T* data = nullptr;
+    index_type len = 0;
+
+    ConstVecView() = default;
+    ConstVecView(const T* d, index_type l) : data(d), len(l) {}
+    /// Implicit conversion so kernels can take const views of mutable data.
+    ConstVecView(VecView<T> v) : data(v.data), len(v.len) {}
+
+    const T& operator[](index_type i) const { return data[i]; }
+    const T* begin() const { return data; }
+    const T* end() const { return data + len; }
+};
+
+/// `num_batch` vectors of length `len` in one contiguous entry-major array.
+template <typename T>
+class BatchVector {
+public:
+    BatchVector() = default;
+
+    BatchVector(size_type num_batch, index_type len, T fill_value = T{})
+        : num_batch_(num_batch), len_(len)
+    {
+        BSIS_ENSURE_ARG(num_batch >= 0, "negative batch count");
+        BSIS_ENSURE_ARG(len >= 0, "negative vector length");
+        values_.assign(static_cast<std::size_t>(num_batch) * len,
+                       fill_value);
+    }
+
+    size_type num_batch() const { return num_batch_; }
+    index_type len() const { return len_; }
+
+    VecView<T> entry(size_type b)
+    {
+        BSIS_ASSERT(b >= 0 && b < num_batch_);
+        return {values_.data() + static_cast<std::size_t>(b) * len_, len_};
+    }
+
+    ConstVecView<T> entry(size_type b) const
+    {
+        BSIS_ASSERT(b >= 0 && b < num_batch_);
+        return {values_.data() + static_cast<std::size_t>(b) * len_, len_};
+    }
+
+    T* data() { return values_.data(); }
+    const T* data() const { return values_.data(); }
+    size_type size() const { return static_cast<size_type>(values_.size()); }
+
+    void fill(T value) { std::fill(values_.begin(), values_.end(), value); }
+
+private:
+    size_type num_batch_ = 0;
+    index_type len_ = 0;
+    std::vector<T> values_;
+};
+
+}  // namespace bsis

@@ -1,0 +1,130 @@
+// Dense vector kernels used inside the batched solvers.
+//
+// These are the per-batch-entry building blocks (Section IV-B of the paper):
+// they run on one "thread block"'s data and are written so the compiler can
+// inline them into the fused solver kernel, exactly as the CUDA/HIP versions
+// are inlined by nvcc/hipcc in GINKGO's single-kernel design.
+#pragma once
+
+#include <cmath>
+
+#include "blas/batch_vector.hpp"
+#include "util/error.hpp"
+#include "util/types.hpp"
+
+namespace bsis::blas {
+
+/// y := x
+template <typename T>
+inline void copy(ConstVecView<T> x, VecView<T> y)
+{
+    BSIS_ASSERT(x.len == y.len);
+    for (index_type i = 0; i < x.len; ++i) {
+        y[i] = x[i];
+    }
+}
+
+/// x := alpha
+template <typename T>
+inline void fill(VecView<T> x, T alpha)
+{
+    for (index_type i = 0; i < x.len; ++i) {
+        x[i] = alpha;
+    }
+}
+
+/// x := alpha * x
+template <typename T>
+inline void scal(T alpha, VecView<T> x)
+{
+    for (index_type i = 0; i < x.len; ++i) {
+        x[i] *= alpha;
+    }
+}
+
+/// y := alpha * x + y
+template <typename T>
+inline void axpy(T alpha, ConstVecView<T> x, VecView<T> y)
+{
+    BSIS_ASSERT(x.len == y.len);
+    for (index_type i = 0; i < x.len; ++i) {
+        y[i] += alpha * x[i];
+    }
+}
+
+/// y := alpha * x + beta * y
+template <typename T>
+inline void axpby(T alpha, ConstVecView<T> x, T beta, VecView<T> y)
+{
+    BSIS_ASSERT(x.len == y.len);
+    for (index_type i = 0; i < x.len; ++i) {
+        y[i] = alpha * x[i] + beta * y[i];
+    }
+}
+
+/// z := x - y
+template <typename T>
+inline void sub(ConstVecView<T> x, ConstVecView<T> y, VecView<T> z)
+{
+    BSIS_ASSERT(x.len == y.len && y.len == z.len);
+    for (index_type i = 0; i < x.len; ++i) {
+        z[i] = x[i] - y[i];
+    }
+}
+
+/// Dot product x . y (unconjugated; the library is real-valued).
+template <typename T>
+inline T dot(ConstVecView<T> x, ConstVecView<T> y)
+{
+    BSIS_ASSERT(x.len == y.len);
+    T sum{};
+    for (index_type i = 0; i < x.len; ++i) {
+        sum += x[i] * y[i];
+    }
+    return sum;
+}
+
+/// Euclidean norm ||x||_2.
+template <typename T>
+inline T nrm2(ConstVecView<T> x)
+{
+    return std::sqrt(dot(x, x));
+}
+
+/// Max norm ||x||_inf.
+template <typename T>
+inline T nrm_inf(ConstVecView<T> x)
+{
+    T m{};
+    for (index_type i = 0; i < x.len; ++i) {
+        m = std::max(m, std::abs(x[i]));
+    }
+    return m;
+}
+
+/// z := x .* y (Hadamard product; scalar-Jacobi application).
+template <typename T>
+inline void mul_elementwise(ConstVecView<T> x, ConstVecView<T> y, VecView<T> z)
+{
+    BSIS_ASSERT(x.len == y.len && y.len == z.len);
+    for (index_type i = 0; i < x.len; ++i) {
+        z[i] = x[i] * y[i];
+    }
+}
+
+/// Dense matrix-vector product y := A x for a row-major n x n block.
+template <typename T>
+inline void gemv(index_type n, const T* a, ConstVecView<T> x, VecView<T> y)
+{
+    BSIS_ASSERT(x.len == n && y.len == n);
+    for (index_type r = 0; r < n; ++r) {
+        T sum{};
+        const T* row = a + static_cast<std::size_t>(r) * n;
+        for (index_type c = 0; c < n; ++c) {
+            sum += row[c] * x[c];
+        }
+        y[r] = sum;
+    }
+}
+
+}  // namespace bsis::blas

@@ -1,0 +1,84 @@
+// Batched classical BiCG kernel (Fletcher 1976).
+//
+// The two-sided ancestor of BiCGStab: it iterates a shadow system with
+// A^T alongside the primal one, which is why BiCGStab (transpose-free,
+// smoother) displaced it in practice -- the solver-comparison example
+// makes that trade-off visible on the collision matrices. Requires the
+// matrix format to provide spmv_transpose (all bsis formats do) and a
+// SYMMETRIC preconditioner (Identity / scalar Jacobi / block Jacobi with
+// symmetric blocks), so M^-T = M^-1.
+#pragma once
+
+#include <cmath>
+
+#include "blas/kernels.hpp"
+#include "core/workspace.hpp"
+#include "util/types.hpp"
+
+namespace bsis {
+
+/// Scratch vectors: r, r_hat, z, z_hat, p, p_hat, q, q_hat.
+inline constexpr int bicg_work_vectors = 8;
+
+template <typename MatrixView, typename Prec, typename Stop>
+EntryResult bicg_kernel(const MatrixView& a, ConstVecView<real_type> b,
+                        VecView<real_type> x, const Prec& prec,
+                        const Stop& stop, int max_iters, Workspace& ws,
+                        int work_offset = 0)
+{
+    auto r = ws.slot(work_offset + 0);
+    auto r_hat = ws.slot(work_offset + 1);
+    auto z = ws.slot(work_offset + 2);
+    auto z_hat = ws.slot(work_offset + 3);
+    auto p = ws.slot(work_offset + 4);
+    auto p_hat = ws.slot(work_offset + 5);
+    auto q = ws.slot(work_offset + 6);
+    auto q_hat = ws.slot(work_offset + 7);
+
+    const real_type b_norm = blas::nrm2(b);
+
+    spmv(a, ConstVecView<real_type>(x), r);
+    blas::axpby(real_type{1}, b, real_type{-1}, r);
+    blas::copy(ConstVecView<real_type>(r), r_hat);
+    real_type r_norm = blas::nrm2(ConstVecView<real_type>(r));
+
+    prec.apply(ConstVecView<real_type>(r), z);
+    prec.apply(ConstVecView<real_type>(r_hat), z_hat);  // M symmetric
+    blas::copy(ConstVecView<real_type>(z), p);
+    blas::copy(ConstVecView<real_type>(z_hat), p_hat);
+    real_type rho = blas::dot(ConstVecView<real_type>(z),
+                              ConstVecView<real_type>(r_hat));
+
+    for (int iter = 0; iter < max_iters; ++iter) {
+        if (stop.done(r_norm, b_norm)) {
+            return {iter, r_norm, true};
+        }
+        if (rho == real_type{0}) {
+            return {iter, r_norm, false};
+        }
+        spmv(a, ConstVecView<real_type>(p), q);
+        spmv_transpose(a, ConstVecView<real_type>(p_hat), q_hat);
+        const real_type pq = blas::dot(ConstVecView<real_type>(p_hat),
+                                       ConstVecView<real_type>(q));
+        if (pq == real_type{0}) {
+            return {iter, r_norm, false};
+        }
+        const real_type alpha = rho / pq;
+        blas::axpy(alpha, ConstVecView<real_type>(p), x);
+        blas::axpy(-alpha, ConstVecView<real_type>(q), r);
+        blas::axpy(-alpha, ConstVecView<real_type>(q_hat), r_hat);
+        r_norm = blas::nrm2(ConstVecView<real_type>(r));
+        prec.apply(ConstVecView<real_type>(r), z);
+        prec.apply(ConstVecView<real_type>(r_hat), z_hat);
+        const real_type rho_new = blas::dot(ConstVecView<real_type>(z),
+                                            ConstVecView<real_type>(r_hat));
+        const real_type beta = rho_new / rho;
+        blas::axpby(real_type{1}, ConstVecView<real_type>(z), beta, p);
+        blas::axpby(real_type{1}, ConstVecView<real_type>(z_hat), beta,
+                    p_hat);
+        rho = rho_new;
+    }
+    return {max_iters, r_norm, stop.done(r_norm, b_norm)};
+}
+
+}  // namespace bsis

@@ -1,0 +1,123 @@
+// Batched BiCGStab kernel (paper Algorithm 1).
+//
+// One invocation solves ONE system of the batch -- the exact work a single
+// GPU thread block performs inside the fused solver kernel. The matrix
+// format, preconditioner, and stopping criterion are template parameters,
+// mirroring the compile-time composition of the paper's Listing 1, so the
+// whole solve inlines into one optimized function.
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+#include "blas/kernels.hpp"
+#include "core/workspace.hpp"
+#include "util/types.hpp"
+
+namespace bsis {
+
+/// Number of scratch vectors the BiCGStab kernel draws from the workspace
+/// (r, r_hat, p, p_hat, v, s, s_hat, t), excluding x and the
+/// preconditioner's own storage.
+inline constexpr int bicgstab_work_vectors = 8;
+
+/// Solves A x = b with preconditioned BiCGStab. `x` holds the initial
+/// guess on entry and the solution on exit. `prec` must already be
+/// generated for this system's matrix. Returns the iteration count, the
+/// final residual norm, and whether the stopping criterion was met within
+/// `max_iters` iterations.
+/// `history`, when non-null, receives the residual norm at the top of
+/// every iteration (the per-system logging of the paper's Listing 1
+/// LogType) -- see the convergence-history benchmark.
+template <typename MatrixView, typename Prec, typename Stop>
+EntryResult bicgstab_kernel(const MatrixView& a, ConstVecView<real_type> b,
+                            VecView<real_type> x, const Prec& prec,
+                            const Stop& stop, int max_iters, Workspace& ws,
+                            int work_offset = 0,
+                            std::vector<real_type>* history = nullptr)
+{
+    auto r = ws.slot(work_offset + 0);
+    auto r_hat = ws.slot(work_offset + 1);
+    auto p = ws.slot(work_offset + 2);
+    auto p_hat = ws.slot(work_offset + 3);
+    auto v = ws.slot(work_offset + 4);
+    auto s = ws.slot(work_offset + 5);
+    auto s_hat = ws.slot(work_offset + 6);
+    auto t = ws.slot(work_offset + 7);
+
+    const real_type b_norm = blas::nrm2(b);
+
+    // r = b - A x; with a zero guess this reduces to r = b.
+    spmv(a, ConstVecView<real_type>(x), r);
+    blas::axpby(real_type{1}, b, real_type{-1}, r);
+    blas::copy(ConstVecView<real_type>(r), r_hat);
+    blas::fill(p, real_type{0});
+    blas::fill(v, real_type{0});
+
+    real_type rho_old = 1;
+    real_type omega = 1;
+    real_type alpha = 1;
+    real_type r_norm = blas::nrm2(ConstVecView<real_type>(r));
+
+    if (history != nullptr) {
+        history->clear();
+        history->push_back(r_norm);
+    }
+    for (int iter = 0; iter < max_iters; ++iter) {
+        if (stop.done(r_norm, b_norm)) {
+            return {iter, r_norm, true};
+        }
+        const real_type rho =
+            blas::dot(ConstVecView<real_type>(r), ConstVecView<real_type>(r_hat));
+        if (rho == real_type{0} || omega == real_type{0}) {
+            // Serious breakdown: the Krylov space cannot be extended.
+            return {iter, r_norm, false};
+        }
+        const real_type beta = (rho / rho_old) * (alpha / omega);
+        // p = r + beta * (p - omega * v)
+        blas::axpy(-omega, ConstVecView<real_type>(v), p);
+        blas::axpby(real_type{1}, ConstVecView<real_type>(r), beta, p);
+        prec.apply(ConstVecView<real_type>(p), p_hat);
+        spmv(a, ConstVecView<real_type>(p_hat), v);
+        const real_type r_hat_v = blas::dot(ConstVecView<real_type>(r_hat),
+                                            ConstVecView<real_type>(v));
+        if (r_hat_v == real_type{0}) {
+            return {iter, r_norm, false};
+        }
+        alpha = rho / r_hat_v;
+        // s = r - alpha * v
+        blas::copy(ConstVecView<real_type>(r), s);
+        blas::axpy(-alpha, ConstVecView<real_type>(v), s);
+        const real_type s_norm = blas::nrm2(ConstVecView<real_type>(s));
+        if (stop.done(s_norm, b_norm)) {
+            blas::axpy(alpha, ConstVecView<real_type>(p_hat), x);
+            return {iter + 1, s_norm, true};
+        }
+        prec.apply(ConstVecView<real_type>(s), s_hat);
+        spmv(a, ConstVecView<real_type>(s_hat), t);
+        const real_type t_t =
+            blas::dot(ConstVecView<real_type>(t), ConstVecView<real_type>(t));
+        const real_type t_s =
+            blas::dot(ConstVecView<real_type>(t), ConstVecView<real_type>(s));
+        if (t_t == real_type{0}) {
+            blas::axpy(alpha, ConstVecView<real_type>(p_hat), x);
+            r_norm = s_norm;
+            return {iter + 1, r_norm, stop.done(r_norm, b_norm)};
+        }
+        omega = t_s / t_t;
+        // x = x + alpha * p_hat + omega * s_hat
+        blas::axpy(alpha, ConstVecView<real_type>(p_hat), x);
+        blas::axpy(omega, ConstVecView<real_type>(s_hat), x);
+        // r = s - omega * t
+        blas::copy(ConstVecView<real_type>(s), r);
+        blas::axpy(-omega, ConstVecView<real_type>(t), r);
+        r_norm = blas::nrm2(ConstVecView<real_type>(r));
+        rho_old = rho;
+        if (history != nullptr) {
+            history->push_back(r_norm);
+        }
+    }
+    return {max_iters, r_norm, stop.done(r_norm, b_norm)};
+}
+
+}  // namespace bsis

@@ -1,0 +1,70 @@
+// Batched preconditioned Conjugate Gradient kernel.
+//
+// For symmetric positive definite batch entries. Not the paper's headline
+// solver (the collision matrices are nonsymmetric) but part of the
+// "several preconditionable iterative solvers" the library provides
+// (Section IV-B) and the reference solver for SPD test problems.
+#pragma once
+
+#include <cmath>
+
+#include "blas/kernels.hpp"
+#include "core/workspace.hpp"
+#include "util/types.hpp"
+
+namespace bsis {
+
+/// Scratch vectors: r, z, p, q.
+inline constexpr int cg_work_vectors = 4;
+
+template <typename MatrixView, typename Prec, typename Stop>
+EntryResult cg_kernel(const MatrixView& a, ConstVecView<real_type> b,
+                      VecView<real_type> x, const Prec& prec,
+                      const Stop& stop, int max_iters, Workspace& ws,
+                      int work_offset = 0)
+{
+    auto r = ws.slot(work_offset + 0);
+    auto z = ws.slot(work_offset + 1);
+    auto p = ws.slot(work_offset + 2);
+    auto q = ws.slot(work_offset + 3);
+
+    const real_type b_norm = blas::nrm2(b);
+
+    spmv(a, ConstVecView<real_type>(x), r);
+    blas::axpby(real_type{1}, b, real_type{-1}, r);
+    real_type r_norm = blas::nrm2(ConstVecView<real_type>(r));
+
+    prec.apply(ConstVecView<real_type>(r), z);
+    blas::copy(ConstVecView<real_type>(z), p);
+    real_type rz = blas::dot(ConstVecView<real_type>(r),
+                             ConstVecView<real_type>(z));
+
+    for (int iter = 0; iter < max_iters; ++iter) {
+        if (stop.done(r_norm, b_norm)) {
+            return {iter, r_norm, true};
+        }
+        if (rz == real_type{0}) {
+            return {iter, r_norm, false};
+        }
+        spmv(a, ConstVecView<real_type>(p), q);
+        const real_type pq =
+            blas::dot(ConstVecView<real_type>(p), ConstVecView<real_type>(q));
+        if (pq <= real_type{0}) {
+            // Indefinite matrix: CG is not applicable.
+            return {iter, r_norm, false};
+        }
+        const real_type alpha = rz / pq;
+        blas::axpy(alpha, ConstVecView<real_type>(p), x);
+        blas::axpy(-alpha, ConstVecView<real_type>(q), r);
+        r_norm = blas::nrm2(ConstVecView<real_type>(r));
+        prec.apply(ConstVecView<real_type>(r), z);
+        const real_type rz_new = blas::dot(ConstVecView<real_type>(r),
+                                           ConstVecView<real_type>(z));
+        const real_type beta = rz_new / rz;
+        blas::axpby(real_type{1}, ConstVecView<real_type>(z), beta, p);
+        rz = rz_new;
+    }
+    return {max_iters, r_norm, stop.done(r_norm, b_norm)};
+}
+
+}  // namespace bsis

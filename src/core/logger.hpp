@@ -1,0 +1,97 @@
+// Per-system convergence logging (paper Listing 1 `LogType`).
+//
+// Each system of the batch converges independently; the logger records the
+// final iteration count and residual norm for every system, which feeds
+// both the application (convergence verification) and the GPU cost model
+// (per-block durations in the wave scheduler).
+#pragma once
+
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace bsis {
+
+/// Final convergence state of every system in a batch.
+class BatchLog {
+public:
+    BatchLog() = default;
+
+    explicit BatchLog(size_type num_batch)
+        : iters_(static_cast<std::size_t>(num_batch), 0),
+          res_norms_(static_cast<std::size_t>(num_batch), 0.0),
+          converged_(static_cast<std::size_t>(num_batch), false)
+    {}
+
+    size_type num_batch() const
+    {
+        return static_cast<size_type>(iters_.size());
+    }
+
+    void record(size_type system, int iterations, real_type res_norm,
+                bool converged)
+    {
+        iters_[static_cast<std::size_t>(system)] = iterations;
+        res_norms_[static_cast<std::size_t>(system)] = res_norm;
+        converged_[static_cast<std::size_t>(system)] = converged;
+    }
+
+    int iterations(size_type system) const
+    {
+        return iters_[static_cast<std::size_t>(system)];
+    }
+
+    real_type residual_norm(size_type system) const
+    {
+        return res_norms_[static_cast<std::size_t>(system)];
+    }
+
+    bool converged(size_type system) const
+    {
+        return converged_[static_cast<std::size_t>(system)];
+    }
+
+    bool all_converged() const
+    {
+        for (const auto c : converged_) {
+            if (!c) {
+                return false;
+            }
+        }
+        return !converged_.empty();
+    }
+
+    std::int64_t total_iterations() const
+    {
+        std::int64_t total = 0;
+        for (const auto i : iters_) {
+            total += i;
+        }
+        return total;
+    }
+
+    int max_iterations() const
+    {
+        int m = 0;
+        for (const auto i : iters_) {
+            m = i > m ? i : m;
+        }
+        return m;
+    }
+
+    double mean_iterations() const
+    {
+        return iters_.empty() ? 0.0
+                              : static_cast<double>(total_iterations()) /
+                                    static_cast<double>(iters_.size());
+    }
+
+    const std::vector<int>& all_iterations() const { return iters_; }
+
+private:
+    std::vector<int> iters_;
+    std::vector<real_type> res_norms_;
+    std::vector<char> converged_;
+};
+
+}  // namespace bsis

@@ -1,0 +1,200 @@
+// Batched preconditioners.
+//
+// Composed into the solver kernel as the `PrecType` template parameter
+// (paper Listing 1). Each preconditioner exposes:
+//   static constexpr index_type work_vectors  -- per-system scratch slots
+//   generate(matrix_view, work)               -- per-system setup
+//   apply(in, out)                            -- out := M^-1 in
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+#include "blas/batch_vector.hpp"
+#include "blas/kernels.hpp"
+#include "lapack/dense.hpp"
+#include "matrix/batch_csr.hpp"
+#include "matrix/batch_ell.hpp"
+#include "util/error.hpp"
+#include "util/types.hpp"
+
+namespace bsis {
+
+/// No preconditioning: out := in.
+class IdentityPrec {
+public:
+    static constexpr index_type work_vectors = 0;
+
+    template <typename MatrixView>
+    void generate(const MatrixView&, VecView<real_type>)
+    {}
+
+    void apply(ConstVecView<real_type> in, VecView<real_type> out) const
+    {
+        blas::copy(in, out);
+    }
+};
+
+/// Scalar Jacobi: out := diag(A)^-1 in. The paper's production choice for
+/// the collision matrices (diagonally dominant, 9-point stencil).
+class JacobiPrec {
+public:
+    static constexpr index_type work_vectors = 1;
+
+    template <typename MatrixView>
+    void generate(const MatrixView& a, VecView<real_type> work)
+    {
+        extract_diagonal(a, work);
+        for (index_type i = 0; i < work.len; ++i) {
+            if (work[i] == real_type{0}) {
+                throw NumericalBreakdown("JacobiPrec",
+                                         "zero diagonal entry");
+            }
+            work[i] = real_type{1} / work[i];
+        }
+        inv_diag_ = work;
+    }
+
+    void apply(ConstVecView<real_type> in, VecView<real_type> out) const
+    {
+        blas::mul_elementwise(ConstVecView<real_type>(inv_diag_), in, out);
+    }
+
+private:
+    VecView<real_type> inv_diag_;
+};
+
+/// Block Jacobi with contiguous fixed-size diagonal blocks, each inverted
+/// by dense LU at generate time. An extension over the paper's scalar
+/// Jacobi, exercised by the ablation benchmarks.
+class BlockJacobiPrec {
+public:
+    /// Scratch: one n x block_size strip storing the inverted blocks.
+    static index_type work_vectors_for(index_type block_size)
+    {
+        return block_size;
+    }
+
+    explicit BlockJacobiPrec(index_type block_size = 4)
+        : block_size_(block_size)
+    {
+        BSIS_ENSURE_ARG(block_size >= 1, "block size must be positive");
+    }
+
+    index_type block_size() const { return block_size_; }
+
+    template <typename MatrixView>
+    void generate(const MatrixView& a, VecView<real_type> work)
+    {
+        const index_type n = matrix_rows(a);
+        BSIS_ENSURE_DIMS(work.len >= n * block_size_,
+                         "block-Jacobi scratch too small");
+        inv_blocks_ = work;
+        n_ = n;
+        // Extract each diagonal block densely, invert it, store row-major.
+        std::vector<real_type> block(
+            static_cast<std::size_t>(block_size_) * block_size_);
+        std::vector<real_type> inv(
+            static_cast<std::size_t>(block_size_) * block_size_);
+        std::vector<index_type> ipiv;
+        for (index_type start = 0; start < n; start += block_size_) {
+            const index_type bs = std::min(block_size_, n - start);
+            extract_block(a, start, bs, block.data());
+            // Invert by solving with unit vectors.
+            DenseView<real_type> bv{block.data(), bs, bs};
+            lapack::getrf(bv, ipiv);
+            for (index_type c = 0; c < bs; ++c) {
+                std::vector<real_type> e(static_cast<std::size_t>(bs), 0.0);
+                e[static_cast<std::size_t>(c)] = 1.0;
+                VecView<real_type> ev{e.data(), bs};
+                lapack::getrs(ConstDenseView<real_type>(bv), ipiv, ev);
+                for (index_type r = 0; r < bs; ++r) {
+                    inv[static_cast<std::size_t>(r) * bs + c] = e[r];
+                }
+            }
+            for (index_type r = 0; r < bs; ++r) {
+                for (index_type c = 0; c < bs; ++c) {
+                    inv_blocks_[(start + r) * block_size_ + c] =
+                        inv[static_cast<std::size_t>(r) * bs + c];
+                }
+            }
+        }
+    }
+
+    void apply(ConstVecView<real_type> in, VecView<real_type> out) const
+    {
+        for (index_type start = 0; start < n_; start += block_size_) {
+            const index_type bs = std::min(block_size_, n_ - start);
+            for (index_type r = 0; r < bs; ++r) {
+                real_type sum{};
+                for (index_type c = 0; c < bs; ++c) {
+                    sum += inv_blocks_[(start + r) * block_size_ + c] *
+                           in[start + c];
+                }
+                out[start + r] = sum;
+            }
+        }
+    }
+
+private:
+    template <typename MatrixView>
+    static index_type matrix_rows(const MatrixView& a)
+    {
+        return a.rows;
+    }
+
+    /// Copies the dense bs x bs diagonal block starting at `start` out of
+    /// any matrix view that supports extract_diagonal-style traversal.
+    template <typename MatrixView>
+    void extract_block(const MatrixView& a, index_type start, index_type bs,
+                       real_type* block) const
+    {
+        for (index_type r = 0; r < bs; ++r) {
+            for (index_type c = 0; c < bs; ++c) {
+                block[static_cast<std::size_t>(r) * bs + c] =
+                    value_at(a, start + r, start + c);
+            }
+        }
+    }
+
+    static real_type value_at(const CsrView<real_type>& a, index_type r,
+                              index_type c)
+    {
+        for (index_type k = a.row_ptrs[r]; k < a.row_ptrs[r + 1]; ++k) {
+            if (a.col_idxs[k] == c) {
+                return a.values[k];
+            }
+        }
+        return real_type{0};
+    }
+
+    static real_type value_at(const EllView<real_type>& a, index_type r,
+                              index_type c)
+    {
+        for (index_type k = 0; k < a.nnz_per_row; ++k) {
+            if (a.col_idxs[a.at(r, k)] == c) {
+                return a.values[a.at(r, k)];
+            }
+        }
+        return real_type{0};
+    }
+
+    static real_type value_at(const ConstDenseView<real_type>& a,
+                              index_type r, index_type c)
+    {
+        return a(r, c);
+    }
+
+    index_type block_size_;
+    index_type n_ = 0;
+    VecView<real_type> inv_blocks_;
+};
+
+/// Runtime selector used by the dispatch layer.
+enum class PrecondType {
+    identity,
+    jacobi,
+    block_jacobi,
+};
+
+}  // namespace bsis

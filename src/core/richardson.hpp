@@ -1,0 +1,44 @@
+// Batched (preconditioned) Richardson iteration kernel.
+//
+// The simplest member of the solver family: x += omega * M^-1 r. Useful as
+// a smoother and as the baseline iterative method in the solver-comparison
+// example.
+#pragma once
+
+#include "blas/kernels.hpp"
+#include "core/workspace.hpp"
+#include "util/types.hpp"
+
+namespace bsis {
+
+/// Scratch vectors: r, t.
+inline constexpr int richardson_work_vectors = 2;
+
+template <typename MatrixView, typename Prec, typename Stop>
+EntryResult richardson_kernel(const MatrixView& a, ConstVecView<real_type> b,
+                              VecView<real_type> x, const Prec& prec,
+                              const Stop& stop, int max_iters, Workspace& ws,
+                              real_type omega = real_type{1},
+                              int work_offset = 0)
+{
+    auto r = ws.slot(work_offset + 0);
+    auto t = ws.slot(work_offset + 1);
+
+    const real_type b_norm = blas::nrm2(b);
+    for (int iter = 0; iter < max_iters; ++iter) {
+        spmv(a, ConstVecView<real_type>(x), r);
+        blas::axpby(real_type{1}, b, real_type{-1}, r);
+        const real_type r_norm = blas::nrm2(ConstVecView<real_type>(r));
+        if (stop.done(r_norm, b_norm)) {
+            return {iter, r_norm, true};
+        }
+        prec.apply(ConstVecView<real_type>(r), t);
+        blas::axpy(omega, ConstVecView<real_type>(t), x);
+    }
+    spmv(a, ConstVecView<real_type>(x), r);
+    blas::axpby(real_type{1}, b, real_type{-1}, r);
+    const real_type r_norm = blas::nrm2(ConstVecView<real_type>(r));
+    return {max_iters, r_norm, stop.done(r_norm, b_norm)};
+}
+
+}  // namespace bsis

@@ -1,0 +1,246 @@
+#include "core/solver.hpp"
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include <exception>
+
+#include "core/bicg.hpp"
+#include "core/bicgstab.hpp"
+#include "core/chebyshev.hpp"
+#include "core/cg.hpp"
+#include "core/cgs.hpp"
+#include "core/gmres.hpp"
+#include "core/richardson.hpp"
+#include "core/workspace.hpp"
+#include "util/error.hpp"
+#include "util/timer.hpp"
+
+namespace bsis {
+
+namespace {
+
+int max_threads()
+{
+#ifdef _OPENMP
+    return omp_get_max_threads();
+#else
+    return 1;
+#endif
+}
+
+int this_thread()
+{
+#ifdef _OPENMP
+    return omp_get_thread_num();
+#else
+    return 0;
+#endif
+}
+
+/// Number of workspace slots a composition needs (solver scratch +
+/// preconditioner storage).
+int workspace_slots(const SolverSettings& s)
+{
+    const int prec = precond_work_vectors(s.precond, s.block_jacobi_size);
+    switch (s.solver) {
+    case SolverType::bicgstab:
+        return bicgstab_work_vectors + prec;
+    case SolverType::bicg:
+        return bicg_work_vectors + prec;
+    case SolverType::cgs:
+        return cgs_work_vectors + prec;
+    case SolverType::cg:
+        return cg_work_vectors + prec;
+    case SolverType::gmres:
+        return gmres_work_vectors(s.gmres_restart) + prec;
+    case SolverType::richardson:
+        return richardson_work_vectors + prec;
+    case SolverType::chebyshev:
+        // +3 scratch slots for the Gershgorin bound computation.
+        return chebyshev_work_vectors + 3 + prec;
+    }
+    return 0;
+}
+
+/// Runs the fully composed kernel over the batch. Prec and Stop are
+/// compile-time parameters here, exactly as in the paper's fused kernel.
+template <typename BatchMatrix, typename Prec, typename Stop>
+void run_batch(const BatchMatrix& a, const BatchVector<real_type>& b,
+               BatchVector<real_type>& x, const SolverSettings& settings,
+               const Stop& stop, BatchLog& log)
+{
+    const size_type nbatch = a.num_batch();
+    const index_type n = x.len();
+    const int solver_slots = workspace_slots(settings);
+    const int nthreads = max_threads();
+
+    std::vector<Workspace> workspaces(static_cast<std::size_t>(nthreads));
+    std::vector<GmresScratch> gmres_scratch(
+        static_cast<std::size_t>(nthreads));
+    for (auto& ws : workspaces) {
+        ws.require(n, solver_slots);
+    }
+
+    // Exceptions cannot unwind through an OpenMP region: capture the
+    // first one and rethrow it after the loop.
+    std::exception_ptr failure;
+#pragma omp parallel for schedule(dynamic)
+    for (size_type i = 0; i < nbatch; ++i) {
+        try {
+        auto& ws = workspaces[static_cast<std::size_t>(this_thread())];
+        const auto av = a.entry(i);
+        const auto bv = b.entry(i);
+        auto xv = x.entry(i);
+        if (!settings.use_initial_guess) {
+            blas::fill(xv, real_type{0});
+        }
+        // Preconditioner storage lives in the tail slots of the workspace
+        // (contiguous, so a multi-slot strip is one view).
+        const int prec_vecs =
+            precond_work_vectors(settings.precond, settings.block_jacobi_size);
+        const int prec_slot_base = solver_slots - prec_vecs;
+        Prec prec = [&] {
+            if constexpr (std::is_same_v<Prec, BlockJacobiPrec>) {
+                return BlockJacobiPrec(settings.block_jacobi_size);
+            } else {
+                return Prec{};
+            }
+        }();
+        if constexpr (std::is_same_v<Prec, JacobiPrec>) {
+            prec.generate(av, ws.slot(prec_slot_base));
+        } else if constexpr (std::is_same_v<Prec, BlockJacobiPrec>) {
+            prec.generate(av, VecView<real_type>{
+                                  ws.slot(prec_slot_base).data,
+                                  ws.length() * prec_vecs});
+        } else {
+            (void)prec_slot_base;
+            prec.generate(av, VecView<real_type>{});
+        }
+
+        EntryResult result;
+        switch (settings.solver) {
+        case SolverType::bicgstab:
+            result = bicgstab_kernel(av, bv, xv, prec, stop,
+                                     settings.max_iterations, ws);
+            break;
+        case SolverType::bicg:
+            result = bicg_kernel(av, bv, xv, prec, stop,
+                                 settings.max_iterations, ws);
+            break;
+        case SolverType::cgs:
+            result = cgs_kernel(av, bv, xv, prec, stop,
+                                settings.max_iterations, ws);
+            break;
+        case SolverType::cg:
+            result = cg_kernel(av, bv, xv, prec, stop,
+                               settings.max_iterations, ws);
+            break;
+        case SolverType::gmres:
+            result = gmres_kernel(
+                av, bv, xv, prec, stop, settings.max_iterations,
+                settings.gmres_restart, ws,
+                gmres_scratch[static_cast<std::size_t>(this_thread())]);
+            break;
+        case SolverType::richardson:
+            result = richardson_kernel(av, bv, xv, prec, stop,
+                                       settings.max_iterations, ws,
+                                       settings.richardson_omega);
+            break;
+        case SolverType::chebyshev: {
+            const auto bounds = gershgorin_bounds(
+                av, ws, chebyshev_work_vectors,
+                settings.precond != PrecondType::identity);
+            result = chebyshev_kernel(av, bv, xv, prec, stop,
+                                      settings.max_iterations, bounds, ws);
+            break;
+        }
+        }
+        log.record(i, result.iterations, result.residual_norm,
+                   result.converged);
+        } catch (...) {
+#pragma omp critical(bsis_solver_failure)
+            {
+                if (!failure) {
+                    failure = std::current_exception();
+                }
+            }
+        }
+    }
+    if (failure) {
+        std::rethrow_exception(failure);
+    }
+}
+
+template <typename BatchMatrix, typename Prec>
+void dispatch_stop(const BatchMatrix& a, const BatchVector<real_type>& b,
+                   BatchVector<real_type>& x, const SolverSettings& settings,
+                   BatchLog& log)
+{
+    switch (settings.stop) {
+    case StopType::abs_residual:
+        run_batch<BatchMatrix, Prec>(a, b, x, settings,
+                                     AbsResidualStop{settings.tolerance},
+                                     log);
+        break;
+    case StopType::rel_residual:
+        run_batch<BatchMatrix, Prec>(a, b, x, settings,
+                                     RelResidualStop{settings.tolerance},
+                                     log);
+        break;
+    }
+}
+
+}  // namespace
+
+template <typename BatchMatrix>
+BatchSolveResult solve_batch(const BatchMatrix& a,
+                             const BatchVector<real_type>& b,
+                             BatchVector<real_type>& x,
+                             const SolverSettings& settings)
+{
+    BSIS_ENSURE_DIMS(a.num_batch() == b.num_batch() &&
+                         a.num_batch() == x.num_batch(),
+                     "matrix/rhs/solution batch counts must match");
+    BSIS_ENSURE_DIMS(a.rows() == b.len() && a.rows() == x.len(),
+                     "matrix order and vector lengths must match");
+    BSIS_ENSURE_ARG(settings.max_iterations >= 0,
+                    "negative iteration limit");
+    BSIS_ENSURE_ARG(settings.tolerance >= 0, "negative tolerance");
+
+    BatchSolveResult result;
+    result.log = BatchLog(a.num_batch());
+    result.work = work_profile(settings.solver, settings.precond,
+                               settings.gmres_restart,
+                               settings.block_jacobi_size);
+    Timer timer;
+    switch (settings.precond) {
+    case PrecondType::identity:
+        dispatch_stop<BatchMatrix, IdentityPrec>(a, b, x, settings,
+                                                 result.log);
+        break;
+    case PrecondType::jacobi:
+        dispatch_stop<BatchMatrix, JacobiPrec>(a, b, x, settings,
+                                               result.log);
+        break;
+    case PrecondType::block_jacobi:
+        dispatch_stop<BatchMatrix, BlockJacobiPrec>(a, b, x, settings,
+                                                    result.log);
+        break;
+    }
+    result.wall_seconds = timer.seconds();
+    return result;
+}
+
+template BatchSolveResult solve_batch<BatchCsr<real_type>>(
+    const BatchCsr<real_type>&, const BatchVector<real_type>&,
+    BatchVector<real_type>&, const SolverSettings&);
+template BatchSolveResult solve_batch<BatchEll<real_type>>(
+    const BatchEll<real_type>&, const BatchVector<real_type>&,
+    BatchVector<real_type>&, const SolverSettings&);
+template BatchSolveResult solve_batch<BatchDense<real_type>>(
+    const BatchDense<real_type>&, const BatchVector<real_type>&,
+    BatchVector<real_type>&, const SolverSettings&);
+
+}  // namespace bsis

@@ -1,0 +1,57 @@
+// Batched solver driver: the host-side entry point of the library.
+//
+// Mirrors the paper's kernel call site (Listing 2): the caller picks a
+// solver, preconditioner, and stopping criterion at run time; the driver
+// dispatches to the compile-time-composed kernel (one fused "kernel
+// launch" over the whole batch) and parallelizes over batch entries with
+// OpenMP -- each entry is the work of one GPU thread block.
+#pragma once
+
+#include "blas/batch_vector.hpp"
+#include "core/logger.hpp"
+#include "core/precond.hpp"
+#include "core/stop.hpp"
+#include "core/work_profile.hpp"
+#include "matrix/batch_csr.hpp"
+#include "matrix/batch_dense.hpp"
+#include "matrix/batch_ell.hpp"
+#include "util/types.hpp"
+
+namespace bsis {
+
+/// Runtime solver composition, the analogue of assembling template
+/// arguments in the paper's Listing 2.
+struct SolverSettings {
+    SolverType solver = SolverType::bicgstab;
+    PrecondType precond = PrecondType::jacobi;
+    StopType stop = StopType::abs_residual;
+    /// Absolute residual threshold, or relative reduction factor when
+    /// `stop == StopType::rel_residual`. The paper's evaluation uses an
+    /// absolute tolerance of 1e-10 throughout.
+    real_type tolerance = 1e-10;
+    int max_iterations = 500;
+    int gmres_restart = 30;
+    int block_jacobi_size = 4;
+    real_type richardson_omega = 1.0;
+    /// When false, x is zeroed before solving; when true the caller's x is
+    /// used as the initial guess (the Picard warm-start of Fig. 8).
+    bool use_initial_guess = false;
+};
+
+/// Outcome of a batched solve.
+struct BatchSolveResult {
+    BatchLog log;                ///< per-system iterations / residuals
+    double wall_seconds = 0.0;   ///< measured host wall time of the solve
+    SolverWorkProfile work;      ///< op counts for the GPU cost model
+};
+
+/// Solves every system of the batch: a.entry(i) * x.entry(i) = b.entry(i).
+/// Supported BatchMatrix types: BatchCsr, BatchEll, BatchDense (explicitly
+/// instantiated in solver.cpp).
+template <typename BatchMatrix>
+BatchSolveResult solve_batch(const BatchMatrix& a,
+                             const BatchVector<real_type>& b,
+                             BatchVector<real_type>& x,
+                             const SolverSettings& settings);
+
+}  // namespace bsis

@@ -1,0 +1,44 @@
+// Stopping criteria for the batched iterative solvers.
+//
+// Section IV-B of the paper: each system of the batch is monitored
+// individually and terminates independently. The criteria are plugged into
+// the solver kernel as template parameters (compile-time composition, as in
+// the paper's Listing 1 `StopType`), so the residual check inlines into the
+// fused kernel.
+#pragma once
+
+#include "util/types.hpp"
+
+namespace bsis {
+
+/// Stop when the residual 2-norm falls below an absolute threshold. This is
+/// the criterion used throughout the paper's evaluation (tau = 1e-10).
+struct AbsResidualStop {
+    real_type tol;
+
+    /// True when the system with residual norm `r_norm` has converged;
+    /// `b_norm` (the right-hand-side norm) is unused for absolute stopping.
+    bool done(real_type r_norm, real_type /*b_norm*/) const
+    {
+        return r_norm < tol;
+    }
+};
+
+/// Stop when the residual has been reduced by the given relative factor
+/// compared to the right-hand side (GINKGO's SimpleRelResidual).
+struct RelResidualStop {
+    real_type reduction;
+
+    bool done(real_type r_norm, real_type b_norm) const
+    {
+        return r_norm < reduction * b_norm;
+    }
+};
+
+/// Runtime selector used by the dispatch layer.
+enum class StopType {
+    abs_residual,
+    rel_residual,
+};
+
+}  // namespace bsis

@@ -1,0 +1,84 @@
+// Automatic configuration of GPU shared memory (paper Section IV-D).
+//
+// Krylov solvers need a set of per-system intermediate vectors. On the GPU,
+// the fused solver kernel places as many of them as possible in the compute
+// unit's shared memory, preferring the vectors involved in matrix-vector
+// products ("red" vectors of Algorithm 1), then the other intermediates
+// ("blue"); whatever does not fit spills to global memory. The matrix and
+// the right-hand side always stay in global memory (read-only, served by
+// the L1 cache). The resulting placement determines both the memory traffic
+// of every solver operation and the occupancy (blocks per compute unit) in
+// the scheduler -- exactly the mechanism the paper describes for the V100
+// placing 6 of BiCGStab's 9 vectors in shared memory.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace bsis {
+
+/// Memory space a solver vector was assigned to.
+enum class MemSpace { shared, global };
+
+/// Placement priority class of a solver vector.
+enum class SlotClass {
+    spmv,          ///< "red": operand/result of an SpMV -- placed first
+    intermediate,  ///< "blue": other read-write vector -- placed second
+    precond        ///< preconditioner storage -- placed last
+};
+
+/// One named per-system vector required by a solver.
+struct VectorSlot {
+    std::string name;
+    SlotClass cls = SlotClass::intermediate;
+    MemSpace space = MemSpace::global;  ///< filled in by configure()
+};
+
+/// Result of the shared-memory configuration for one solver x device
+/// combination.
+struct StorageConfig {
+    std::vector<VectorSlot> slots;
+    index_type padded_length = 0;   ///< vector length rounded to warp size
+    size_type shared_bytes = 0;     ///< shared memory requested per block
+    int num_shared = 0;             ///< vectors placed in shared memory
+    int num_global = 0;             ///< vectors spilled to global memory
+
+    bool in_shared(const std::string& name) const;
+};
+
+/// Greedily assigns slots to shared memory in priority order (spmv <
+/// intermediate < precond; ties keep declaration order) until
+/// `shared_capacity_bytes` would be exceeded. `padded_length` is `length`
+/// rounded up to a multiple of `warp_size` so each vector starts on a warp
+/// boundary (the paper's `padded_length`/`shared_gap`).
+StorageConfig configure_storage(std::vector<VectorSlot> slots,
+                                index_type length, index_type warp_size,
+                                size_type value_bytes,
+                                size_type shared_capacity_bytes);
+
+/// The 9 BiCGStab vectors of Algorithm 1 plus optional preconditioner
+/// scratch: red = {p_hat, v, s_hat, t}, blue = {r, r_hat, p, s, x}.
+std::vector<VectorSlot> bicgstab_slots(int precond_work_vectors);
+
+/// CGS vectors: red = {u_hat, v, t}, blue = {r, r_hat, u, p, q, x}.
+std::vector<VectorSlot> cgs_slots(int precond_work_vectors);
+
+/// CG vectors: red = {p, q}, blue = {r, z, x}.
+std::vector<VectorSlot> cg_slots(int precond_work_vectors);
+
+/// GMRES(m) vectors: red = {w, z}, blue = {r, x} plus the m+1 Krylov basis
+/// vectors (basis counts as intermediate storage).
+std::vector<VectorSlot> gmres_slots(int restart, int precond_work_vectors);
+
+/// Richardson vectors: red = {t}, blue = {r, x}.
+std::vector<VectorSlot> richardson_slots(int precond_work_vectors);
+
+/// BiCG vectors: red = {p, p_hat, q, q_hat}, blue = {r, r_hat, z, z_hat, x}.
+std::vector<VectorSlot> bicg_slots(int precond_work_vectors);
+
+/// Chebyshev vectors: red = {p, q}, blue = {r, z, x}.
+std::vector<VectorSlot> chebyshev_slots(int precond_work_vectors);
+
+}  // namespace bsis

@@ -1,0 +1,61 @@
+#include "core/tuning.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace bsis {
+
+index_type ell_block_size(index_type rows, index_type warp_size,
+                          index_type max_block_size)
+{
+    const index_type rounded =
+        (rows + warp_size - 1) / warp_size * warp_size;
+    return std::clamp(rounded, warp_size, max_block_size);
+}
+
+index_type csr_block_size(index_type rows, index_type warp_size,
+                          index_type max_block_size)
+{
+    // One warp per row, up to the block-size limit; more rows than warps
+    // simply loop.
+    const index_type wanted = rows * warp_size;
+    return std::clamp(wanted, warp_size, max_block_size);
+}
+
+TuningChoice tune(const MatrixStats& stats, index_type warp_size,
+                  index_type max_block_size)
+{
+    BSIS_ENSURE_ARG(warp_size > 0, "warp size must be positive");
+    TuningChoice choice;
+    const double padded =
+        static_cast<double>(stats.max_nnz_per_row) * stats.rows;
+    choice.ell_padding_overhead =
+        stats.nnz == 0 ? 0.0 : padded / static_cast<double>(stats.nnz) - 1.0;
+
+    // ELL pays off when padding is modest AND rows are short relative to a
+    // warp (CSR's warp-per-row reduction would leave most lanes idle).
+    const bool low_padding = choice.ell_padding_overhead < 0.3;
+    const bool short_rows = stats.max_nnz_per_row <= warp_size;
+    if (low_padding && short_rows) {
+        choice.format = BatchFormat::ell;
+        choice.block_size =
+            ell_block_size(stats.rows, warp_size, max_block_size);
+        choice.reason =
+            "uniform short rows: thread-per-row ELL keeps warps full";
+    } else if (low_padding) {
+        choice.format = BatchFormat::ell;
+        choice.block_size =
+            ell_block_size(stats.rows, warp_size, max_block_size);
+        choice.reason = "uniform rows: ELL padding overhead is low";
+    } else {
+        choice.format = BatchFormat::csr;
+        choice.block_size =
+            csr_block_size(stats.rows, warp_size, max_block_size);
+        choice.reason =
+            "irregular rows: CSR avoids excessive ELL padding";
+    }
+    return choice;
+}
+
+}  // namespace bsis

@@ -1,0 +1,40 @@
+// Automatic solver configuration (paper contribution 3: "an automatic
+// tuning strategy depending on the size of the matrix").
+//
+// Given the shared sparsity pattern of a batch, the tuner picks (a) the
+// matrix format -- ELL when the rows are uniform enough that padding costs
+// little and the rows are short enough that CSR's warp-per-row reduction
+// would underutilize the warp, CSR otherwise -- and (b) the thread-block
+// size used by the simulated GPU kernels.
+#pragma once
+
+#include "matrix/stats.hpp"
+#include "util/types.hpp"
+
+namespace bsis {
+
+enum class BatchFormat { csr, ell };
+
+struct TuningChoice {
+    BatchFormat format = BatchFormat::ell;
+    index_type block_size = 256;      ///< threads per simulated block
+    double ell_padding_overhead = 0;  ///< padded/actual nonzeros - 1
+    const char* reason = "";
+};
+
+/// Picks the batch format and block size for a pattern on a device with
+/// the given warp size.
+TuningChoice tune(const MatrixStats& stats, index_type warp_size,
+                  index_type max_block_size = 1024);
+
+/// Thread-block size for an ELL kernel: one thread per row, rounded up to
+/// a warp multiple and clamped to the device limit.
+index_type ell_block_size(index_type rows, index_type warp_size,
+                          index_type max_block_size = 1024);
+
+/// Thread-block size for a CSR kernel: one warp per row, as many warps as
+/// fit (paper Section IV-E).
+index_type csr_block_size(index_type rows, index_type warp_size,
+                          index_type max_block_size = 1024);
+
+}  // namespace bsis

@@ -1,0 +1,98 @@
+// Operation counts of one solver iteration, consumed by the GPU cost model.
+//
+// The gpusim cost model translates these per-iteration counts (together
+// with the matrix shape, the storage configuration, and the device
+// characteristics) into a modeled per-block duration for the wave
+// scheduler.
+#pragma once
+
+#include "core/precond.hpp"
+#include "util/types.hpp"
+
+namespace bsis {
+
+enum class SolverType {
+    bicgstab,
+    bicg,
+    cgs,
+    cg,
+    gmres,
+    richardson,
+    chebyshev,
+};
+
+/// Per-iteration and setup operation counts of a solver composition.
+/// "axpys" counts all streaming vector updates (axpy/axpby/copy/fill);
+/// "dots" counts block-wide reductions (dot products and norms), which on
+/// the GPU serialize behind barrier synchronization.
+struct SolverWorkProfile {
+    double spmv_per_iter = 0;
+    double precond_per_iter = 0;
+    double dots_per_iter = 0;
+    double axpys_per_iter = 0;
+    double setup_spmvs = 0;
+    double setup_dots = 0;
+    double setup_axpys = 0;
+    int num_vectors = 0;  ///< per-system vectors incl. x and precond storage
+};
+
+inline int precond_work_vectors(PrecondType precond,
+                                int block_jacobi_size = 4)
+{
+    switch (precond) {
+    case PrecondType::identity:
+        return 0;
+    case PrecondType::jacobi:
+        return 1;
+    case PrecondType::block_jacobi:
+        // One n x block_size strip of inverted diagonal blocks.
+        return block_jacobi_size;
+    }
+    return 0;
+}
+
+inline SolverWorkProfile work_profile(SolverType solver, PrecondType precond,
+                                      int gmres_restart = 30,
+                                      int block_jacobi_size = 4)
+{
+    const int prec_vecs = precond_work_vectors(precond, block_jacobi_size);
+    const double prec_ops = 1.0;
+    SolverWorkProfile p;
+    switch (solver) {
+    case SolverType::bicgstab:
+        // Algorithm 1: 2 SpMV, 2 preconditioner applications, 6 reductions
+        // (||r||, rho, r_hat.v, ||s||, t.s, t.t), ~6 vector updates.
+        p = {2, 2 * prec_ops, 6, 6, 1, 1, 3, 9 + prec_vecs};
+        break;
+    case SolverType::cgs:
+        // 2 SpMV, 2 preconditioner applications, 3 reductions (rho,
+        // sigma, ||r||), ~8 vector updates.
+        p = {2, 2 * prec_ops, 3, 8, 1, 1, 2, 9 + prec_vecs};
+        break;
+    case SolverType::bicg:
+        // 1 SpMV + 1 transpose SpMV, 2 preconditioner applications,
+        // 3 reductions (rho, p_hat.q, ||r||), ~6 vector updates.
+        p = {2, 2 * prec_ops, 3, 6, 1, 2, 4, 9 + prec_vecs};
+        break;
+    case SolverType::cg:
+        p = {1, prec_ops, 3, 3, 1, 2, 2, 5 + prec_vecs};
+        break;
+    case SolverType::gmres: {
+        // Average inner step: MGS against j+1 basis vectors, j ~ m/2.
+        const double avg_orth = gmres_restart / 2.0 + 1.0;
+        p = {1, prec_ops, avg_orth + 1, avg_orth + 1, 1, 1, 2,
+             gmres_restart + 5 + prec_vecs};
+        break;
+    }
+    case SolverType::richardson:
+        p = {1, prec_ops, 1, 2, 0, 0, 0, 3 + prec_vecs};
+        break;
+    case SolverType::chebyshev:
+        // Reduction-free apart from the optional residual check.
+        p = {1, prec_ops, 1, 3, 1, 1, 1, 5 + prec_vecs};
+        break;
+    }
+    return p;
+}
+
+}  // namespace bsis

@@ -1,0 +1,66 @@
+// Per-thread solver workspace.
+//
+// On the GPU, one thread block owns one system's intermediate vectors
+// (shared memory plus a global spill block). On the host, the batch driver
+// allocates one Workspace per OpenMP thread and reuses it across the
+// systems that thread processes, so no allocation happens inside the solve
+// loop.
+#pragma once
+
+#include <vector>
+
+#include "blas/batch_vector.hpp"
+#include "util/error.hpp"
+#include "util/types.hpp"
+
+namespace bsis {
+
+/// Fixed number of equal-length scratch vectors, handed out as views.
+class Workspace {
+public:
+    Workspace() = default;
+
+    Workspace(index_type length, int num_slots)
+        : length_(length),
+          num_slots_(num_slots),
+          storage_(static_cast<std::size_t>(length) * num_slots, 0.0)
+    {
+        BSIS_ENSURE_ARG(length >= 0 && num_slots >= 0,
+                        "negative workspace size");
+    }
+
+    index_type length() const { return length_; }
+    int num_slots() const { return num_slots_; }
+
+    /// Grows (never shrinks) to at least the requested shape.
+    void require(index_type length, int num_slots)
+    {
+        if (length > length_ || num_slots > num_slots_) {
+            length_ = std::max(length, length_);
+            num_slots_ = std::max(num_slots, num_slots_);
+            storage_.assign(
+                static_cast<std::size_t>(length_) * num_slots_, 0.0);
+        }
+    }
+
+    VecView<real_type> slot(int i)
+    {
+        BSIS_ASSERT(i >= 0 && i < num_slots_);
+        return {storage_.data() + static_cast<std::size_t>(i) * length_,
+                length_};
+    }
+
+private:
+    index_type length_ = 0;
+    int num_slots_ = 0;
+    std::vector<real_type> storage_;
+};
+
+/// Per-system solve outcome returned by the solver kernels.
+struct EntryResult {
+    int iterations = 0;
+    real_type residual_norm = 0.0;
+    bool converged = false;
+};
+
+}  // namespace bsis

@@ -1,0 +1,279 @@
+#include "exec/executor.hpp"
+
+#include <algorithm>
+
+#include "lapack/banded_lu.hpp"
+#include "matrix/conversions.hpp"
+#include "util/error.hpp"
+#include "util/timer.hpp"
+
+namespace bsis {
+
+namespace {
+
+std::vector<VectorSlot> slots_for(const SolverSettings& settings)
+{
+    const int prec =
+        precond_work_vectors(settings.precond, settings.block_jacobi_size);
+    switch (settings.solver) {
+    case SolverType::bicgstab:
+        return bicgstab_slots(prec);
+    case SolverType::bicg:
+        return bicg_slots(prec);
+    case SolverType::cgs:
+        return cgs_slots(prec);
+    case SolverType::cg:
+        return cg_slots(prec);
+    case SolverType::gmres:
+        return gmres_slots(settings.gmres_restart, prec);
+    case SolverType::richardson:
+        return richardson_slots(prec);
+    case SolverType::chebyshev:
+        return chebyshev_slots(prec);
+    }
+    return {};
+}
+
+gpusim::SystemShape shape_of(const BatchCsr<real_type>& a)
+{
+    gpusim::SystemShape shape;
+    shape.rows = a.rows();
+    shape.nnz = a.nnz_per_entry();
+    index_type max_row = 0;
+    for (index_type r = 0; r < a.rows(); ++r) {
+        max_row = std::max(max_row, a.row_ptrs()[r + 1] - a.row_ptrs()[r]);
+    }
+    shape.nnz_per_row = max_row;
+    return shape;
+}
+
+gpusim::SystemShape shape_of(const BatchEll<real_type>& a)
+{
+    return {a.rows(), a.stored_per_entry(), a.nnz_per_row()};
+}
+
+size_type pattern_bytes(const BatchCsr<real_type>& a)
+{
+    return static_cast<size_type>(
+        (a.row_ptrs().size() + a.col_idxs().size()) * sizeof(index_type));
+}
+
+size_type pattern_bytes(const BatchEll<real_type>& a)
+{
+    return static_cast<size_type>(a.col_idxs().size() * sizeof(index_type));
+}
+
+size_type values_bytes(const BatchCsr<real_type>& a)
+{
+    return a.num_batch() * a.nnz_per_entry() *
+           static_cast<size_type>(sizeof(real_type));
+}
+
+size_type values_bytes(const BatchEll<real_type>& a)
+{
+    return a.num_batch() * a.stored_per_entry() *
+           static_cast<size_type>(sizeof(real_type));
+}
+
+}  // namespace
+
+template <typename BatchMatrix>
+GpuSolveReport SimGpuExecutor::solve_impl(const BatchMatrix& a,
+                                          const BatchVector<real_type>& b,
+                                          BatchVector<real_type>& x,
+                                          const SolverSettings& settings,
+                                          BatchFormat format,
+                                          bool include_transfers) const
+{
+    GpuSolveReport report;
+    const auto shape = shape_of(a);
+
+    // 1. Shared-memory configuration (Section IV-D).
+    report.storage = configure_storage(
+        slots_for(settings), shape.rows, device_.warp_size,
+        sizeof(real_type),
+        static_cast<size_type>(device_.max_shared_kib_per_block * 1024));
+
+    // 2. Block size from the tuning rules (Section IV-E) and occupancy.
+    report.block_threads =
+        format == BatchFormat::ell
+            ? ell_block_size(shape.rows, device_.warp_size)
+            : csr_block_size(shape.rows, device_.warp_size);
+    report.occupancy = gpusim::compute_occupancy(device_,
+                                                 report.block_threads,
+                                                 report.storage.shared_bytes);
+
+    // 3. Functional solve (the real arithmetic; gives iteration counts).
+    Timer timer;
+    auto result = solve_batch(a, b, x, settings);
+    report.wall_seconds = timer.seconds();
+    report.log = std::move(result.log);
+
+    // 4. Per-block cost model and block schedule. Co-residency only
+    // throttles a block when the batch actually fills the CUs that far.
+    const int resident = static_cast<int>(std::min<size_type>(
+        report.occupancy.blocks_per_cu,
+        std::max<size_type>(1, (a.num_batch() + device_.num_cu - 1) /
+                                   device_.num_cu)));
+    report.block_cost =
+        gpusim::block_cost(device_, shape, format, report.block_threads,
+                           report.storage, result.work, resident);
+    std::vector<double> durations;
+    durations.reserve(static_cast<std::size_t>(report.log.num_batch()));
+    for (size_type i = 0; i < report.log.num_batch(); ++i) {
+        durations.push_back(
+            report.block_cost.block_us(report.log.iterations(i)) * 1e-6);
+    }
+    const auto schedule = gpusim::schedule_blocks(
+        durations, report.occupancy.device_slots(device_),
+        device_.scheduling);
+    report.num_waves = schedule.num_waves;
+    report.kernel_seconds =
+        device_.launch_overhead_us * 1e-6 + schedule.makespan_seconds;
+
+    // 5. Transfers (values + pattern + rhs down, solution up).
+    if (include_transfers) {
+        double h2d = static_cast<double>(values_bytes(a)) +
+                     static_cast<double>(pattern_bytes(a)) +
+                     static_cast<double>(b.size()) * sizeof(real_type);
+        if (settings.use_initial_guess) {
+            h2d += static_cast<double>(x.size()) * sizeof(real_type);
+        }
+        report.h2d_seconds = gpusim::transfer_seconds(device_, h2d);
+        report.d2h_seconds = gpusim::transfer_seconds(
+            device_, static_cast<double>(x.size()) * sizeof(real_type));
+    }
+    return report;
+}
+
+GpuSolveReport SimGpuExecutor::solve(const BatchCsr<real_type>& a,
+                                     const BatchVector<real_type>& b,
+                                     BatchVector<real_type>& x,
+                                     const SolverSettings& settings,
+                                     bool include_transfers) const
+{
+    return solve_impl(a, b, x, settings, BatchFormat::csr,
+                      include_transfers);
+}
+
+GpuSolveReport SimGpuExecutor::solve(const BatchEll<real_type>& a,
+                                     const BatchVector<real_type>& b,
+                                     BatchVector<real_type>& x,
+                                     const SolverSettings& settings,
+                                     bool include_transfers) const
+{
+    return solve_impl(a, b, x, settings, BatchFormat::ell,
+                      include_transfers);
+}
+
+double SimGpuExecutor::spmv_seconds(const gpusim::SystemShape& shape,
+                                    BatchFormat format, size_type num_batch,
+                                    int reps) const
+{
+    const index_type block_threads =
+        format == BatchFormat::ell
+            ? ell_block_size(shape.rows, device_.warp_size)
+            : csr_block_size(shape.rows, device_.warp_size);
+    // SpMV-only kernel: no shared-memory carve-out, occupancy is
+    // thread-limited.
+    const auto occ = gpusim::compute_occupancy(device_, block_threads, 0);
+    StorageConfig no_shared;  // all operands in global memory
+    no_shared.padded_length = shape.rows;
+    const auto cost =
+        gpusim::block_cost(device_, shape, format, block_threads, no_shared,
+                           SolverWorkProfile{}, occ.blocks_per_cu);
+    std::vector<double> durations(
+        static_cast<std::size_t>(num_batch),
+        (cost.spmv_us) * 1e-6);
+    const auto schedule = gpusim::schedule_blocks(
+        durations, occ.device_slots(device_), device_.scheduling);
+    return reps * (device_.launch_overhead_us * 1e-6 +
+                   schedule.makespan_seconds);
+}
+
+double SimGpuExecutor::direct_qr_seconds(index_type rows, index_type kl,
+                                         index_type ku,
+                                         size_type num_batch) const
+{
+    // The batched QR's per-system work is identical across systems; its
+    // throughput saturates like the iterative kernels, so the same wave
+    // schedule applies with one system per CU slot.
+    const double per_system =
+        gpusim::direct_qr_system_seconds(device_, rows, kl, ku);
+    // cuSolver runs one system per thread block with modest occupancy.
+    std::vector<double> durations(static_cast<std::size_t>(num_batch),
+                                  per_system * device_.num_cu);
+    const auto schedule =
+        gpusim::schedule_blocks(durations, device_.num_cu,
+                                gpusim::SchedulingPolicy::greedy_dynamic);
+    return device_.launch_overhead_us * 1e-6 + schedule.makespan_seconds;
+}
+
+CpuSolveReport CpuExecutor::gbsv(const BatchCsr<real_type>& a,
+                                 const BatchVector<real_type>& b,
+                                 BatchVector<real_type>& x) const
+{
+    CpuSolveReport report;
+    const auto [kl, ku] = bandwidths(a);
+    report.per_system_seconds =
+        gpusim::cpu_gbsv_system_seconds(cpu_, a.rows(), kl, ku);
+
+    // Functional solve with our dgbsv implementation.
+    Timer timer;
+    auto banded = to_banded(a, kl, ku);
+    for (size_type i = 0; i < a.num_batch(); ++i) {
+        blas::copy(b.entry(i), x.entry(i));
+    }
+    lapack::batch_gbsv(banded, x);
+    report.wall_seconds = timer.seconds();
+
+    // Node model: equal-cost systems list-scheduled over cores_used cores.
+    const auto waves = (a.num_batch() + cpu_.cores_used - 1) /
+                       std::max(1, cpu_.cores_used);
+    report.node_seconds =
+        static_cast<double>(waves) * report.per_system_seconds;
+    return report;
+}
+
+CpuSolveReport CpuExecutor::iterative(const BatchCsr<real_type>& a,
+                                      const BatchVector<real_type>& b,
+                                      BatchVector<real_type>& x,
+                                      const SolverSettings& settings) const
+{
+    CpuSolveReport report;
+    Timer timer;
+    const auto result = solve_batch(a, b, x, settings);
+    report.wall_seconds = timer.seconds();
+
+    // Per-system modeled time: the sparse kernels run memory-bound on a
+    // CPU core at ~1/3 of the banded LU's effective flop rate (indexed
+    // gathers, short rows, no blocking).
+    const double core_rate = cpu_.peak_fp64_gflops_per_core * 1e9 *
+                             cpu_.banded_lu_efficiency / 3.0;
+    const double n = a.rows();
+    const double nnz = a.nnz_per_entry();
+    const auto& work = result.work;
+    const double flops_per_iter =
+        work.spmv_per_iter * 2.0 * nnz +
+        (work.precond_per_iter + work.dots_per_iter +
+         work.axpys_per_iter) *
+            2.0 * n;
+    std::vector<double> durations;
+    durations.reserve(static_cast<std::size_t>(a.num_batch()));
+    double mean = 0;
+    for (size_type i = 0; i < a.num_batch(); ++i) {
+        const double flops =
+            flops_per_iter * (result.log.iterations(i) + 2.0);
+        durations.push_back(flops / core_rate);
+        mean += durations.back();
+    }
+    report.per_system_seconds =
+        a.num_batch() == 0 ? 0.0 : mean / static_cast<double>(a.num_batch());
+    const auto schedule = gpusim::schedule_blocks(
+        durations, cpu_.cores_used,
+        gpusim::SchedulingPolicy::greedy_dynamic);
+    report.node_seconds = schedule.makespan_seconds;
+    return report;
+}
+
+}  // namespace bsis

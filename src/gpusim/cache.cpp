@@ -1,0 +1,78 @@
+#include "gpusim/cache.hpp"
+
+#include <algorithm>
+
+namespace bsis::gpusim {
+
+Cache::Cache(std::int64_t size_bytes, int line_bytes, int ways)
+    : line_bytes_(line_bytes), ways_(ways)
+{
+    BSIS_ENSURE_ARG(line_bytes > 0 && ways > 0, "bad cache geometry");
+    num_sets_ = std::max<std::int64_t>(
+        1, size_bytes / (static_cast<std::int64_t>(line_bytes) * ways));
+    sets_.assign(static_cast<std::size_t>(num_sets_ * ways_), Way{});
+}
+
+bool Cache::access(std::uint64_t addr)
+{
+    ++stats_.accesses;
+    ++tick_;
+    const std::uint64_t line = addr / static_cast<std::uint64_t>(line_bytes_);
+    const auto set =
+        static_cast<std::int64_t>(line % static_cast<std::uint64_t>(num_sets_));
+    Way* base = sets_.data() + static_cast<std::size_t>(set * ways_);
+    Way* lru = base;
+    for (int w = 0; w < ways_; ++w) {
+        if (base[w].tag == line) {
+            base[w].last_use = tick_;
+            ++stats_.hits;
+            return true;
+        }
+        if (base[w].last_use < lru->last_use) {
+            lru = base + w;
+        }
+    }
+    lru->tag = line;
+    lru->last_use = tick_;
+    return false;
+}
+
+void Cache::invalidate()
+{
+    std::fill(sets_.begin(), sets_.end(), Way{});
+}
+
+void coalesce(const std::vector<std::uint64_t>& lane_addrs,
+              int bytes_per_lane, int segment_bytes,
+              std::vector<std::uint64_t>& out)
+{
+    out.clear();
+    const auto seg = static_cast<std::uint64_t>(segment_bytes);
+    for (const auto addr : lane_addrs) {
+        // A lane access may straddle a segment boundary.
+        const std::uint64_t first = addr / seg;
+        const std::uint64_t last =
+            (addr + static_cast<std::uint64_t>(bytes_per_lane) - 1) / seg;
+        for (std::uint64_t s = first; s <= last; ++s) {
+            out.push_back(s * seg);
+        }
+    }
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+}
+
+MemoryHierarchy::MemoryHierarchy(std::int64_t l1_bytes, std::int64_t l2_bytes,
+                                 int line_bytes)
+    : l1_(l1_bytes, line_bytes, 4), l2_(l2_bytes, line_bytes, 16)
+{}
+
+void MemoryHierarchy::access(std::uint64_t addr)
+{
+    if (!l1_.access(addr)) {
+        if (!l2_.access(addr)) {
+            ++dram_transactions_;
+        }
+    }
+}
+
+}  // namespace bsis::gpusim

@@ -1,0 +1,94 @@
+// Trace-driven cache hierarchy for the GPU simulator.
+//
+// Used by the SIMT tracer to reproduce the L1/L2 hit rates of Table II of
+// the paper: warp memory requests are first grouped into 128-byte
+// transactions by a coalescing unit (as the GPU's load/store unit does),
+// then looked up in a per-CU set-associative LRU L1 and a device-wide L2.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/types.hpp"
+
+namespace bsis::gpusim {
+
+/// Counters of one cache level.
+struct CacheStats {
+    std::int64_t accesses = 0;
+    std::int64_t hits = 0;
+
+    double hit_rate() const
+    {
+        return accesses == 0 ? 0.0
+                             : static_cast<double>(hits) /
+                                   static_cast<double>(accesses);
+    }
+};
+
+/// Set-associative LRU cache over byte addresses.
+class Cache {
+public:
+    /// `size_bytes` must be a multiple of line_bytes * ways.
+    Cache(std::int64_t size_bytes, int line_bytes, int ways);
+
+    /// Looks up (and fills) the line containing `addr`; true on hit.
+    bool access(std::uint64_t addr);
+
+    /// Drops all cached lines; statistics are kept.
+    void invalidate();
+
+    const CacheStats& stats() const { return stats_; }
+    void reset_stats() { stats_ = {}; }
+
+    int line_bytes() const { return line_bytes_; }
+
+private:
+    struct Way {
+        std::uint64_t tag = ~std::uint64_t{0};
+        std::int64_t last_use = -1;
+    };
+
+    int line_bytes_;
+    int ways_;
+    std::int64_t num_sets_;
+    std::int64_t tick_ = 0;
+    std::vector<Way> sets_;  ///< num_sets x ways
+    CacheStats stats_;
+};
+
+/// Groups the byte addresses touched by one warp instruction into unique
+/// aligned segments of `segment_bytes` (the GPU coalescing granularity).
+/// Returns the segment base addresses via `out` (cleared first).
+void coalesce(const std::vector<std::uint64_t>& lane_addrs,
+              int bytes_per_lane, int segment_bytes,
+              std::vector<std::uint64_t>& out);
+
+/// A per-CU L1 in front of a shared L2; misses fall through to DRAM (which
+/// is only counted).
+class MemoryHierarchy {
+public:
+    MemoryHierarchy(std::int64_t l1_bytes, std::int64_t l2_bytes,
+                    int line_bytes = 128);
+
+    /// Access one coalesced transaction.
+    void access(std::uint64_t addr);
+
+    /// New thread block on this CU: L1 keeps its content (GPU L1s are not
+    /// flushed between blocks), but callers may invalidate to model a
+    /// block landing on a different CU.
+    void invalidate_l1() { l1_.invalidate(); }
+
+    const CacheStats& l1_stats() const { return l1_.stats(); }
+    const CacheStats& l2_stats() const { return l2_.stats(); }
+    std::int64_t dram_transactions() const { return dram_transactions_; }
+    int line_bytes() const { return l1_.line_bytes(); }
+
+private:
+    Cache l1_;
+    Cache l2_;
+    std::int64_t dram_transactions_ = 0;
+};
+
+}  // namespace bsis::gpusim

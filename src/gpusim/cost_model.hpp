@@ -1,0 +1,83 @@
+// Analytic per-block cost model for the fused batched solver kernel.
+//
+// Translates the solver's per-iteration operation counts (core
+// SolverWorkProfile), the matrix shape, the storage configuration, and the
+// device characteristics into a modeled duration for one thread block
+// solving one system. The model captures the effects the paper measures:
+//   * warp under-utilization of the CSR warp-per-row SpMV at 9 nnz/row
+//     (worse on the MI100's 64-wide wavefronts),
+//   * coalescing of the column-major ELL layout,
+//   * block-wide reductions as the latency-dominant term,
+//   * shared-memory placement removing global traffic,
+//   * compute-unit timesharing between co-resident blocks.
+#pragma once
+
+#include "core/storage_config.hpp"
+#include "core/tuning.hpp"
+#include "core/work_profile.hpp"
+#include "gpusim/device.hpp"
+#include "util/types.hpp"
+
+namespace bsis::gpusim {
+
+/// Shape of one batch system as seen by the kernel.
+struct SystemShape {
+    index_type rows = 0;
+    index_type nnz = 0;          ///< stored nonzeros per system
+    index_type nnz_per_row = 0;  ///< ELL width / typical CSR row length
+};
+
+/// Modeled durations of the kernel building blocks for one block.
+struct BlockCost {
+    double spmv_us = 0;
+    double dot_us = 0;        ///< one block-wide reduction
+    double axpy_us = 0;       ///< one streaming vector update
+    double precond_us = 0;    ///< one preconditioner application
+    double setup_us = 0;      ///< residual init + preconditioner generation
+    double per_iteration_us = 0;
+
+    double block_us(int iterations) const
+    {
+        return setup_us + per_iteration_us * iterations;
+    }
+};
+
+/// Builds the per-block cost for `format` on `device`, with `occupancy`
+/// co-resident blocks per CU timesharing its throughput.
+BlockCost block_cost(const DeviceSpec& device, const SystemShape& shape,
+                     BatchFormat format, index_type block_threads,
+                     const StorageConfig& config,
+                     const SolverWorkProfile& work, int blocks_per_cu);
+
+/// Modeled per-system time of the batched sparse direct QR (the cuSolver
+/// csrqrsvBatched stand-in): factorization flops at the device's measured
+/// direct-solver efficiency.
+double direct_qr_system_seconds(const DeviceSpec& device, index_type rows,
+                                index_type kl, index_type ku);
+
+/// Modeled per-system time of LAPACK dgbsv on one core of the CPU node.
+double cpu_gbsv_system_seconds(const CpuSpec& cpu, index_type rows,
+                               index_type kl, index_type ku);
+
+/// Host <-> device transfer time for `bytes` over the device link.
+double transfer_seconds(const DeviceSpec& device, double bytes);
+
+/// Modeled time of a cuThomasBatch-style batched tridiagonal solve: one
+/// thread per system over interleaved storage. Latency-bound by the 2n-
+/// step serial recurrence when the batch is small; throughput-bound when
+/// the device is saturated (Section III of the paper).
+double thomas_batched_seconds(const DeviceSpec& device, index_type n,
+                              size_type num_batch);
+
+/// Modeled time of a gtsv2-style batched cyclic reduction: fine-grain
+/// parallel, 2*ceil(log2 n) dependent kernel levels.
+double cyclic_reduction_batched_seconds(const DeviceSpec& device,
+                                        index_type n, size_type num_batch);
+
+/// Modeled time of a batched DENSE LU solve (getrf/getrs batched, the
+/// Section II comparison: "using dense solvers on the GPU is not enough to
+/// beat ... the banded ... solver on the CPU" at these sizes).
+double dense_lu_batched_seconds(const DeviceSpec& device, index_type n,
+                                size_type num_batch);
+
+}  // namespace bsis::gpusim

@@ -1,0 +1,106 @@
+// Device descriptions for the GPU performance model.
+//
+// Table I of the paper, plus the microarchitectural parameters the cost
+// model needs (warp width, shared-memory capacity, synchronization
+// latency, launch overhead, host link bandwidth). Since this environment
+// has no GPU, these specs drive a simulator: kernels execute functionally
+// on the host and the model predicts device time (see DESIGN.md,
+// "Substitutions").
+#pragma once
+
+#include <string>
+
+#include "util/types.hpp"
+
+namespace bsis::gpusim {
+
+/// How a device's block scheduler dispatches thread blocks to compute
+/// units. The paper observes wave-quantized steps at multiples of 120 on
+/// the MI100 and a smooth curve on the V100 (Section V).
+enum class SchedulingPolicy {
+    wave_quantized,  ///< a full wave retires before the next is issued
+    greedy_dynamic   ///< a block launches as soon as any CU has a free slot
+};
+
+/// One GPU of Table I plus model parameters.
+struct DeviceSpec {
+    std::string name;
+    double peak_fp64_tflops = 0;
+    double mem_bw_gbps = 0;        ///< main memory bandwidth
+    double l1_shared_kib_per_cu = 0;  ///< combined L1 + shared per CU
+    double max_shared_kib_per_block = 0;  ///< configurable shared memory
+    double l2_mib = 0;
+    int num_cu = 0;                ///< SMs (NVIDIA) / CUs (AMD)
+    int warp_size = 32;
+    int max_threads_per_cu = 2048;
+    int max_blocks_per_cu = 32;
+    SchedulingPolicy scheduling = SchedulingPolicy::greedy_dynamic;
+
+    // --- cost-model calibration parameters ---
+    double launch_overhead_us = 8.0;  ///< one fused-kernel launch
+    /// Latency of one block-wide reduction (shared-memory tree + barrier
+    /// synchronizations). Dominates iteration time for ~1000-row systems.
+    double reduction_latency_us = 0.0;
+    /// Barrier-only latency (between fused solver components).
+    double barrier_latency_us = 0.0;
+    /// Fraction of per-CU FP64 peak a single block's streaming vector ops
+    /// actually achieve (issue limits, no ILP across systems).
+    double stream_efficiency = 0.25;
+    /// Exposed latency added to one streaming pass over a vector that
+    /// lives in GLOBAL memory instead of shared (dependent L2/DRAM access
+    /// chains the fused kernel cannot hide; the cost the Section IV-D
+    /// placement removes).
+    double spill_latency_us = 0.8;
+    /// L1/shared bandwidth per CU as a multiple of its DRAM share.
+    double l1_bw_ratio = 10.0;
+    /// L2 bandwidth as a multiple of DRAM bandwidth.
+    double l2_bw_ratio = 3.0;
+    /// Host link (PCIe / NVLink) bandwidth for H2D/D2H transfers.
+    double link_bw_gbps = 16.0;
+    double link_latency_us = 10.0;
+    /// Effective fraction of device peak the batched sparse direct QR
+    /// reaches (calibrates the cuSolver csrqrsvBatched stand-in).
+    double direct_qr_efficiency = 0.015;
+
+    double per_cu_gflops() const
+    {
+        return peak_fp64_tflops * 1e3 / num_cu;
+    }
+
+    double per_cu_dram_gbps() const { return mem_bw_gbps / num_cu; }
+};
+
+/// NVIDIA V100-16GB (Volta), as on Summit.
+const DeviceSpec& v100();
+/// NVIDIA A100-40GB (Ampere), as on Perlmutter/HoreKa.
+const DeviceSpec& a100();
+/// AMD MI100-32GB (CDNA).
+const DeviceSpec& mi100();
+
+/// All three GPUs of the paper's evaluation.
+const DeviceSpec* all_gpus(int& count);
+
+/// NVIDIA H100-SXM5 (Hopper) -- projection device for the paper's
+/// "exascale oriented heterogeneous architectures" outlook.
+const DeviceSpec& h100();
+/// AMD MI250X, one GCD (Frontier's building block) -- projection device.
+const DeviceSpec& mi250x_gcd();
+
+/// The projection devices (not part of the paper's measured set).
+const DeviceSpec* projection_gpus(int& count);
+
+/// The CPU baseline node: dual-socket Intel Xeon Gold 6148 ("Skylake"),
+/// 40 cores, of which the proxy app uses 38 for the batch solve.
+struct CpuSpec {
+    std::string name;
+    int total_cores = 40;
+    int cores_used = 38;
+    double peak_fp64_gflops_per_core = 50.0;
+    /// Fraction of per-core peak the (unblocked) banded LU achieves.
+    double banded_lu_efficiency = 0.011;
+    double mem_bw_gbps = 256.0;  ///< two sockets of Table I's 128 GB/s
+};
+
+const CpuSpec& skylake_node();
+
+}  // namespace bsis::gpusim

@@ -1,0 +1,43 @@
+#include "gpusim/occupancy.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace bsis::gpusim {
+
+Occupancy compute_occupancy(const DeviceSpec& device,
+                            index_type block_threads,
+                            size_type shared_bytes_per_block)
+{
+    BSIS_ENSURE_ARG(block_threads > 0, "block must have threads");
+    Occupancy occ;
+    const int by_threads =
+        std::max(1, device.max_threads_per_cu / block_threads);
+    // The whole L1+shared carve-out of a CU is partitionable among its
+    // resident blocks; at least the per-block limit is available.
+    const auto cu_shared_bytes = static_cast<size_type>(
+        device.l1_shared_kib_per_cu * 1024.0);
+    const int by_shared =
+        shared_bytes_per_block == 0
+            ? device.max_blocks_per_cu
+            : std::max<int>(
+                  1, static_cast<int>(cu_shared_bytes /
+                                      shared_bytes_per_block));
+    const int by_limit = device.max_blocks_per_cu;
+
+    occ.blocks_per_cu = std::min({by_threads, by_shared, by_limit});
+    if (occ.blocks_per_cu == by_threads) {
+        occ.limiter = "threads";
+    }
+    if (occ.blocks_per_cu == by_shared &&
+        shared_bytes_per_block > 0) {
+        occ.limiter = "shared";
+    }
+    if (occ.blocks_per_cu == by_limit) {
+        occ.limiter = "blocks";
+    }
+    return occ;
+}
+
+}  // namespace bsis::gpusim

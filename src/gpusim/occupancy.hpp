@@ -1,0 +1,31 @@
+// Occupancy calculation: how many thread blocks (= batch systems) can be
+// resident on one compute unit, given the block size and the shared memory
+// the storage configuration requested (Section IV-D of the paper: the
+// shared-memory placement directly determines occupancy, which the wave
+// scheduler turns into throughput).
+#pragma once
+
+#include "gpusim/device.hpp"
+#include "util/types.hpp"
+
+namespace bsis::gpusim {
+
+struct Occupancy {
+    int blocks_per_cu = 1;
+    const char* limiter = "";  ///< "threads", "shared", or "blocks"
+
+    /// Total concurrently resident blocks on the device.
+    int device_slots(const DeviceSpec& device) const
+    {
+        return blocks_per_cu * device.num_cu;
+    }
+};
+
+/// `shared_bytes_per_block` is StorageConfig::shared_bytes. Blocks
+/// requesting more shared memory than the per-block limit are clamped by
+/// the configuration step, so this only partitions the per-CU capacity.
+Occupancy compute_occupancy(const DeviceSpec& device,
+                            index_type block_threads,
+                            size_type shared_bytes_per_block);
+
+}  // namespace bsis::gpusim

@@ -1,0 +1,57 @@
+#include "gpusim/scheduler.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/error.hpp"
+
+namespace bsis::gpusim {
+
+ScheduleResult schedule_blocks(const std::vector<double>& block_seconds,
+                               int slots, SchedulingPolicy policy)
+{
+    BSIS_ENSURE_ARG(slots >= 1, "need at least one block slot");
+    ScheduleResult result;
+    if (block_seconds.empty()) {
+        return result;
+    }
+    const auto n = block_seconds.size();
+    if (policy == SchedulingPolicy::wave_quantized) {
+        // Whole waves retire together: the hardware dispatches the next
+        // wave only when every CU of the previous one is free.
+        for (std::size_t start = 0; start < n;
+             start += static_cast<std::size_t>(slots)) {
+            const std::size_t end =
+                std::min(n, start + static_cast<std::size_t>(slots));
+            double wave_max = 0;
+            for (std::size_t i = start; i < end; ++i) {
+                wave_max = std::max(wave_max, block_seconds[i]);
+            }
+            result.makespan_seconds += wave_max;
+            ++result.num_waves;
+        }
+        return result;
+    }
+    // Greedy dynamic: blocks are assigned in order to the earliest-free
+    // slot (classic list scheduling).
+    std::priority_queue<double, std::vector<double>, std::greater<>>
+        free_times;
+    for (int s = 0; s < slots; ++s) {
+        free_times.push(0.0);
+    }
+    double makespan = 0;
+    for (const double d : block_seconds) {
+        const double start = free_times.top();
+        free_times.pop();
+        const double end = start + d;
+        free_times.push(end);
+        makespan = std::max(makespan, end);
+    }
+    result.makespan_seconds = makespan;
+    result.num_waves = static_cast<int>(
+        (n + static_cast<std::size_t>(slots) - 1) /
+        static_cast<std::size_t>(slots));
+    return result;
+}
+
+}  // namespace bsis::gpusim

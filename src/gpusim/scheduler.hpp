@@ -1,0 +1,30 @@
+// Thread-block scheduling over the device's compute units.
+//
+// Given per-block durations (from the cost model and each system's actual
+// iteration count) and the number of concurrently resident blocks, the
+// scheduler computes the kernel makespan. Two policies reproduce the
+// behaviors observed in Fig. 6 of the paper:
+//   * wave_quantized -- a wave of `slots` blocks must fully retire before
+//     the next wave issues; the time-vs-batch-size curve steps at
+//     multiples of the CU count (the MI100's discrete jumps at 120).
+//   * greedy_dynamic -- a block launches as soon as a slot frees, giving
+//     the smooth V100/A100 curves.
+#pragma once
+
+#include <vector>
+
+#include "gpusim/device.hpp"
+
+namespace bsis::gpusim {
+
+struct ScheduleResult {
+    double makespan_seconds = 0;
+    int num_waves = 0;  ///< waves issued (wave_quantized) or ceil estimate
+};
+
+/// `block_seconds[i]` is the modeled duration of batch system i's block;
+/// `slots` is blocks_per_cu * num_cu.
+ScheduleResult schedule_blocks(const std::vector<double>& block_seconds,
+                               int slots, SchedulingPolicy policy);
+
+}  // namespace bsis::gpusim

@@ -1,0 +1,63 @@
+#include "gpusim/simt.hpp"
+
+namespace bsis::gpusim {
+
+BlockTracer::BlockTracer(int block_threads, int warp_size,
+                         MemoryHierarchy* mem)
+    : block_threads_(block_threads),
+      warp_size_(warp_size),
+      num_warps_((block_threads + warp_size - 1) / warp_size),
+      mem_(mem)
+{
+    BSIS_ENSURE_ARG(block_threads > 0 && warp_size > 0,
+                    "bad block geometry");
+    BSIS_ENSURE_ARG(mem != nullptr, "tracer needs a memory hierarchy");
+}
+
+void BlockTracer::instr(int active_lanes)
+{
+    ++counters_.warp_instructions;
+    counters_.active_lane_sum += active_lanes;
+}
+
+void BlockTracer::flop(int active_lanes, int per_lane)
+{
+    instr(active_lanes);
+    counters_.flops += static_cast<std::int64_t>(active_lanes) * per_lane;
+}
+
+void BlockTracer::load_global(const std::vector<std::uint64_t>& lane_addrs,
+                              int bytes_per_lane)
+{
+    instr(static_cast<int>(lane_addrs.size()));
+    coalesce(lane_addrs, bytes_per_lane, mem_->line_bytes(), segments_);
+    for (const auto seg : segments_) {
+        mem_->access(seg);
+    }
+}
+
+void BlockTracer::store_global(const std::vector<std::uint64_t>& lane_addrs,
+                               int bytes_per_lane)
+{
+    // Write-allocate: stores occupy lines like loads for this model.
+    load_global(lane_addrs, bytes_per_lane);
+}
+
+void BlockTracer::load_shared(int active_lanes)
+{
+    instr(active_lanes);
+    counters_.shared_accesses += active_lanes;
+}
+
+void BlockTracer::store_shared(int active_lanes)
+{
+    instr(active_lanes);
+    counters_.shared_accesses += active_lanes;
+}
+
+void BlockTracer::barrier()
+{
+    ++counters_.barriers;
+}
+
+}  // namespace bsis::gpusim

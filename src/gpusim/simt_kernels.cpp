@@ -1,0 +1,415 @@
+#include "gpusim/simt_kernels.hpp"
+
+#include <algorithm>
+
+#include "matrix/batch_ell.hpp"
+#include "util/error.hpp"
+
+namespace bsis::gpusim {
+
+namespace {
+
+/// Region bases of the virtual address space. Pattern regions are shared
+/// by all systems; value/vector regions are strided per system. Each base
+/// carries a distinct non-power-of-two offset so the regions do not alias
+/// onto the same cache sets (power-of-two bases would all index set 0).
+constexpr std::uint64_t region_col_idxs = (std::uint64_t{1} << 32) + 0x1480;
+constexpr std::uint64_t region_row_ptrs = (std::uint64_t{2} << 32) + 0x3900;
+constexpr std::uint64_t region_values = (std::uint64_t{4} << 32) + 0x6c80;
+constexpr std::uint64_t region_b = (std::uint64_t{8} << 32) + 0x9e00;
+constexpr std::uint64_t region_spill = (std::uint64_t{16} << 32) + 0xd580;
+
+std::uint64_t round_up(std::uint64_t x, std::uint64_t align)
+{
+    return (x + align - 1) / align * align;
+}
+
+}  // namespace
+
+AddressMap AddressMap::for_system(size_type system_index, index_type rows,
+                                  index_type nnz_stored,
+                                  int num_spill_vectors)
+{
+    const auto sys = static_cast<std::uint64_t>(system_index);
+    AddressMap map;
+    map.rows = rows;
+    map.col_idxs = region_col_idxs;
+    map.row_ptrs = region_row_ptrs;
+    map.values =
+        region_values +
+        sys * round_up(static_cast<std::uint64_t>(nnz_stored) *
+                           sizeof(real_type),
+                       256);
+    map.b = region_b +
+            sys * round_up(
+                      static_cast<std::uint64_t>(rows) * sizeof(real_type),
+                      256);
+    map.spill =
+        region_spill +
+        sys * round_up(static_cast<std::uint64_t>(
+                           std::max(num_spill_vectors, 1)) *
+                           rows * sizeof(real_type),
+                       256);
+    return map;
+}
+
+namespace {
+
+/// One coalesced warp access to `active` consecutive elements starting at
+/// element index `first` of an array at `base`.
+void contiguous_access(BlockTracer& tracer, std::uint64_t base,
+                       index_type first, int active, int elem_bytes,
+                       bool store, std::vector<std::uint64_t>& scratch)
+{
+    scratch.clear();
+    for (int lane = 0; lane < active; ++lane) {
+        scratch.push_back(base + static_cast<std::uint64_t>(first + lane) *
+                                     static_cast<std::uint64_t>(elem_bytes));
+    }
+    if (store) {
+        tracer.store_global(scratch, elem_bytes);
+    } else {
+        tracer.load_global(scratch, elem_bytes);
+    }
+}
+
+/// Reads vector elements [first, first+active) from shared or global.
+void vec_read(BlockTracer& tracer, std::uint64_t base, index_type first,
+              int active, std::vector<std::uint64_t>& scratch)
+{
+    if (base == shared_space) {
+        tracer.load_shared(active);
+    } else {
+        contiguous_access(tracer, base, first, active, sizeof(real_type),
+                          false, scratch);
+    }
+}
+
+void vec_write(BlockTracer& tracer, std::uint64_t base, index_type first,
+               int active, std::vector<std::uint64_t>& scratch)
+{
+    if (base == shared_space) {
+        tracer.store_shared(active);
+    } else {
+        contiguous_access(tracer, base, first, active, sizeof(real_type),
+                          true, scratch);
+    }
+}
+
+/// Gathers x[col] for the given column indices (SpMV right operand).
+void gather_x(BlockTracer& tracer, std::uint64_t x_base,
+              const index_type* cols, int active,
+              std::vector<std::uint64_t>& lane_addrs)
+{
+    if (x_base == shared_space) {
+        tracer.load_shared(active);
+        return;
+    }
+    lane_addrs.clear();
+    for (int lane = 0; lane < active; ++lane) {
+        lane_addrs.push_back(x_base +
+                             static_cast<std::uint64_t>(cols[lane]) *
+                                 sizeof(real_type));
+    }
+    tracer.load_global(lane_addrs, sizeof(real_type));
+}
+
+/// Warp shuffle reduction over `count` values: stages halve the live
+/// values; each stage is one warp instruction with that many active lanes.
+void warp_reduce(BlockTracer& tracer, int count)
+{
+    while (count > 1) {
+        const int half = (count + 1) / 2;
+        tracer.flop(half);
+        count = half;
+    }
+}
+
+}  // namespace
+
+void trace_spmv_csr(BlockTracer& tracer, const AddressMap& map,
+                    const std::vector<index_type>& row_ptrs,
+                    const std::vector<index_type>& col_idxs,
+                    std::uint64_t x_base, std::uint64_t y_base)
+{
+    const auto rows = static_cast<index_type>(row_ptrs.size()) - 1;
+    const int warp = tracer.warp_size();
+    const int warps = tracer.num_warps();
+    std::vector<std::uint64_t> scratch;
+    std::vector<std::uint64_t> gather;
+
+    // Warp w handles rows w, w + warps, ... (one warp per row).
+    for (index_type r = 0; r < rows; ++r) {
+        // Row extent loaded by the warp leader.
+        contiguous_access(tracer, map.row_ptrs, r, 2, sizeof(index_type),
+                          false, scratch);
+        const index_type begin = row_ptrs[r];
+        const index_type nnz = row_ptrs[r + 1] - begin;
+        for (index_type k0 = 0; k0 < nnz; k0 += warp) {
+            const int active =
+                static_cast<int>(std::min<index_type>(warp, nnz - k0));
+            contiguous_access(tracer, map.col_idxs, begin + k0, active,
+                              sizeof(index_type), false, scratch);
+            contiguous_access(tracer, map.values, begin + k0, active,
+                              sizeof(real_type), false, scratch);
+            gather_x(tracer, x_base, col_idxs.data() + begin + k0, active,
+                     gather);
+            tracer.flop(active, 2);  // fused multiply-add per lane
+        }
+        warp_reduce(tracer, static_cast<int>(std::min<index_type>(
+                                warp, std::max<index_type>(nnz, 1))));
+        vec_write(tracer, y_base, r, 1, scratch);
+    }
+    (void)warps;
+    tracer.barrier();
+}
+
+void trace_spmv_ell(BlockTracer& tracer, const AddressMap& map,
+                    index_type rows, index_type nnz_per_row,
+                    const std::vector<index_type>& ell_col_idxs,
+                    std::uint64_t x_base, std::uint64_t y_base)
+{
+    const int warp = tracer.warp_size();
+    std::vector<std::uint64_t> scratch;
+    std::vector<std::uint64_t> gather;
+    std::vector<index_type> cols(static_cast<std::size_t>(warp));
+
+    // Lane r accumulates row r; the slot loop is the outer loop so
+    // consecutive lanes read consecutive memory (column-major layout).
+    for (index_type k = 0; k < nnz_per_row; ++k) {
+        for (index_type r0 = 0; r0 < rows; r0 += warp) {
+            const int active =
+                static_cast<int>(std::min<index_type>(warp, rows - r0));
+            const index_type slot_first = k * rows + r0;
+            contiguous_access(tracer, map.col_idxs, slot_first, active,
+                              sizeof(index_type), false, scratch);
+            contiguous_access(tracer, map.values, slot_first, active,
+                              sizeof(real_type), false, scratch);
+            int live = 0;
+            for (int lane = 0; lane < active; ++lane) {
+                const index_type c =
+                    ell_col_idxs[static_cast<std::size_t>(slot_first) +
+                                 lane];
+                if (c != ell_padding) {
+                    cols[static_cast<std::size_t>(live++)] = c;
+                }
+            }
+            if (live > 0) {
+                gather_x(tracer, x_base, cols.data(), live, gather);
+                tracer.flop(live, 2);
+            }
+        }
+    }
+    for (index_type r0 = 0; r0 < rows; r0 += warp) {
+        const int active =
+            static_cast<int>(std::min<index_type>(warp, rows - r0));
+        vec_write(tracer, y_base, r0, active, scratch);
+    }
+    tracer.barrier();
+}
+
+void trace_spmv_ell_multi(BlockTracer& tracer, const AddressMap& map,
+                          index_type rows, index_type nnz_per_row,
+                          const std::vector<index_type>& ell_col_idxs,
+                          int threads_per_row, std::uint64_t x_base,
+                          std::uint64_t y_base)
+{
+    const int warp = tracer.warp_size();
+    BSIS_ENSURE_ARG(threads_per_row >= 1 && warp % threads_per_row == 0,
+                    "threads_per_row must divide the warp size");
+    const int rows_per_warp = warp / threads_per_row;
+    std::vector<std::uint64_t> lane_vals;
+    std::vector<std::uint64_t> lane_cols;
+    std::vector<std::uint64_t> gather;
+
+    // A warp covers `rows_per_warp` consecutive rows; within each row its
+    // thread group strides over the slots.
+    for (index_type r0 = 0; r0 < rows; r0 += rows_per_warp) {
+        const int active_rows = static_cast<int>(
+            std::min<index_type>(rows_per_warp, rows - r0));
+        for (index_type k0 = 0; k0 < nnz_per_row;
+             k0 += threads_per_row) {
+            lane_vals.clear();
+            lane_cols.clear();
+            gather.clear();
+            int live = 0;
+            for (int rr = 0; rr < active_rows; ++rr) {
+                for (int t = 0; t < threads_per_row; ++t) {
+                    const index_type k = k0 + t;
+                    if (k >= nnz_per_row) {
+                        continue;
+                    }
+                    const std::size_t slot =
+                        static_cast<std::size_t>(k) * rows + (r0 + rr);
+                    lane_cols.push_back(map.col_idxs +
+                                        slot * sizeof(index_type));
+                    lane_vals.push_back(map.values +
+                                        slot * sizeof(real_type));
+                    const index_type c = ell_col_idxs[slot];
+                    if (c != ell_padding) {
+                        if (x_base != shared_space) {
+                            gather.push_back(
+                                x_base + static_cast<std::uint64_t>(c) *
+                                             sizeof(real_type));
+                        }
+                        ++live;
+                    }
+                }
+            }
+            tracer.load_global(lane_cols, sizeof(index_type));
+            tracer.load_global(lane_vals, sizeof(real_type));
+            if (x_base == shared_space) {
+                tracer.load_shared(live);
+            } else if (!gather.empty()) {
+                tracer.load_global(gather, sizeof(real_type));
+            }
+            tracer.flop(live, 2);
+        }
+        // Sub-warp reduction: log2(threads_per_row) shuffle stages over
+        // all groups of the warp.
+        int width = threads_per_row;
+        while (width > 1) {
+            width /= 2;
+            tracer.flop(active_rows * width);
+        }
+        std::vector<std::uint64_t> store;
+        if (y_base != shared_space) {
+            for (int rr = 0; rr < active_rows; ++rr) {
+                store.push_back(y_base +
+                                static_cast<std::uint64_t>(r0 + rr) *
+                                    sizeof(real_type));
+            }
+            tracer.store_global(store, sizeof(real_type));
+        } else {
+            tracer.store_shared(active_rows);
+        }
+    }
+    tracer.barrier();
+}
+
+void trace_dot(BlockTracer& tracer, index_type n, std::uint64_t a_base,
+               std::uint64_t b_base)
+{
+    const int warp = tracer.warp_size();
+    std::vector<std::uint64_t> scratch;
+    // Grid-stride accumulation into per-lane partials.
+    for (index_type i0 = 0; i0 < n; i0 += warp) {
+        const int active =
+            static_cast<int>(std::min<index_type>(warp, n - i0));
+        vec_read(tracer, a_base, i0, active, scratch);
+        if (b_base != a_base) {
+            vec_read(tracer, b_base, i0, active, scratch);
+        }
+        tracer.flop(active, 2);
+    }
+    // Per-warp tree, then cross-warp tree via shared memory.
+    warp_reduce(tracer, warp);
+    tracer.barrier();
+    tracer.store_shared(1);
+    warp_reduce(tracer, tracer.num_warps());
+    tracer.barrier();
+}
+
+void trace_axpy(BlockTracer& tracer, index_type n,
+                const std::vector<std::uint64_t>& read_bases,
+                std::uint64_t out_base)
+{
+    const int warp = tracer.warp_size();
+    std::vector<std::uint64_t> scratch;
+    for (index_type i0 = 0; i0 < n; i0 += warp) {
+        const int active =
+            static_cast<int>(std::min<index_type>(warp, n - i0));
+        for (const auto base : read_bases) {
+            vec_read(tracer, base, i0, active, scratch);
+        }
+        tracer.flop(active, 2);
+        vec_write(tracer, out_base, i0, active, scratch);
+    }
+    tracer.barrier();
+}
+
+void trace_bicgstab(BlockTracer& tracer, const AddressMap& map,
+                    TracedFormat format,
+                    const std::vector<index_type>& row_ptrs,
+                    const std::vector<index_type>& csr_col_idxs,
+                    const std::vector<index_type>& ell_col_idxs,
+                    index_type rows, index_type nnz_per_row, int iterations,
+                    const StorageConfig& config)
+{
+    // Resolve every solver vector to shared memory or a spilled global
+    // region, in slot order.
+    BSIS_ENSURE_ARG(!config.slots.empty(), "storage config not built");
+    std::vector<std::uint64_t> base(config.slots.size());
+    int spill = 0;
+    for (std::size_t i = 0; i < config.slots.size(); ++i) {
+        base[i] = config.slots[i].space == MemSpace::shared
+                      ? shared_space
+                      : map.spill_vec(spill++);
+    }
+    const auto vec = [&](const char* name) {
+        for (std::size_t i = 0; i < config.slots.size(); ++i) {
+            if (config.slots[i].name == name) {
+                return base[i];
+            }
+        }
+        throw BadArgument("trace_bicgstab",
+                          std::string("unknown slot ") + name);
+    };
+    const auto p_hat = vec("p_hat");
+    const auto v = vec("v");
+    const auto s_hat = vec("s_hat");
+    const auto t = vec("t");
+    const auto r = vec("r");
+    const auto r_hat = vec("r_hat");
+    const auto p = vec("p");
+    const auto s = vec("s");
+    const auto x = vec("x");
+    const bool has_jacobi = config.slots.back().cls == SlotClass::precond;
+    const std::uint64_t inv_diag =
+        has_jacobi ? base.back() : shared_space;
+
+    const auto spmv = [&](std::uint64_t in, std::uint64_t out) {
+        if (format == TracedFormat::csr) {
+            trace_spmv_csr(tracer, map, row_ptrs, csr_col_idxs, in, out);
+        } else {
+            trace_spmv_ell(tracer, map, rows, nnz_per_row, ell_col_idxs, in,
+                           out);
+        }
+    };
+    const auto precond = [&](std::uint64_t in, std::uint64_t out) {
+        if (has_jacobi) {
+            trace_axpy(tracer, rows, {inv_diag, in}, out);
+        } else {
+            trace_axpy(tracer, rows, {in}, out);
+        }
+    };
+
+    // Setup: Jacobi generation (diagonal gather + invert), r = b - A x,
+    // r_hat = r, initial norm.
+    if (has_jacobi) {
+        trace_axpy(tracer, rows, {map.values}, inv_diag);
+    }
+    spmv(x, t);
+    trace_axpy(tracer, rows, {map.b, t}, r);
+    trace_axpy(tracer, rows, {r}, r_hat);
+    trace_dot(tracer, rows, r, r);
+
+    for (int it = 0; it < iterations; ++it) {
+        trace_dot(tracer, rows, r, r_hat);        // rho
+        trace_axpy(tracer, rows, {r, p, v}, p);   // p update
+        precond(p, p_hat);
+        spmv(p_hat, v);
+        trace_dot(tracer, rows, r_hat, v);        // alpha denominator
+        trace_axpy(tracer, rows, {r, v}, s);      // s = r - alpha v
+        trace_dot(tracer, rows, s, s);            // ||s||
+        precond(s, s_hat);
+        spmv(s_hat, t);
+        trace_dot(tracer, rows, t, s);            // omega numerator
+        trace_dot(tracer, rows, t, t);            // omega denominator
+        trace_axpy(tracer, rows, {x, p_hat, s_hat}, x);
+        trace_axpy(tracer, rows, {s, t}, r);
+        trace_dot(tracer, rows, r, r);            // ||r||
+    }
+}
+
+}  // namespace bsis::gpusim

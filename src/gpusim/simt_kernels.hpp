@@ -1,0 +1,102 @@
+// SIMT-traced batched kernels.
+//
+// These functions replay, warp instruction by warp instruction, the memory
+// and execution behavior of the GPU kernels of Section IV-E of the paper:
+// the warp-per-row BatchCsr SpMV, the thread-per-row BatchEll SpMV, block
+// reductions (dot/norm), streaming vector updates, and the fused BiCGStab
+// solver assembled from them. They do no arithmetic on real data -- the
+// functional solve happens in bsis_core -- they generate the *access
+// trace*, from which the profiler counters of Table II are measured.
+//
+// Vector operands are identified by a byte base address; the special value
+// `shared_space` marks a vector living in the block's shared memory (no
+// cache traffic, counted as shared accesses).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/storage_config.hpp"
+#include "gpusim/simt.hpp"
+#include "util/types.hpp"
+
+namespace bsis::gpusim {
+
+/// Address marker for operands kept in shared memory.
+inline constexpr std::uint64_t shared_space = 0;
+
+/// Virtual layout of one system's operands. The shared sparsity pattern
+/// uses the SAME addresses for every system (it is stored once per batch,
+/// Section IV-A), while values and vectors are per-system.
+struct AddressMap {
+    std::uint64_t values = 0;    ///< this system's nonzero values
+    std::uint64_t col_idxs = 0;  ///< shared column indices
+    std::uint64_t row_ptrs = 0;  ///< shared row pointers (CSR only)
+    std::uint64_t b = 0;         ///< right-hand side
+    std::uint64_t spill = 0;     ///< base of this system's spilled vectors
+    index_type rows = 0;
+
+    static AddressMap for_system(size_type system_index, index_type rows,
+                                 index_type nnz_stored,
+                                 int num_spill_vectors);
+
+    /// Address of spilled (global-memory) vector number `slot`.
+    std::uint64_t spill_vec(int slot) const
+    {
+        return spill + static_cast<std::uint64_t>(slot) *
+                           static_cast<std::uint64_t>(rows) * sizeof(real_type);
+    }
+};
+
+/// Warp-per-row CSR SpMV (Fig. 5a): each row is read by one warp with
+/// lanes covering its nonzeros, followed by a warp shuffle reduction.
+void trace_spmv_csr(BlockTracer& tracer, const AddressMap& map,
+                    const std::vector<index_type>& row_ptrs,
+                    const std::vector<index_type>& col_idxs,
+                    std::uint64_t x_base, std::uint64_t y_base);
+
+/// Thread-per-row ELL SpMV (Fig. 5b): lane r handles row r; the slot loop
+/// walks the column-major value/index arrays with fully coalesced accesses.
+void trace_spmv_ell(BlockTracer& tracer, const AddressMap& map,
+                    index_type rows, index_type nnz_per_row,
+                    const std::vector<index_type>& ell_col_idxs,
+                    std::uint64_t x_base, std::uint64_t y_base);
+
+/// Multi-thread-per-row ELL SpMV: `threads_per_row` lanes cooperate on
+/// each row, striding over its slots and combining with a sub-warp
+/// shuffle reduction. Section IV-E of the paper: "For matrices with more
+/// elements in a single row, it might be necessary to have multiple
+/// threads working on one row." Requires threads_per_row to divide the
+/// warp size.
+void trace_spmv_ell_multi(BlockTracer& tracer, const AddressMap& map,
+                          index_type rows, index_type nnz_per_row,
+                          const std::vector<index_type>& ell_col_idxs,
+                          int threads_per_row, std::uint64_t x_base,
+                          std::uint64_t y_base);
+
+/// Block-wide dot product / norm over vectors of length n (pass the same
+/// base twice for a norm).
+void trace_dot(BlockTracer& tracer, index_type n, std::uint64_t a_base,
+               std::uint64_t b_base);
+
+/// Streaming vector update reading the vectors in `read_bases` and writing
+/// `out_base` (e.g. axpy = 2 reads incl. the output's old value, 1 write).
+void trace_axpy(BlockTracer& tracer, index_type n,
+                const std::vector<std::uint64_t>& read_bases,
+                std::uint64_t out_base);
+
+/// Which SpMV kernel a traced solve uses.
+enum class TracedFormat { csr, ell };
+
+/// Full fused BiCGStab solve of one system: setup plus `iterations`
+/// iterations of Algorithm 1, with vector placements taken from `config`
+/// (slot names as produced by bicgstab_slots()). Appends into the tracer.
+void trace_bicgstab(BlockTracer& tracer, const AddressMap& map,
+                    TracedFormat format,
+                    const std::vector<index_type>& row_ptrs,
+                    const std::vector<index_type>& csr_col_idxs,
+                    const std::vector<index_type>& ell_col_idxs,
+                    index_type rows, index_type nnz_per_row, int iterations,
+                    const StorageConfig& config);
+
+}  // namespace bsis::gpusim

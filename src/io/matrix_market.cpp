@@ -1,0 +1,274 @@
+#include "io/matrix_market.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iomanip>
+#include <numeric>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace bsis::io {
+
+namespace {
+
+/// Reads the MatrixMarket banner and skips comments; returns the banner
+/// tokens (lower-cased).
+std::vector<std::string> read_banner(std::istream& is)
+{
+    std::string line;
+    if (!std::getline(is, line)) {
+        throw ParseError("matrix_market", "empty stream");
+    }
+    std::istringstream banner(line);
+    std::vector<std::string> tokens;
+    std::string tok;
+    while (banner >> tok) {
+        std::transform(tok.begin(), tok.end(), tok.begin(),
+                       [](unsigned char c) { return std::tolower(c); });
+        tokens.push_back(tok);
+    }
+    if (tokens.size() < 3 || tokens[0] != "%%matrixmarket") {
+        throw ParseError("matrix_market", "missing %%MatrixMarket banner");
+    }
+    return tokens;
+}
+
+std::string next_data_line(std::istream& is)
+{
+    std::string line;
+    while (std::getline(is, line)) {
+        if (!line.empty() && line[0] != '%') {
+            return line;
+        }
+    }
+    throw ParseError("matrix_market", "unexpected end of file");
+}
+
+}  // namespace
+
+void write_matrix(std::ostream& os, const Coo& coo)
+{
+    os << "%%MatrixMarket matrix coordinate real general\n";
+    os << coo.rows << ' ' << coo.cols << ' ' << coo.values.size() << '\n';
+    os << std::setprecision(17);
+    for (std::size_t k = 0; k < coo.values.size(); ++k) {
+        os << coo.row_idxs[k] + 1 << ' ' << coo.col_idxs[k] + 1 << ' '
+           << coo.values[k] << '\n';
+    }
+}
+
+Coo read_matrix(std::istream& is)
+{
+    const auto banner = read_banner(is);
+    if (banner[2] != "coordinate") {
+        throw ParseError("read_matrix", "expected coordinate format");
+    }
+    const bool symmetric =
+        banner.size() >= 5 && banner[4] == "symmetric";
+
+    std::istringstream header(next_data_line(is));
+    index_type rows = 0;
+    index_type cols = 0;
+    std::int64_t nnz = 0;
+    if (!(header >> rows >> cols >> nnz) || rows < 0 || cols < 0 ||
+        nnz < 0) {
+        throw ParseError("read_matrix", "bad size header");
+    }
+    Coo coo;
+    coo.rows = rows;
+    coo.cols = cols;
+    for (std::int64_t k = 0; k < nnz; ++k) {
+        std::istringstream entry(next_data_line(is));
+        index_type r = 0;
+        index_type c = 0;
+        real_type v = 0;
+        if (!(entry >> r >> c >> v) || r < 1 || r > rows || c < 1 ||
+            c > cols) {
+            throw ParseError("read_matrix",
+                             "bad entry at nonzero " + std::to_string(k));
+        }
+        coo.row_idxs.push_back(r - 1);
+        coo.col_idxs.push_back(c - 1);
+        coo.values.push_back(v);
+        if (symmetric && r != c) {
+            coo.row_idxs.push_back(c - 1);
+            coo.col_idxs.push_back(r - 1);
+            coo.values.push_back(v);
+        }
+    }
+    return coo;
+}
+
+void write_vector(std::ostream& os, ConstVecView<real_type> v)
+{
+    os << "%%MatrixMarket matrix array real general\n";
+    os << v.len << " 1\n";
+    os << std::setprecision(17);
+    for (index_type i = 0; i < v.len; ++i) {
+        os << v[i] << '\n';
+    }
+}
+
+std::vector<real_type> read_vector(std::istream& is)
+{
+    const auto banner = read_banner(is);
+    if (banner[2] != "array") {
+        throw ParseError("read_vector", "expected array format");
+    }
+    std::istringstream header(next_data_line(is));
+    index_type rows = 0;
+    index_type cols = 0;
+    if (!(header >> rows >> cols) || rows < 0 || cols != 1) {
+        throw ParseError("read_vector", "expected an n x 1 array");
+    }
+    std::vector<real_type> v;
+    v.reserve(static_cast<std::size_t>(rows));
+    for (index_type i = 0; i < rows; ++i) {
+        std::istringstream entry(next_data_line(is));
+        real_type value = 0;
+        if (!(entry >> value)) {
+            throw ParseError("read_vector",
+                             "bad value at row " + std::to_string(i));
+        }
+        v.push_back(value);
+    }
+    return v;
+}
+
+Coo to_coo(const BatchCsr<real_type>& batch, size_type entry)
+{
+    BSIS_ENSURE_ARG(entry >= 0 && entry < batch.num_batch(),
+                    "entry out of range");
+    Coo coo;
+    coo.rows = batch.rows();
+    coo.cols = batch.rows();
+    const auto view = batch.entry(entry);
+    for (index_type r = 0; r < view.rows; ++r) {
+        for (index_type p = view.row_ptrs[r]; p < view.row_ptrs[r + 1];
+             ++p) {
+            coo.row_idxs.push_back(r);
+            coo.col_idxs.push_back(view.col_idxs[p]);
+            coo.values.push_back(view.values[p]);
+        }
+    }
+    return coo;
+}
+
+BatchCsr<real_type> from_coo(const std::vector<Coo>& entries)
+{
+    BSIS_ENSURE_ARG(!entries.empty(), "need at least one entry");
+    const auto& first = entries.front();
+    BSIS_ENSURE_DIMS(first.rows == first.cols, "entries must be square");
+
+    // Sort the first entry's triplets into CSR order to define the shared
+    // pattern.
+    std::vector<std::size_t> order(first.values.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        if (first.row_idxs[a] != first.row_idxs[b]) {
+            return first.row_idxs[a] < first.row_idxs[b];
+        }
+        return first.col_idxs[a] < first.col_idxs[b];
+    });
+    std::vector<index_type> row_ptrs(
+        static_cast<std::size_t>(first.rows) + 1, 0);
+    std::vector<index_type> col_idxs(first.values.size());
+    for (std::size_t k = 0; k < order.size(); ++k) {
+        ++row_ptrs[static_cast<std::size_t>(
+                       first.row_idxs[order[k]]) +
+                   1];
+        col_idxs[k] = first.col_idxs[order[k]];
+    }
+    for (index_type r = 0; r < first.rows; ++r) {
+        row_ptrs[static_cast<std::size_t>(r) + 1] +=
+            row_ptrs[static_cast<std::size_t>(r)];
+    }
+
+    BatchCsr<real_type> batch(static_cast<size_type>(entries.size()),
+                              first.rows, row_ptrs, std::move(col_idxs));
+    const auto& ptrs = batch.row_ptrs();
+    const auto& cols = batch.col_idxs();
+    for (std::size_t e = 0; e < entries.size(); ++e) {
+        const auto& coo = entries[e];
+        BSIS_ENSURE_DIMS(coo.rows == first.rows &&
+                             coo.values.size() == first.values.size(),
+                         "batch entries must share the sparsity pattern");
+        real_type* vals = batch.values(static_cast<size_type>(e));
+        for (std::size_t k = 0; k < coo.values.size(); ++k) {
+            const index_type r = coo.row_idxs[k];
+            const index_type c = coo.col_idxs[k];
+            const auto begin = cols.begin() + ptrs[r];
+            const auto end = cols.begin() + ptrs[r + 1];
+            const auto it = std::lower_bound(begin, end, c);
+            if (it == end || *it != c) {
+                throw DimensionMismatch(
+                    "from_coo", "entry " + std::to_string(e) +
+                                    " deviates from the shared pattern");
+            }
+            vals[it - cols.begin()] = coo.values[k];
+        }
+    }
+    return batch;
+}
+
+void write_batch(const std::string& root, const BatchCsr<real_type>& a,
+                 const BatchVector<real_type>& b)
+{
+    BSIS_ENSURE_DIMS(a.num_batch() == b.num_batch(),
+                     "matrix/rhs batch counts must match");
+    namespace fs = std::filesystem;
+    for (size_type i = 0; i < a.num_batch(); ++i) {
+        const fs::path dir = fs::path(root) / std::to_string(i);
+        fs::create_directories(dir);
+        std::ofstream am(dir / "A.mtx");
+        if (!am) {
+            throw Error("write_batch: cannot open " +
+                        (dir / "A.mtx").string());
+        }
+        write_matrix(am, to_coo(a, i));
+        std::ofstream bm(dir / "b.mtx");
+        write_vector(bm, b.entry(i));
+    }
+}
+
+std::pair<BatchCsr<real_type>, BatchVector<real_type>> read_batch(
+    const std::string& root)
+{
+    namespace fs = std::filesystem;
+    std::vector<Coo> matrices;
+    std::vector<std::vector<real_type>> rhs;
+    for (size_type i = 0;; ++i) {
+        const fs::path dir = fs::path(root) / std::to_string(i);
+        if (!fs::exists(dir / "A.mtx")) {
+            break;
+        }
+        std::ifstream am(dir / "A.mtx");
+        matrices.push_back(read_matrix(am));
+        std::ifstream bm(dir / "b.mtx");
+        if (!bm) {
+            throw Error("read_batch: missing " + (dir / "b.mtx").string());
+        }
+        rhs.push_back(read_vector(bm));
+    }
+    if (matrices.empty()) {
+        throw Error("read_batch: no entries under " + root);
+    }
+    auto batch = from_coo(matrices);
+    BatchVector<real_type> b(batch.num_batch(), batch.rows());
+    for (size_type i = 0; i < batch.num_batch(); ++i) {
+        BSIS_ENSURE_DIMS(static_cast<index_type>(
+                             rhs[static_cast<std::size_t>(i)].size()) ==
+                             batch.rows(),
+                         "rhs length mismatch");
+        auto bv = b.entry(i);
+        for (index_type k = 0; k < batch.rows(); ++k) {
+            bv[k] = rhs[static_cast<std::size_t>(i)]
+                       [static_cast<std::size_t>(k)];
+        }
+    }
+    return {std::move(batch), std::move(b)};
+}
+
+}  // namespace bsis::io

@@ -1,0 +1,61 @@
+// MatrixMarket I/O and the paper's batch folder layout.
+//
+// The paper's reproducibility appendix distributes the XGC matrices as
+// MatrixMarket files in a folder layout
+//     <class>/<index>/A.mtx  and  <class>/<index>/b.mtx
+// (matrix class directory, one numbered subfolder per batch entry). This
+// module reads/writes single sparse matrices and dense vectors in
+// MatrixMarket coordinate/array format and whole batches in that layout.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "blas/batch_vector.hpp"
+#include "matrix/batch_csr.hpp"
+#include "util/types.hpp"
+
+namespace bsis::io {
+
+/// One sparse matrix in triplet form (always `general real coordinate`).
+struct Coo {
+    index_type rows = 0;
+    index_type cols = 0;
+    std::vector<index_type> row_idxs;
+    std::vector<index_type> col_idxs;
+    std::vector<real_type> values;
+};
+
+/// Writes a sparse matrix in MatrixMarket coordinate format.
+void write_matrix(std::ostream& os, const Coo& coo);
+
+/// Reads a MatrixMarket coordinate file (general real; symmetric files are
+/// expanded). Throws ParseError on malformed input.
+Coo read_matrix(std::istream& is);
+
+/// Writes a dense vector in MatrixMarket array format.
+void write_vector(std::ostream& os, ConstVecView<real_type> v);
+
+/// Reads a dense vector in MatrixMarket array format.
+std::vector<real_type> read_vector(std::istream& is);
+
+/// One entry of a BatchCsr as a Coo.
+Coo to_coo(const BatchCsr<real_type>& batch, size_type entry);
+
+/// Builds a single-pattern BatchCsr from per-entry Coo triplets; all
+/// entries must share the sparsity pattern (the batched formats' storage
+/// assumption). Throws on pattern mismatch.
+BatchCsr<real_type> from_coo(const std::vector<Coo>& entries);
+
+/// Writes a whole batch in the paper's folder layout under `root`
+/// (creates `root/<i>/A.mtx` and `root/<i>/b.mtx`).
+void write_batch(const std::string& root, const BatchCsr<real_type>& a,
+                 const BatchVector<real_type>& b);
+
+/// Reads a batch written by write_batch (or the paper's Zenodo layout).
+std::pair<BatchCsr<real_type>, BatchVector<real_type>> read_batch(
+    const std::string& root);
+
+}  // namespace bsis::io

@@ -1,0 +1,41 @@
+// Banded LU factorization and solve with partial pivoting -- the algorithm
+// of LAPACK's dgbtrf/dgbtrs/dgbsv, which is the paper's CPU baseline
+// (Section II-A: "Production simulations currently employ the LAPACK banded
+// solver dgbsv on the CPU").
+//
+// The factorization works in the LAPACK general-band layout of BandedView
+// (ldab = 2*kl + ku + 1): partial pivoting introduces fill in up to kl
+// additional super-diagonals, which the layout reserves space for.
+#pragma once
+
+#include <vector>
+
+#include "matrix/batch_banded.hpp"
+#include "util/types.hpp"
+
+namespace bsis::lapack {
+
+/// In-place banded LU with partial pivoting (dgbtrf). `ipiv` receives the
+/// pivot row chosen at each column (0-based, ipiv[j] >= j).
+/// Throws NumericalBreakdown on an exactly zero pivot.
+void gbtrf(BandedView<real_type> a, std::vector<index_type>& ipiv);
+
+/// Solves A x = b using a factorization produced by gbtrf (dgbtrs);
+/// b is overwritten with the solution.
+void gbtrs(const BandedView<real_type>& a,
+           const std::vector<index_type>& ipiv, VecView<real_type> b);
+
+/// Convenience driver: factorize + solve (dgbsv). Destroys `a`.
+void gbsv(BandedView<real_type> a, VecView<real_type> b);
+
+/// Floating-point operations of one gbtrf + gbtrs on an (n, kl, ku) system.
+/// Used by the Skylake node cost model.
+double gbsv_flops(index_type n, index_type kl, index_type ku);
+
+/// Batched driver: factorizes and solves every entry, one system per
+/// OpenMP task (mirroring the proxy app's Kokkos parallelization over
+/// systems). `x` enters holding the right-hand sides and exits holding the
+/// solutions. The band storage is destroyed.
+void batch_gbsv(BatchBanded<real_type>& a, BatchVector<real_type>& x);
+
+}  // namespace bsis::lapack

@@ -1,0 +1,27 @@
+// Banded QR factorization and solve via Givens rotations.
+//
+// This is an exact sparse direct solver for the band/stencil matrices of
+// the collision kernel and serves as our stand-in for cuSOLVER's
+// csrqrsvBatched (the batched sparse QR the paper compares against in
+// Fig. 6). Like the paper's comparison target, it solves to machine
+// precision and performs roughly an order of magnitude more flops per
+// system than a few BiCGSTAB iterations.
+#pragma once
+
+#include "matrix/batch_banded.hpp"
+#include "util/types.hpp"
+
+namespace bsis::lapack {
+
+/// Solves A x = b by banded QR (Givens). `a` is destroyed (overwritten by
+/// R); `b` is overwritten by the solution. The BandedView layout reserves
+/// exactly the kl extra super-diagonals the R factor fills in.
+void gbqr_solve(BandedView<real_type> a, VecView<real_type> b);
+
+/// Floating-point operations of one banded-QR solve on (n, kl, ku).
+double gbqr_flops(index_type n, index_type kl, index_type ku);
+
+/// Batched driver (OpenMP over systems); destroys the band storage.
+void batch_gbqr_solve(BatchBanded<real_type>& a, BatchVector<real_type>& x);
+
+}  // namespace bsis::lapack

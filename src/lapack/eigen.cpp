@@ -1,0 +1,377 @@
+#include "lapack/eigen.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "matrix/conversions.hpp"
+#include "util/error.hpp"
+
+namespace bsis::lapack {
+
+namespace {
+
+/// 1-based dense accessor over an (n+1) x (n+1) scratch buffer. The
+/// balanc/elmhes/hqr algorithms below are faithful translations of the
+/// EISPACK/Numerical-Recipes routines, which are 1-based; keeping the
+/// indexing identical avoids translation bugs in this notoriously fiddly
+/// code.
+class Mat1 {
+public:
+    Mat1(index_type n) : n_(n), data_((n + 1) * (n + 1), 0.0) {}
+
+    real_type& operator()(index_type i, index_type j)
+    {
+        return data_[static_cast<std::size_t>(i) * (n_ + 1) + j];
+    }
+
+private:
+    index_type n_;
+    std::vector<real_type> data_;
+};
+
+/// Balances a matrix by diagonal similarity transforms (EISPACK balanc);
+/// reduces the norm and improves eigenvalue accuracy.
+void balanc(Mat1& a, index_type n)
+{
+    constexpr real_type radix = 2.0;
+    const real_type sqrdx = radix * radix;
+    bool done = false;
+    while (!done) {
+        done = true;
+        for (index_type i = 1; i <= n; ++i) {
+            real_type r = 0;
+            real_type c = 0;
+            for (index_type j = 1; j <= n; ++j) {
+                if (j != i) {
+                    c += std::abs(a(j, i));
+                    r += std::abs(a(i, j));
+                }
+            }
+            if (c != 0.0 && r != 0.0) {
+                real_type g = r / radix;
+                real_type f = 1.0;
+                const real_type s = c + r;
+                while (c < g) {
+                    f *= radix;
+                    c *= sqrdx;
+                }
+                g = r * radix;
+                while (c > g) {
+                    f /= radix;
+                    c /= sqrdx;
+                }
+                if ((c + r) / f < 0.95 * s) {
+                    done = false;
+                    g = 1.0 / f;
+                    for (index_type j = 1; j <= n; ++j) {
+                        a(i, j) *= g;
+                    }
+                    for (index_type j = 1; j <= n; ++j) {
+                        a(j, i) *= f;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Reduces to upper Hessenberg form by stabilized elementary similarity
+/// transformations (EISPACK elmhes).
+void elmhes(Mat1& a, index_type n)
+{
+    for (index_type m = 2; m < n; ++m) {
+        real_type x = 0.0;
+        index_type i = m;
+        for (index_type j = m; j <= n; ++j) {
+            if (std::abs(a(j, m - 1)) > std::abs(x)) {
+                x = a(j, m - 1);
+                i = j;
+            }
+        }
+        if (i != m) {
+            for (index_type j = m - 1; j <= n; ++j) {
+                std::swap(a(i, j), a(m, j));
+            }
+            for (index_type j = 1; j <= n; ++j) {
+                std::swap(a(j, i), a(j, m));
+            }
+        }
+        if (x != 0.0) {
+            for (index_type ii = m + 1; ii <= n; ++ii) {
+                real_type y = a(ii, m - 1);
+                if (y != 0.0) {
+                    y /= x;
+                    a(ii, m - 1) = y;
+                    for (index_type j = m; j <= n; ++j) {
+                        a(ii, j) -= y * a(m, j);
+                    }
+                    for (index_type j = 1; j <= n; ++j) {
+                        a(j, m) += y * a(j, ii);
+                    }
+                }
+            }
+        }
+    }
+    // elmhes leaves the multipliers below the sub-diagonal; hqr expects a
+    // clean Hessenberg matrix.
+    for (index_type i = 3; i <= n; ++i) {
+        for (index_type j = 1; j <= i - 2; ++j) {
+            a(i, j) = 0.0;
+        }
+    }
+}
+
+real_type sign_of(real_type a, real_type b)
+{
+    return b >= 0 ? std::abs(a) : -std::abs(a);
+}
+
+/// Francis double-shift QR on an upper Hessenberg matrix (EISPACK hqr,
+/// eigenvalues only).
+void hqr(Mat1& a, index_type n, std::vector<real_type>& wr,
+         std::vector<real_type>& wi)
+{
+    wr.assign(static_cast<std::size_t>(n) + 1, 0.0);
+    wi.assign(static_cast<std::size_t>(n) + 1, 0.0);
+
+    real_type anorm = 0.0;
+    for (index_type i = 1; i <= n; ++i) {
+        for (index_type j = std::max<index_type>(i - 1, 1); j <= n; ++j) {
+            anorm += std::abs(a(i, j));
+        }
+    }
+    index_type nn = n;
+    real_type t = 0.0;
+    while (nn >= 1) {
+        index_type its = 0;
+        index_type l;
+        do {
+            for (l = nn; l >= 2; --l) {
+                real_type s =
+                    std::abs(a(l - 1, l - 1)) + std::abs(a(l, l));
+                if (s == 0.0) {
+                    s = anorm;
+                }
+                if (std::abs(a(l, l - 1)) + s == s) {
+                    a(l, l - 1) = 0.0;
+                    break;
+                }
+            }
+            real_type x = a(nn, nn);
+            if (l == nn) {
+                wr[nn] = x + t;
+                wi[nn--] = 0.0;
+            } else {
+                real_type y = a(nn - 1, nn - 1);
+                real_type w = a(nn, nn - 1) * a(nn - 1, nn);
+                if (l == nn - 1) {
+                    const real_type p = 0.5 * (y - x);
+                    const real_type q = p * p + w;
+                    real_type z = std::sqrt(std::abs(q));
+                    x += t;
+                    if (q >= 0.0) {
+                        z = p + sign_of(z, p);
+                        wr[nn - 1] = wr[nn] = x + z;
+                        if (z != 0.0) {
+                            wr[nn] = x - w / z;
+                        }
+                        wi[nn - 1] = wi[nn] = 0.0;
+                    } else {
+                        wr[nn - 1] = wr[nn] = x + p;
+                        wi[nn] = z;
+                        wi[nn - 1] = -z;
+                    }
+                    nn -= 2;
+                } else {
+                    if (its == 60) {
+                        throw NumericalBreakdown(
+                            "hqr", "too many QR iterations");
+                    }
+                    if (its == 10 || its == 20 || its == 30 || its == 40 ||
+                        its == 50) {
+                        // Exceptional shift.
+                        t += x;
+                        for (index_type i = 1; i <= nn; ++i) {
+                            a(i, i) -= x;
+                        }
+                        const real_type s = std::abs(a(nn, nn - 1)) +
+                                            std::abs(a(nn - 1, nn - 2));
+                        y = x = 0.75 * s;
+                        w = -0.4375 * s * s;
+                    }
+                    ++its;
+                    real_type p = 0;
+                    real_type q = 0;
+                    real_type r = 0;
+                    real_type z = 0;
+                    index_type m;
+                    for (m = nn - 2; m >= l; --m) {
+                        z = a(m, m);
+                        const real_type rr = x - z;
+                        const real_type ss = y - z;
+                        p = (rr * ss - w) / a(m + 1, m) + a(m, m + 1);
+                        q = a(m + 1, m + 1) - z - rr - ss;
+                        r = a(m + 2, m + 1);
+                        const real_type s =
+                            std::abs(p) + std::abs(q) + std::abs(r);
+                        p /= s;
+                        q /= s;
+                        r /= s;
+                        if (m == l) {
+                            break;
+                        }
+                        const real_type u = std::abs(a(m, m - 1)) *
+                                            (std::abs(q) + std::abs(r));
+                        const real_type v =
+                            std::abs(p) *
+                            (std::abs(a(m - 1, m - 1)) + std::abs(z) +
+                             std::abs(a(m + 1, m + 1)));
+                        if (u + v == v) {
+                            break;
+                        }
+                    }
+                    for (index_type i = m + 2; i <= nn; ++i) {
+                        a(i, i - 2) = 0.0;
+                        if (i != m + 2) {
+                            a(i, i - 3) = 0.0;
+                        }
+                    }
+                    for (index_type k = m; k <= nn - 1; ++k) {
+                        if (k != m) {
+                            p = a(k, k - 1);
+                            q = a(k + 1, k - 1);
+                            r = 0.0;
+                            if (k != nn - 1) {
+                                r = a(k + 2, k - 1);
+                            }
+                            x = std::abs(p) + std::abs(q) + std::abs(r);
+                            if (x != 0.0) {
+                                p /= x;
+                                q /= x;
+                                r /= x;
+                            }
+                        }
+                        const real_type s =
+                            sign_of(std::sqrt(p * p + q * q + r * r), p);
+                        if (s != 0.0) {
+                            if (k == m) {
+                                if (l != m) {
+                                    a(k, k - 1) = -a(k, k - 1);
+                                }
+                            } else {
+                                a(k, k - 1) = -s * x;
+                            }
+                            p += s;
+                            x = p / s;
+                            real_type yy = q / s;
+                            z = r / s;
+                            q /= p;
+                            r /= p;
+                            for (index_type j = k; j <= nn; ++j) {
+                                p = a(k, j) + q * a(k + 1, j);
+                                if (k != nn - 1) {
+                                    p += r * a(k + 2, j);
+                                    a(k + 2, j) -= p * z;
+                                }
+                                a(k + 1, j) -= p * yy;
+                                a(k, j) -= p * x;
+                            }
+                            const index_type mmin =
+                                nn < k + 3 ? nn : k + 3;
+                            for (index_type i = l; i <= mmin; ++i) {
+                                p = x * a(i, k) + yy * a(i, k + 1);
+                                if (k != nn - 1) {
+                                    p += z * a(i, k + 2);
+                                    a(i, k + 2) -= p * r;
+                                }
+                                a(i, k + 1) -= p * q;
+                                a(i, k) -= p;
+                            }
+                        }
+                    }
+                }
+            }
+        } while (l < nn - 1 && nn >= 1);
+    }
+}
+
+}  // namespace
+
+std::vector<complex_type> eigenvalues(DenseView<real_type> a)
+{
+    BSIS_ENSURE_DIMS(a.rows == a.cols, "eigenvalues need a square matrix");
+    const index_type n = a.rows;
+    if (n == 0) {
+        return {};
+    }
+    Mat1 work(n);
+    for (index_type i = 0; i < n; ++i) {
+        for (index_type j = 0; j < n; ++j) {
+            work(i + 1, j + 1) = a(i, j);
+        }
+    }
+    balanc(work, n);
+    elmhes(work, n);
+    std::vector<real_type> wr;
+    std::vector<real_type> wi;
+    hqr(work, n, wr, wi);
+
+    std::vector<complex_type> eigs;
+    eigs.reserve(static_cast<std::size_t>(n));
+    for (index_type i = 1; i <= n; ++i) {
+        eigs.emplace_back(wr[i], wi[i]);
+    }
+    std::sort(eigs.begin(), eigs.end(),
+              [](const complex_type& x, const complex_type& y) {
+                  if (x.real() != y.real()) {
+                      return x.real() < y.real();
+                  }
+                  return x.imag() < y.imag();
+              });
+    return eigs;
+}
+
+std::vector<complex_type> eigenvalues(const BatchCsr<real_type>& batch,
+                                      size_type entry)
+{
+    BSIS_ENSURE_ARG(entry >= 0 && entry < batch.num_batch(),
+                    "entry out of range");
+    BatchDense<real_type> dense(1, batch.rows(), batch.rows());
+    auto d = dense.entry(0);
+    const auto a = batch.entry(entry);
+    for (index_type r = 0; r < a.rows; ++r) {
+        for (index_type k = a.row_ptrs[r]; k < a.row_ptrs[r + 1]; ++k) {
+            d(r, a.col_idxs[k]) = a.values[k];
+        }
+    }
+    return eigenvalues(d);
+}
+
+SpectrumSummary summarize_spectrum(const std::vector<complex_type>& eigs)
+{
+    SpectrumSummary s;
+    if (eigs.empty()) {
+        return s;
+    }
+    s.min_real = eigs.front().real();
+    s.max_real = eigs.front().real();
+    double min_abs = std::abs(eigs.front());
+    double max_abs = min_abs;
+    index_type clustered = 0;
+    for (const auto& e : eigs) {
+        s.min_real = std::min(s.min_real, e.real());
+        s.max_real = std::max(s.max_real, e.real());
+        s.max_abs_imag = std::max(s.max_abs_imag, std::abs(e.imag()));
+        min_abs = std::min(min_abs, std::abs(e));
+        max_abs = std::max(max_abs, std::abs(e));
+        if (std::abs(e - complex_type{1.0, 0.0}) < 0.1) {
+            ++clustered;
+        }
+    }
+    s.spread = min_abs == 0.0 ? 0.0 : max_abs / min_abs;
+    s.clustered_fraction =
+        static_cast<double>(clustered) / static_cast<double>(eigs.size());
+    return s;
+}
+
+}  // namespace bsis::lapack

@@ -1,0 +1,43 @@
+// Eigenvalues of general real (nonsymmetric) matrices.
+//
+// Used to reproduce Fig. 2 of the paper: the spectra of the ion and
+// electron collision matrices (ion eigenvalues clustered around 1, electron
+// eigenvalues spread over a wider range of real parts). Pipeline: balancing
+// -> Hessenberg reduction by stabilized elementary transformations ->
+// Francis double-shift QR (the classical EISPACK balanc/elmhes/hqr
+// sequence).
+#pragma once
+
+#include <vector>
+
+#include "matrix/batch_csr.hpp"
+#include "matrix/batch_dense.hpp"
+#include "util/types.hpp"
+
+namespace bsis::lapack {
+
+/// All eigenvalues of a dense real square matrix, sorted by ascending real
+/// part (ties by imaginary part). Destroys `a`. Throws NumericalBreakdown
+/// if the QR iteration fails to converge.
+std::vector<complex_type> eigenvalues(DenseView<real_type> a);
+
+/// Convenience overload: densifies one entry of a sparse batch first.
+std::vector<complex_type> eigenvalues(const BatchCsr<real_type>& batch,
+                                      size_type entry);
+
+/// Summary statistics of a spectrum, matching how Fig. 2 is read in the
+/// paper text ("clustered around 1" vs "greater range of real parts").
+struct SpectrumSummary {
+    double min_real = 0.0;
+    double max_real = 0.0;
+    double max_abs_imag = 0.0;
+    /// max|lambda| / min|lambda|: spectral spread (a condition-number proxy
+    /// for these well-behaved matrices).
+    double spread = 0.0;
+    /// Fraction of eigenvalues with |lambda - 1| < 0.1.
+    double clustered_fraction = 0.0;
+};
+
+SpectrumSummary summarize_spectrum(const std::vector<complex_type>& eigs);
+
+}  // namespace bsis::lapack

@@ -1,0 +1,113 @@
+// BatchBanded: batch of banded matrices in LAPACK general-band (GB) storage.
+//
+// This is the format consumed by our dgbsv-equivalent direct solver (the
+// paper's CPU baseline). Following LAPACK's convention, each entry is stored
+// column-major with leading dimension ldab = 2*kl + ku + 1: the extra kl
+// rows on top hold the fill-in produced by partial pivoting in gbtrf.
+// Element A(i,j) (0-based, |i-j| within the band) lives at
+//   ab[j * ldab + (kl + ku + i - j)].
+#pragma once
+
+#include <vector>
+
+#include "blas/batch_vector.hpp"
+#include "util/error.hpp"
+#include "util/types.hpp"
+
+namespace bsis {
+
+/// One entry of a BatchBanded in LAPACK GB layout (mutable: the direct
+/// solver factorizes in place).
+template <typename T>
+struct BandedView {
+    index_type n = 0;    ///< matrix order
+    index_type kl = 0;   ///< sub-diagonals
+    index_type ku = 0;   ///< super-diagonals
+    T* ab = nullptr;     ///< column-major, ldab = 2*kl + ku + 1
+
+    index_type ldab() const { return 2 * kl + ku + 1; }
+
+    /// Reference to A(i,j); caller must ensure j-ku <= i <= j+kl.
+    T& operator()(index_type i, index_type j) const
+    {
+        return ab[static_cast<std::size_t>(j) * ldab() + (kl + ku + i - j)];
+    }
+
+    bool in_band(index_type i, index_type j) const
+    {
+        return i - j <= kl && j - i <= ku;
+    }
+};
+
+template <typename T>
+class BatchBanded {
+public:
+    BatchBanded() = default;
+
+    BatchBanded(size_type num_batch, index_type n, index_type kl,
+                index_type ku)
+        : num_batch_(num_batch), n_(n), kl_(kl), ku_(ku)
+    {
+        BSIS_ENSURE_ARG(num_batch >= 0 && n >= 0, "negative dimension");
+        BSIS_ENSURE_ARG(kl >= 0 && ku >= 0, "negative bandwidth");
+        BSIS_ENSURE_ARG(kl < n || n == 0, "kl must be < n");
+        BSIS_ENSURE_ARG(ku < n || n == 0, "ku must be < n");
+        values_.assign(static_cast<std::size_t>(num_batch) * per_entry(),
+                       T{});
+    }
+
+    size_type num_batch() const { return num_batch_; }
+    index_type n() const { return n_; }
+    index_type kl() const { return kl_; }
+    index_type ku() const { return ku_; }
+    index_type ldab() const { return 2 * kl_ + ku_ + 1; }
+    size_type per_entry() const
+    {
+        return static_cast<size_type>(ldab()) * n_;
+    }
+
+    size_type storage_bytes() const
+    {
+        return static_cast<size_type>(values_.size() * sizeof(T));
+    }
+
+    BandedView<T> entry(size_type b)
+    {
+        BSIS_ASSERT(b >= 0 && b < num_batch_);
+        return {n_, kl_, ku_,
+                values_.data() + static_cast<std::size_t>(b) * per_entry()};
+    }
+
+    /// Read-only access for SpMV/tests; returns a view over const-cast data
+    /// is avoided by providing values pointer directly.
+    const T* values(size_type b) const
+    {
+        BSIS_ASSERT(b >= 0 && b < num_batch_);
+        return values_.data() + static_cast<std::size_t>(b) * per_entry();
+    }
+
+private:
+    size_type num_batch_ = 0;
+    index_type n_ = 0;
+    index_type kl_ = 0;
+    index_type ku_ = 0;
+    std::vector<T> values_;
+};
+
+/// y := A x for one banded entry (band-limited traversal).
+template <typename T>
+inline void spmv(BandedView<T> a, ConstVecView<T> x, VecView<T> y)
+{
+    BSIS_ASSERT(x.len == a.n && y.len == a.n);
+    for (index_type i = 0; i < a.n; ++i) {
+        T sum{};
+        const index_type jlo = i - a.kl > 0 ? i - a.kl : 0;
+        const index_type jhi = i + a.ku < a.n - 1 ? i + a.ku : a.n - 1;
+        for (index_type j = jlo; j <= jhi; ++j) {
+            sum += a(i, j) * x[j];
+        }
+        y[i] = sum;
+    }
+}
+
+}  // namespace bsis

@@ -1,0 +1,137 @@
+// BatchDense: `num_batch` dense square matrices stored entry-major,
+// row-major within each entry. Used as the conversion hub between formats
+// and by the dense direct solvers; Figure 3 of the paper uses it as the
+// storage-cost baseline.
+#pragma once
+
+#include <vector>
+
+#include "blas/batch_vector.hpp"
+#include "util/error.hpp"
+#include "util/types.hpp"
+
+namespace bsis {
+
+/// View of one dense entry: row-major `rows x cols` block.
+template <typename T>
+struct DenseView {
+    T* values = nullptr;
+    index_type rows = 0;
+    index_type cols = 0;
+
+    T& operator()(index_type r, index_type c) const
+    {
+        return values[static_cast<std::size_t>(r) * cols + c];
+    }
+};
+
+template <typename T>
+struct ConstDenseView {
+    const T* values = nullptr;
+    index_type rows = 0;
+    index_type cols = 0;
+
+    ConstDenseView() = default;
+    ConstDenseView(const T* v, index_type r, index_type c)
+        : values(v), rows(r), cols(c)
+    {}
+    ConstDenseView(DenseView<T> v) : values(v.values), rows(v.rows), cols(v.cols)
+    {}
+
+    const T& operator()(index_type r, index_type c) const
+    {
+        return values[static_cast<std::size_t>(r) * cols + c];
+    }
+};
+
+template <typename T>
+class BatchDense {
+public:
+    BatchDense() = default;
+
+    BatchDense(size_type num_batch, index_type rows, index_type cols)
+        : num_batch_(num_batch),
+          rows_(rows),
+          cols_(cols),
+          values_(static_cast<std::size_t>(num_batch) * rows * cols, T{})
+    {
+        BSIS_ENSURE_ARG(num_batch >= 0 && rows >= 0 && cols >= 0,
+                        "negative dimension");
+    }
+
+    size_type num_batch() const { return num_batch_; }
+    index_type rows() const { return rows_; }
+    index_type cols() const { return cols_; }
+
+    /// Bytes of value storage (Fig. 3 accounting).
+    size_type storage_bytes() const
+    {
+        return static_cast<size_type>(values_.size() * sizeof(T));
+    }
+
+    DenseView<T> entry(size_type b)
+    {
+        BSIS_ASSERT(b >= 0 && b < num_batch_);
+        return {values_.data() +
+                    static_cast<std::size_t>(b) * rows_ * cols_,
+                rows_, cols_};
+    }
+
+    ConstDenseView<T> entry(size_type b) const
+    {
+        BSIS_ASSERT(b >= 0 && b < num_batch_);
+        return {values_.data() +
+                    static_cast<std::size_t>(b) * rows_ * cols_,
+                rows_, cols_};
+    }
+
+    T* data() { return values_.data(); }
+    const T* data() const { return values_.data(); }
+
+private:
+    size_type num_batch_ = 0;
+    index_type rows_ = 0;
+    index_type cols_ = 0;
+    std::vector<T> values_;
+};
+
+/// y := A x for one dense entry.
+template <typename T>
+inline void spmv(ConstDenseView<T> a, ConstVecView<T> x, VecView<T> y)
+{
+    BSIS_ASSERT(a.cols == x.len && a.rows == y.len);
+    for (index_type r = 0; r < a.rows; ++r) {
+        T sum{};
+        for (index_type c = 0; c < a.cols; ++c) {
+            sum += a(r, c) * x[c];
+        }
+        y[r] = sum;
+    }
+}
+
+/// y := A^T x for one dense entry (used by BiCG).
+template <typename T>
+inline void spmv_transpose(ConstDenseView<T> a, ConstVecView<T> x,
+                           VecView<T> y)
+{
+    BSIS_ASSERT(a.rows == x.len && a.cols == y.len);
+    for (index_type c = 0; c < a.cols; ++c) {
+        T sum{};
+        for (index_type r = 0; r < a.rows; ++r) {
+            sum += a(r, c) * x[r];
+        }
+        y[c] = sum;
+    }
+}
+
+/// Extracts the diagonal of one dense entry (scalar-Jacobi setup).
+template <typename T>
+inline void extract_diagonal(ConstDenseView<T> a, VecView<T> diag)
+{
+    BSIS_ASSERT(diag.len == a.rows && a.rows == a.cols);
+    for (index_type r = 0; r < a.rows; ++r) {
+        diag[r] = a(r, r);
+    }
+}
+
+}  // namespace bsis

@@ -1,0 +1,226 @@
+// Conversions between the batch matrix formats.
+//
+// All conversions preserve the numerical content exactly; BatchEll
+// conversions insert padding (index -1, value 0) as needed and BatchBanded
+// conversions require the pattern to fit in the requested band.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "matrix/batch_banded.hpp"
+#include "matrix/batch_csr.hpp"
+#include "matrix/batch_dense.hpp"
+#include "matrix/batch_ell.hpp"
+#include "matrix/batch_sellp.hpp"
+#include "util/error.hpp"
+
+namespace bsis {
+
+/// CSR -> ELL. Pads every row to the longest row of the shared pattern
+/// unless `nnz_per_row` is given (must then be >= the longest row).
+template <typename T>
+BatchEll<T> to_ell(const BatchCsr<T>& csr, index_type nnz_per_row = -1)
+{
+    const index_type rows = csr.rows();
+    const auto& ptrs = csr.row_ptrs();
+    index_type max_row = 0;
+    for (index_type r = 0; r < rows; ++r) {
+        max_row = std::max(max_row, ptrs[r + 1] - ptrs[r]);
+    }
+    if (nnz_per_row < 0) {
+        nnz_per_row = max_row;
+    }
+    BSIS_ENSURE_DIMS(nnz_per_row >= max_row,
+                     "requested nnz_per_row smaller than longest CSR row");
+
+    std::vector<index_type> col_idxs(
+        static_cast<std::size_t>(rows) * nnz_per_row, ell_padding);
+    const auto& csr_cols = csr.col_idxs();
+    for (index_type r = 0; r < rows; ++r) {
+        index_type k = 0;
+        for (index_type p = ptrs[r]; p < ptrs[r + 1]; ++p, ++k) {
+            col_idxs[static_cast<std::size_t>(k) * rows + r] = csr_cols[p];
+        }
+    }
+    BatchEll<T> ell(csr.num_batch(), rows, nnz_per_row, std::move(col_idxs));
+    for (size_type b = 0; b < csr.num_batch(); ++b) {
+        const T* src = csr.values(b);
+        T* dst = ell.values(b);
+        for (index_type r = 0; r < rows; ++r) {
+            index_type k = 0;
+            for (index_type p = ptrs[r]; p < ptrs[r + 1]; ++p, ++k) {
+                dst[static_cast<std::size_t>(k) * rows + r] = src[p];
+            }
+        }
+    }
+    return ell;
+}
+
+/// ELL -> CSR. Padding slots are dropped.
+template <typename T>
+BatchCsr<T> to_csr(const BatchEll<T>& ell)
+{
+    const index_type rows = ell.rows();
+    const auto ev = ell.entry(0);
+    std::vector<index_type> row_ptrs(rows + 1, 0);
+    for (index_type r = 0; r < rows; ++r) {
+        index_type cnt = 0;
+        for (index_type k = 0; k < ell.nnz_per_row(); ++k) {
+            if (ell.col_idxs()[ev.at(r, k)] != ell_padding) {
+                ++cnt;
+            }
+        }
+        row_ptrs[r + 1] = row_ptrs[r] + cnt;
+    }
+    std::vector<index_type> col_idxs(row_ptrs[rows]);
+    for (index_type r = 0; r < rows; ++r) {
+        index_type p = row_ptrs[r];
+        for (index_type k = 0; k < ell.nnz_per_row(); ++k) {
+            const index_type c = ell.col_idxs()[ev.at(r, k)];
+            if (c != ell_padding) {
+                col_idxs[p++] = c;
+            }
+        }
+    }
+    BatchCsr<T> csr(ell.num_batch(), rows, std::move(row_ptrs),
+                    std::move(col_idxs));
+    for (size_type b = 0; b < ell.num_batch(); ++b) {
+        const T* src = ell.values(b);
+        T* dst = csr.values(b);
+        const auto& ptrs = csr.row_ptrs();
+        for (index_type r = 0; r < rows; ++r) {
+            index_type p = ptrs[r];
+            for (index_type k = 0; k < ell.nnz_per_row(); ++k) {
+                const index_type c = ell.col_idxs()[ev.at(r, k)];
+                if (c != ell_padding) {
+                    (void)c;
+                    dst[p++] = src[ev.at(r, k)];
+                }
+            }
+        }
+    }
+    return csr;
+}
+
+/// CSR -> SELL-P with the given slice size (default: one 32-wide warp).
+/// Each slice pads to its own longest row.
+template <typename T>
+BatchSellp<T> to_sellp(const BatchCsr<T>& csr, index_type slice_size = 32)
+{
+    const index_type rows = csr.rows();
+    const auto& ptrs = csr.row_ptrs();
+    const auto& csr_cols = csr.col_idxs();
+    const index_type slices = (rows + slice_size - 1) / slice_size;
+
+    std::vector<index_type> slice_sets(static_cast<std::size_t>(slices) + 1,
+                                       0);
+    for (index_type s = 0; s < slices; ++s) {
+        index_type width = 0;
+        for (index_type r = s * slice_size;
+             r < std::min(rows, (s + 1) * slice_size); ++r) {
+            width = std::max(width, ptrs[r + 1] - ptrs[r]);
+        }
+        slice_sets[static_cast<std::size_t>(s) + 1] =
+            slice_sets[static_cast<std::size_t>(s)] + width;
+    }
+    std::vector<index_type> col_idxs(
+        static_cast<std::size_t>(slice_sets.back()) * slice_size,
+        ell_padding);
+    // Copy kept for the value fill below: slice_sets itself is moved into
+    // the constructor first.
+    const std::vector<index_type> sets = slice_sets;
+    const auto at = [&sets, slice_size](index_type r, index_type k) {
+        const index_type s = r / slice_size;
+        return (static_cast<std::size_t>(
+                    sets[static_cast<std::size_t>(s)]) +
+                k) *
+                   slice_size +
+               r % slice_size;
+    };
+    for (index_type r = 0; r < rows; ++r) {
+        index_type k = 0;
+        for (index_type p = ptrs[r]; p < ptrs[r + 1]; ++p, ++k) {
+            col_idxs[at(r, k)] = csr_cols[p];
+        }
+    }
+    BatchSellp<T> sellp(csr.num_batch(), rows, slice_size,
+                        std::move(slice_sets), std::move(col_idxs));
+    for (size_type b = 0; b < csr.num_batch(); ++b) {
+        const T* src = csr.values(b);
+        T* dst = sellp.values(b);
+        for (index_type r = 0; r < rows; ++r) {
+            index_type k = 0;
+            for (index_type p = ptrs[r]; p < ptrs[r + 1]; ++p, ++k) {
+                dst[at(r, k)] = src[p];
+            }
+        }
+    }
+    return sellp;
+}
+
+/// CSR -> dense (zero fill).
+template <typename T>
+BatchDense<T> to_dense(const BatchCsr<T>& csr)
+{
+    BatchDense<T> dense(csr.num_batch(), csr.rows(), csr.rows());
+    for (size_type b = 0; b < csr.num_batch(); ++b) {
+        auto d = dense.entry(b);
+        const auto a = csr.entry(b);
+        for (index_type r = 0; r < a.rows; ++r) {
+            for (index_type k = a.row_ptrs[r]; k < a.row_ptrs[r + 1]; ++k) {
+                d(r, a.col_idxs[k]) = a.values[k];
+            }
+        }
+    }
+    return dense;
+}
+
+/// Half bandwidths (kl, ku) of a CSR pattern.
+template <typename T>
+std::pair<index_type, index_type> bandwidths(const BatchCsr<T>& csr)
+{
+    index_type kl = 0;
+    index_type ku = 0;
+    const auto& ptrs = csr.row_ptrs();
+    const auto& cols = csr.col_idxs();
+    for (index_type r = 0; r < csr.rows(); ++r) {
+        for (index_type p = ptrs[r]; p < ptrs[r + 1]; ++p) {
+            kl = std::max(kl, r - cols[p]);
+            ku = std::max(ku, cols[p] - r);
+        }
+    }
+    return {kl, ku};
+}
+
+/// CSR -> LAPACK band storage. If kl/ku are negative they are derived from
+/// the pattern; otherwise the pattern must fit in the requested band.
+template <typename T>
+BatchBanded<T> to_banded(const BatchCsr<T>& csr, index_type kl = -1,
+                         index_type ku = -1)
+{
+    const auto [pat_kl, pat_ku] = bandwidths(csr);
+    if (kl < 0) {
+        kl = pat_kl;
+    }
+    if (ku < 0) {
+        ku = pat_ku;
+    }
+    BSIS_ENSURE_DIMS(kl >= pat_kl && ku >= pat_ku,
+                     "pattern does not fit in requested band");
+    BatchBanded<T> banded(csr.num_batch(), csr.rows(), kl, ku);
+    const auto& ptrs = csr.row_ptrs();
+    const auto& cols = csr.col_idxs();
+    for (size_type b = 0; b < csr.num_batch(); ++b) {
+        auto bv = banded.entry(b);
+        const T* src = csr.values(b);
+        for (index_type r = 0; r < csr.rows(); ++r) {
+            for (index_type p = ptrs[r]; p < ptrs[r + 1]; ++p) {
+                bv(r, cols[p]) = src[p];
+            }
+        }
+    }
+    return banded;
+}
+
+}  // namespace bsis

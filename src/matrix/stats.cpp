@@ -1,0 +1,134 @@
+#include "matrix/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <ostream>
+#include <vector>
+
+#include "matrix/conversions.hpp"
+
+namespace bsis {
+
+MatrixStats compute_stats(const BatchCsr<real_type>& batch)
+{
+    MatrixStats stats;
+    stats.rows = batch.rows();
+    stats.nnz = batch.nnz_per_entry();
+    const auto& ptrs = batch.row_ptrs();
+    const auto& cols = batch.col_idxs();
+    stats.min_nnz_per_row = std::numeric_limits<index_type>::max();
+    for (index_type r = 0; r < stats.rows; ++r) {
+        const index_type cnt = ptrs[r + 1] - ptrs[r];
+        stats.min_nnz_per_row = std::min(stats.min_nnz_per_row, cnt);
+        stats.max_nnz_per_row = std::max(stats.max_nnz_per_row, cnt);
+    }
+    stats.avg_nnz_per_row =
+        stats.rows == 0 ? 0.0
+                        : static_cast<double>(stats.nnz) / stats.rows;
+    auto [kl, ku] = bandwidths(batch);
+    stats.kl = kl;
+    stats.ku = ku;
+
+    // Pattern symmetry: (r, c) present iff (c, r) present. Column indices
+    // are sorted within rows, so binary search works.
+    const auto has_entry = [&](index_type r, index_type c) {
+        const auto begin = cols.begin() + ptrs[r];
+        const auto end = cols.begin() + ptrs[r + 1];
+        return std::binary_search(begin, end, c);
+    };
+    const auto value_at = [&](size_type b, index_type r, index_type c) {
+        const auto begin = cols.begin() + ptrs[r];
+        const auto end = cols.begin() + ptrs[r + 1];
+        const auto it = std::lower_bound(begin, end, c);
+        if (it == end || *it != c) {
+            return real_type{0};
+        }
+        return batch.values(b)[it - cols.begin()];
+    };
+    stats.pattern_symmetric = true;
+    stats.numerically_symmetric = batch.num_batch() > 0;
+    for (index_type r = 0; r < stats.rows && stats.pattern_symmetric; ++r) {
+        for (index_type p = ptrs[r]; p < ptrs[r + 1]; ++p) {
+            if (!has_entry(cols[p], r)) {
+                stats.pattern_symmetric = false;
+                stats.numerically_symmetric = false;
+                break;
+            }
+        }
+    }
+    if (stats.pattern_symmetric && batch.num_batch() > 0) {
+        const real_type tol = 1e-12;
+        for (index_type r = 0;
+             r < stats.rows && stats.numerically_symmetric; ++r) {
+            for (index_type p = ptrs[r]; p < ptrs[r + 1]; ++p) {
+                const real_type a_rc = batch.values(0)[p];
+                const real_type a_cr = value_at(0, cols[p], r);
+                const real_type scale =
+                    std::max({std::abs(a_rc), std::abs(a_cr), real_type{1}});
+                if (std::abs(a_rc - a_cr) > tol * scale) {
+                    stats.numerically_symmetric = false;
+                    break;
+                }
+            }
+        }
+    }
+
+    if (batch.num_batch() > 0) {
+        double min_dominance = std::numeric_limits<double>::infinity();
+        const real_type* vals = batch.values(0);
+        for (index_type r = 0; r < stats.rows; ++r) {
+            double diag = 0.0;
+            double off = 0.0;
+            for (index_type p = ptrs[r]; p < ptrs[r + 1]; ++p) {
+                if (cols[p] == r) {
+                    diag = std::abs(vals[p]);
+                } else {
+                    off += std::abs(vals[p]);
+                }
+            }
+            if (off > 0.0) {
+                min_dominance = std::min(min_dominance, diag / off);
+            }
+        }
+        stats.diagonal_dominance = min_dominance;
+    }
+    return stats;
+}
+
+StorageCost storage_cost(index_type rows, index_type nnz,
+                         index_type max_nnz_per_row, size_type num_batch,
+                         size_type value_bytes, size_type index_bytes)
+{
+    StorageCost cost;
+    cost.dense_bytes = num_batch * static_cast<size_type>(rows) * rows *
+                       value_bytes;
+    cost.csr_bytes = num_batch * static_cast<size_type>(nnz) * value_bytes +
+                     static_cast<size_type>(rows + 1) * index_bytes +
+                     static_cast<size_type>(nnz) * index_bytes;
+    const size_type stored =
+        static_cast<size_type>(rows) * max_nnz_per_row;
+    cost.ell_bytes =
+        num_batch * stored * value_bytes + stored * index_bytes;
+    return cost;
+}
+
+void print_pattern(std::ostream& os, const BatchCsr<real_type>& batch,
+                   index_type max_rows)
+{
+    const index_type rows = std::min(batch.rows(), max_rows);
+    const auto& ptrs = batch.row_ptrs();
+    const auto& cols = batch.col_idxs();
+    for (index_type r = 0; r < rows; ++r) {
+        std::vector<char> line(static_cast<std::size_t>(rows), '.');
+        for (index_type p = ptrs[r]; p < ptrs[r + 1]; ++p) {
+            if (cols[p] < rows) {
+                line[static_cast<std::size_t>(cols[p])] = '*';
+            }
+        }
+        os.write(line.data(), rows);
+        os << '\n';
+    }
+}
+
+}  // namespace bsis

@@ -1,0 +1,140 @@
+#include "matrix/stencil.hpp"
+
+#include <cmath>
+#include <memory>
+
+#include "util/error.hpp"
+
+namespace bsis {
+
+std::vector<std::array<index_type, 2>> stencil_offsets(StencilKind kind)
+{
+    if (kind == StencilKind::five_point) {
+        return {{0, 0}, {-1, 0}, {1, 0}, {0, -1}, {0, 1}};
+    }
+    std::vector<std::array<index_type, 2>> offsets;
+    offsets.push_back({0, 0});
+    for (index_type dj = -1; dj <= 1; ++dj) {
+        for (index_type di = -1; di <= 1; ++di) {
+            if (di != 0 || dj != 0) {
+                offsets.push_back({di, dj});
+            }
+        }
+    }
+    return offsets;
+}
+
+StencilPattern make_stencil_pattern(index_type nx, index_type ny,
+                                    StencilKind kind)
+{
+    BSIS_ENSURE_ARG(nx >= 2 && ny >= 2, "grid must be at least 2x2");
+    StencilPattern pattern;
+    pattern.nx = nx;
+    pattern.ny = ny;
+    pattern.kind = kind;
+    const auto offsets = stencil_offsets(kind);
+    const index_type rows = nx * ny;
+    pattern.row_ptrs.assign(rows + 1, 0);
+
+    // First pass: count in-grid neighbors per row.
+    for (index_type j = 0; j < ny; ++j) {
+        for (index_type i = 0; i < nx; ++i) {
+            index_type cnt = 0;
+            for (const auto& [di, dj] : offsets) {
+                const index_type ii = i + di;
+                const index_type jj = j + dj;
+                if (ii >= 0 && ii < nx && jj >= 0 && jj < ny) {
+                    ++cnt;
+                }
+            }
+            pattern.row_ptrs[j * nx + i + 1] = cnt;
+        }
+    }
+    for (index_type r = 0; r < rows; ++r) {
+        pattern.row_ptrs[r + 1] += pattern.row_ptrs[r];
+    }
+
+    // Second pass: emit columns sorted ascending. For a row r = j*nx + i the
+    // neighbor columns sorted ascending are exactly the neighborhood
+    // traversed with dj outer (ascending), di inner (ascending).
+    pattern.col_idxs.assign(pattern.row_ptrs[rows], 0);
+    for (index_type j = 0; j < ny; ++j) {
+        for (index_type i = 0; i < nx; ++i) {
+            index_type p = pattern.row_ptrs[j * nx + i];
+            for (index_type dj = -1; dj <= 1; ++dj) {
+                for (index_type di = -1; di <= 1; ++di) {
+                    const bool in_stencil =
+                        kind == StencilKind::nine_point
+                            ? true
+                            : (di == 0 || dj == 0);
+                    const index_type ii = i + di;
+                    const index_type jj = j + dj;
+                    if (in_stencil && ii >= 0 && ii < nx && jj >= 0 &&
+                        jj < ny) {
+                        pattern.col_idxs[p++] = jj * nx + ii;
+                    }
+                }
+            }
+        }
+    }
+    return pattern;
+}
+
+BatchCsr<real_type> assemble_stencil_batch(
+    const StencilPattern& pattern,
+    const std::vector<StencilCoefficientFn>& coeff)
+{
+    BSIS_ENSURE_ARG(!coeff.empty(), "need at least one coefficient function");
+    BatchCsr<real_type> csr(static_cast<size_type>(coeff.size()),
+                            pattern.rows(), pattern.row_ptrs,
+                            pattern.col_idxs);
+    const index_type nx = pattern.nx;
+    for (size_type b = 0; b < csr.num_batch(); ++b) {
+        real_type* vals = csr.values(b);
+        for (index_type j = 0; j < pattern.ny; ++j) {
+            for (index_type i = 0; i < nx; ++i) {
+                const index_type r = j * nx + i;
+                for (index_type p = pattern.row_ptrs[r];
+                     p < pattern.row_ptrs[r + 1]; ++p) {
+                    const index_type c = pattern.col_idxs[p];
+                    const index_type ii = c % nx;
+                    const index_type jj = c / nx;
+                    vals[p] = coeff[b](i, j, ii - i, jj - j);
+                }
+            }
+        }
+    }
+    return csr;
+}
+
+BatchCsr<real_type> make_synthetic_batch(index_type nx, index_type ny,
+                                         StencilKind kind,
+                                         size_type num_batch,
+                                         const SyntheticStencilParams& params)
+{
+    const auto pattern = make_stencil_pattern(nx, ny, kind);
+    std::vector<StencilCoefficientFn> coeff;
+    coeff.reserve(static_cast<std::size_t>(num_batch));
+    for (size_type b = 0; b < num_batch; ++b) {
+        // One RNG per batch entry keeps entries independent of batch order.
+        auto rng = std::make_shared<Rng>(params.seed + 1000003 * (b + 1));
+        coeff.push_back([rng, params, kind](index_type, index_type,
+                                            index_type di, index_type dj) {
+            const real_type noise =
+                1.0 + params.perturbation * (2.0 * rng->uniform() - 1.0);
+            if (di == 0 && dj == 0) {
+                const real_type neighbors =
+                    kind == StencilKind::five_point ? 4.0 : 8.0;
+                return (1.0 + neighbors * params.diffusion) * noise;
+            }
+            // Off-diagonal: diffusive coupling plus a one-sided advective
+            // part that breaks symmetry.
+            const real_type upwind =
+                (di + dj > 0) ? params.advection : -params.advection;
+            return (-params.diffusion + upwind) * noise;
+        });
+    }
+    return assemble_stencil_batch(pattern, coeff);
+}
+
+}  // namespace bsis

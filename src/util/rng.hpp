@@ -1,0 +1,99 @@
+// Deterministic random number generation.
+//
+// Every stochastic component of the library (workload generators, property
+// tests) takes an explicit seed so runs are reproducible; the generator is a
+// fixed algorithm (splitmix64 seeding a xoshiro256**) rather than
+// std::default_random_engine, whose meaning varies between standard
+// libraries.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace bsis {
+
+namespace detail {
+
+/// splitmix64, used only to expand a single seed into xoshiro state.
+inline std::uint64_t splitmix64_next(std::uint64_t& state)
+{
+    state += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+}  // namespace detail
+
+/// xoshiro256** pseudo-random generator (Blackman & Vigna). Satisfies
+/// UniformRandomBitGenerator so it can drive <random> distributions.
+class Rng {
+public:
+    using result_type = std::uint64_t;
+
+    explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL)
+    {
+        std::uint64_t sm = seed;
+        for (auto& word : state_) {
+            word = detail::splitmix64_next(sm);
+        }
+    }
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max()
+    {
+        return std::numeric_limits<result_type>::max();
+    }
+
+    result_type operator()()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /// Uniform double in [0, 1).
+    double uniform()
+    {
+        return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+    }
+
+    /// Uniform double in [lo, hi).
+    double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+    /// Uniform integer in [0, n).
+    std::uint64_t uniform_int(std::uint64_t n)
+    {
+        // Lemire's unbiased bounded generation.
+        std::uint64_t x = (*this)();
+        __uint128_t m = static_cast<__uint128_t>(x) * n;
+        auto l = static_cast<std::uint64_t>(m);
+        if (l < n) {
+            const std::uint64_t threshold = -n % n;
+            while (l < threshold) {
+                x = (*this)();
+                m = static_cast<__uint128_t>(x) * n;
+                l = static_cast<std::uint64_t>(m);
+            }
+        }
+        return static_cast<std::uint64_t>(m >> 64);
+    }
+
+private:
+    static std::uint64_t rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace bsis

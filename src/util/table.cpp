@@ -1,0 +1,97 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace bsis {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header))
+{
+    BSIS_ENSURE_ARG(!header_.empty(), "table needs at least one column");
+}
+
+Table& Table::new_row()
+{
+    rows_.emplace_back();
+    return *this;
+}
+
+Table& Table::add(const std::string& cell)
+{
+    BSIS_ENSURE_ARG(!rows_.empty(), "call new_row() before add()");
+    BSIS_ENSURE_ARG(rows_.back().size() < header_.size(),
+                    "row already has a cell per column");
+    rows_.back().push_back(cell);
+    return *this;
+}
+
+Table& Table::add(double value, int precision)
+{
+    std::ostringstream os;
+    os << std::setprecision(precision) << value;
+    return add(os.str());
+}
+
+Table& Table::add(std::int64_t value) { return add(std::to_string(value)); }
+
+void Table::print(std::ostream& os) const
+{
+    std::vector<std::size_t> width(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+        width[c] = header_[c].size();
+    }
+    for (const auto& row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            width[c] = std::max(width[c], row[c].size());
+        }
+    }
+    const auto print_row = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << std::left << std::setw(static_cast<int>(width[c]) + 2)
+               << row[c];
+        }
+        os << '\n';
+    };
+    print_row(header_);
+    std::size_t total = 0;
+    for (auto w : width) {
+        total += w + 2;
+    }
+    os << std::string(total, '-') << '\n';
+    for (const auto& row : rows_) {
+        print_row(row);
+    }
+}
+
+void Table::print_csv(std::ostream& os) const
+{
+    const auto print_row = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (c > 0) {
+                os << ',';
+            }
+            os << row[c];
+        }
+        os << '\n';
+    };
+    print_row(header_);
+    for (const auto& row : rows_) {
+        print_row(row);
+    }
+}
+
+void Table::write_csv(const std::string& path) const
+{
+    std::ofstream file(path);
+    if (!file) {
+        throw Error("Table::write_csv: cannot open " + path);
+    }
+    print_csv(file);
+}
+
+}  // namespace bsis

@@ -1,0 +1,51 @@
+// Aligned-column table and CSV emission for the benchmark harness.
+//
+// Every bench binary regenerating a paper table/figure prints its rows both
+// as an aligned human-readable table (stdout) and, optionally, as CSV so the
+// series can be plotted directly against the paper figures.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace bsis {
+
+/// Accumulates rows of string cells and prints them column-aligned, or as
+/// CSV. Numeric convenience overloads format with enough digits for
+/// round-tripping benchmark results.
+class Table {
+public:
+    explicit Table(std::vector<std::string> header);
+
+    /// Begins a new row; subsequent add() calls append cells to it.
+    Table& new_row();
+
+    Table& add(const std::string& cell);
+    Table& add(const char* cell) { return add(std::string(cell)); }
+    Table& add(double value, int precision = 6);
+    Table& add(std::int64_t value);
+    Table& add(int value) { return add(static_cast<std::int64_t>(value)); }
+    Table& add(std::size_t value)
+    {
+        return add(static_cast<std::int64_t>(value));
+    }
+
+    std::size_t num_rows() const { return rows_.size(); }
+
+    /// Prints the table with aligned columns and a rule under the header.
+    void print(std::ostream& os) const;
+
+    /// Prints the table as RFC-4180-ish CSV (no quoting: cells never contain
+    /// commas by construction).
+    void print_csv(std::ostream& os) const;
+
+    /// Writes the CSV form to `path`, creating parent-less files only.
+    void write_csv(const std::string& path) const;
+
+private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace bsis

@@ -1,0 +1,55 @@
+// Wall-clock timing utilities used by benchmarks and the executors.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace bsis {
+
+/// Monotonic wall-clock timer with nanosecond resolution.
+class Timer {
+public:
+    Timer() { reset(); }
+
+    /// Restarts the timer.
+    void reset();
+
+    /// Seconds elapsed since construction or the last reset().
+    double seconds() const;
+
+    /// Milliseconds elapsed since construction or the last reset().
+    double milliseconds() const { return seconds() * 1e3; }
+
+    /// Microseconds elapsed since construction or the last reset().
+    double microseconds() const { return seconds() * 1e6; }
+
+private:
+    std::chrono::steady_clock::time_point start_;
+};
+
+/// Accumulates wall time over repeated start/stop intervals, tracking the
+/// number of laps so callers can report means.
+class StopWatch {
+public:
+    void start() { running_ = true, lap_.reset(); }
+
+    void stop();
+
+    double total_seconds() const { return total_; }
+
+    std::int64_t laps() const { return laps_; }
+
+    /// Mean seconds per recorded lap (0 if no laps yet).
+    double mean_seconds() const
+    {
+        return laps_ == 0 ? 0.0 : total_ / static_cast<double>(laps_);
+    }
+
+private:
+    Timer lap_;
+    double total_ = 0.0;
+    std::int64_t laps_ = 0;
+    bool running_ = false;
+};
+
+}  // namespace bsis

@@ -1,0 +1,22 @@
+// Fundamental index/value typedefs used across the library.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+
+namespace bsis {
+
+/// Index type for rows/columns within one (small) batch entry.
+using index_type = std::int32_t;
+
+/// Size type for batch counts and global array lengths.
+using size_type = std::int64_t;
+
+/// Default scalar type. The XGC collision kernel uses FP64 throughout.
+using real_type = double;
+
+/// Complex scalar, used by the eigenvalue solver (spectra are complex for
+/// the nonsymmetric collision matrices -- Fig. 2 of the paper).
+using complex_type = std::complex<double>;
+
+}  // namespace bsis

@@ -1,0 +1,185 @@
+#include "xgc/distribution.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "util/error.hpp"
+
+namespace bsis::xgc {
+
+void maxwellian(const VelocityGrid& grid, const PlasmaState& state,
+                VecView<real_type> f)
+{
+    BSIS_ENSURE_DIMS(f.len == grid.rows(), "distribution size mismatch");
+    BSIS_ENSURE_ARG(state.temperature > 0, "temperature must be positive");
+    const real_type t = state.temperature;
+    const real_type norm =
+        state.density /
+        std::pow(2 * std::numbers::pi_v<real_type> * t, real_type{1.5});
+    for (index_type j = 0; j < grid.n_vperp(); ++j) {
+        for (index_type i = 0; i < grid.n_vpar(); ++i) {
+            const real_type wpar = grid.vpar(i) - state.u_par;
+            const real_type vperp = grid.vperp(j);
+            f[grid.row(i, j)] =
+                norm *
+                std::exp(-(wpar * wpar + vperp * vperp) / (2 * t));
+        }
+    }
+}
+
+ConservedQuantities conserved(const VelocityGrid& grid,
+                              ConstVecView<real_type> f)
+{
+    BSIS_ENSURE_DIMS(f.len == grid.rows(), "distribution size mismatch");
+    ConservedQuantities q;
+    for (index_type j = 0; j < grid.n_vperp(); ++j) {
+        const real_type vol = grid.cell_volume(j);
+        for (index_type i = 0; i < grid.n_vpar(); ++i) {
+            const real_type val = f[grid.row(i, j)] * vol;
+            const real_type vpar = grid.vpar(i);
+            const real_type vperp = grid.vperp(j);
+            q.density += val;
+            q.momentum += val * vpar;
+            q.energy += val * real_type{0.5} * (vpar * vpar + vperp * vperp);
+        }
+    }
+    return q;
+}
+
+PlasmaState moments(const VelocityGrid& grid, ConstVecView<real_type> f)
+{
+    const auto q = conserved(grid, f);
+    PlasmaState state;
+    state.density = q.density;
+    if (q.density <= real_type{0}) {
+        return state;
+    }
+    state.u_par = q.momentum / q.density;
+    // T = (2/3) (E/n - u^2/2) for a 3D (gyro-symmetric) velocity space.
+    const real_type specific_energy = q.energy / q.density;
+    state.temperature =
+        std::max(real_type{1e-12},
+                 real_type{2.0 / 3.0} *
+                     (specific_energy -
+                      real_type{0.5} * state.u_par * state.u_par));
+    return state;
+}
+
+real_type conservation_error(const ConservedQuantities& before,
+                             const ConservedQuantities& after)
+{
+    const real_type n_scale = std::max(std::abs(before.density),
+                                       real_type{1e-30});
+    const real_type e_scale = std::max(std::abs(before.energy),
+                                       real_type{1e-30});
+    // Momentum is normalized by the thermal momentum scale n * v_th (~ n
+    // in normalized units) because the flows are small and |p| itself can
+    // vanish.
+    return std::max(
+        {std::abs(after.density - before.density) / n_scale,
+         std::abs(after.momentum - before.momentum) / n_scale,
+         std::abs(after.energy - before.energy) / e_scale});
+}
+
+TemperatureAnisotropy temperature_anisotropy(const VelocityGrid& grid,
+                                             ConstVecView<real_type> f)
+{
+    const auto state = moments(grid, f);
+    TemperatureAnisotropy t;
+    real_type n = 0;
+    for (index_type j = 0; j < grid.n_vperp(); ++j) {
+        const real_type vol = grid.cell_volume(j);
+        const real_type vperp = grid.vperp(j);
+        for (index_type i = 0; i < grid.n_vpar(); ++i) {
+            const real_type w = f[grid.row(i, j)] * vol;
+            const real_type wpar = grid.vpar(i) - state.u_par;
+            n += w;
+            t.t_par += w * wpar * wpar;       // <w_par^2>
+            t.t_perp += w * vperp * vperp / 2;  // <v_perp^2>/2 per dof
+        }
+    }
+    if (n > 0) {
+        t.t_par /= n;
+        t.t_perp /= n;
+    }
+    return t;
+}
+
+void moment_fix(const VelocityGrid& grid, VecView<real_type> f,
+                const ConservedQuantities& target)
+{
+    BSIS_ENSURE_DIMS(f.len == grid.rows(), "distribution size mismatch");
+    // Invariants psi_k(v) = {1, v_par, E}; solve M c = d with
+    // M_{mk} = Int psi_m psi_k f dV and d the moment deficit.
+    real_type m[3][3] = {};
+    real_type d[3] = {};
+    const auto current = conserved(grid, ConstVecView<real_type>(f));
+    d[0] = target.density - current.density;
+    d[1] = target.momentum - current.momentum;
+    d[2] = target.energy - current.energy;
+
+    for (index_type j = 0; j < grid.n_vperp(); ++j) {
+        const real_type vol = grid.cell_volume(j);
+        const real_type vperp = grid.vperp(j);
+        for (index_type i = 0; i < grid.n_vpar(); ++i) {
+            const real_type vpar = grid.vpar(i);
+            const real_type e =
+                real_type{0.5} * (vpar * vpar + vperp * vperp);
+            const real_type psi[3] = {1, vpar, e};
+            const real_type w = f[grid.row(i, j)] * vol;
+            for (int a = 0; a < 3; ++a) {
+                for (int b = 0; b < 3; ++b) {
+                    m[a][b] += psi[a] * psi[b] * w;
+                }
+            }
+        }
+    }
+    // Solve the 3x3 system by Gaussian elimination with partial pivoting.
+    real_type c[3] = {};
+    {
+        real_type aug[3][4];
+        for (int r = 0; r < 3; ++r) {
+            for (int k = 0; k < 3; ++k) {
+                aug[r][k] = m[r][k];
+            }
+            aug[r][3] = d[r];
+        }
+        for (int col = 0; col < 3; ++col) {
+            int piv = col;
+            for (int r = col + 1; r < 3; ++r) {
+                if (std::abs(aug[r][col]) > std::abs(aug[piv][col])) {
+                    piv = r;
+                }
+            }
+            if (std::abs(aug[piv][col]) < real_type{1e-300}) {
+                return;  // degenerate (e.g. f == 0): skip the fix
+            }
+            std::swap_ranges(aug[col], aug[col] + 4, aug[piv]);
+            for (int r = col + 1; r < 3; ++r) {
+                const real_type factor = aug[r][col] / aug[col][col];
+                for (int k = col; k < 4; ++k) {
+                    aug[r][k] -= factor * aug[col][k];
+                }
+            }
+        }
+        for (int r = 2; r >= 0; --r) {
+            real_type sum = aug[r][3];
+            for (int k = r + 1; k < 3; ++k) {
+                sum -= aug[r][k] * c[k];
+            }
+            c[r] = sum / aug[r][r];
+        }
+    }
+    for (index_type j = 0; j < grid.n_vperp(); ++j) {
+        const real_type vperp = grid.vperp(j);
+        for (index_type i = 0; i < grid.n_vpar(); ++i) {
+            const real_type vpar = grid.vpar(i);
+            const real_type e =
+                real_type{0.5} * (vpar * vpar + vperp * vperp);
+            f[grid.row(i, j)] *= 1 + c[0] + c[1] * vpar + c[2] * e;
+        }
+    }
+}
+
+}  // namespace bsis::xgc

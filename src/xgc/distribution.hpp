@@ -1,0 +1,75 @@
+// Distribution functions and velocity moments.
+//
+// Distributions live on the VelocityGrid in thermal-velocity units of the
+// species (v normalized by sqrt(T_ref / m_s)), so the same grid serves
+// both species. Moments use the cylindrical (gyro-symmetric) volume
+// element and feed the nonlinear coefficients of the collision operator
+// and the conservation diagnostics.
+#pragma once
+
+#include <vector>
+
+#include "blas/batch_vector.hpp"
+#include "util/types.hpp"
+#include "xgc/grid.hpp"
+
+namespace bsis::xgc {
+
+/// Fluid state of one species at one mesh node, in normalized units.
+struct PlasmaState {
+    real_type density = 1.0;
+    real_type u_par = 0.0;        ///< parallel flow velocity
+    real_type temperature = 1.0;  ///< in units of the reference temperature
+};
+
+/// Fills `f` with a drifting Maxwellian of the given state (normalized
+/// velocities: thermal speed of the reference temperature is 1).
+void maxwellian(const VelocityGrid& grid, const PlasmaState& state,
+                VecView<real_type> f);
+
+/// Velocity moments: density n = Int f dV, parallel flow
+/// u = Int v_par f dV / n, temperature T = (m/3)(Int w^2 f dV)/n with
+/// w^2 = (v_par - u)^2 + v_perp^2 (3D energy via gyro symmetry; mass = 1 in
+/// reference units).
+PlasmaState moments(const VelocityGrid& grid, ConstVecView<real_type> f);
+
+/// Conserved quantities of one distribution (density, parallel momentum,
+/// total kinetic energy), used by the conservation diagnostics of the
+/// Picard driver.
+struct ConservedQuantities {
+    real_type density = 0.0;
+    real_type momentum = 0.0;
+    real_type energy = 0.0;
+};
+
+ConservedQuantities conserved(const VelocityGrid& grid,
+                              ConstVecView<real_type> f);
+
+/// Relative conservation error between two distributions (max over the
+/// three invariants, each normalized by the initial value or 1).
+real_type conservation_error(const ConservedQuantities& before,
+                             const ConservedQuantities& after);
+
+/// Parallel and perpendicular temperatures of a distribution (relative to
+/// its own flow): collisions drive their ratio toward 1, which is the
+/// classic validation of an anisotropic collision operator.
+struct TemperatureAnisotropy {
+    real_type t_par = 0.0;
+    real_type t_perp = 0.0;
+
+    real_type ratio() const { return t_perp == 0.0 ? 0.0 : t_par / t_perp; }
+};
+
+TemperatureAnisotropy temperature_anisotropy(const VelocityGrid& grid,
+                                             ConstVecView<real_type> f);
+
+/// XGC-style conservation correction: perturbs f multiplicatively with the
+/// collision invariants, f' = f * (1 + a + b*v_par + c*E), choosing
+/// (a, b, c) so that density, parallel momentum, and energy of f' match
+/// `target` exactly (a 3x3 linear solve on moment integrals). This is the
+/// moment-fixing step production XGC applies inside the collision kernel;
+/// it removes the O(dv^2) drift of the discretized operator.
+void moment_fix(const VelocityGrid& grid, VecView<real_type> f,
+                const ConservedQuantities& target);
+
+}  // namespace bsis::xgc

@@ -1,0 +1,28 @@
+#include "xgc/grid.hpp"
+
+#include <numbers>
+
+#include "util/error.hpp"
+
+namespace bsis::xgc {
+
+VelocityGrid::VelocityGrid(index_type n_vpar, index_type n_vperp,
+                           real_type vpar_extent, real_type vperp_extent)
+    : n_vpar_(n_vpar),
+      n_vperp_(n_vperp),
+      vpar_extent_(vpar_extent),
+      vperp_extent_(vperp_extent)
+{
+    BSIS_ENSURE_ARG(n_vpar >= 4 && n_vperp >= 4, "grid too small");
+    BSIS_ENSURE_ARG(vpar_extent > 0 && vperp_extent > 0,
+                    "extents must be positive");
+    dvpar_ = 2 * vpar_extent_ / n_vpar_;
+    dvperp_ = vperp_extent_ / n_vperp_;
+}
+
+real_type VelocityGrid::cell_volume(index_type j) const
+{
+    return 2 * std::numbers::pi_v<real_type> * vperp(j) * dvpar_ * dvperp_;
+}
+
+}  // namespace bsis::xgc

@@ -1,0 +1,60 @@
+// 2D guiding-center velocity-space grid.
+//
+// XGC's nonlinear Fokker-Planck-Landau collision operator acts on a 2D
+// velocity grid (v_parallel, v_perp) at every configuration-space mesh node
+// (Section II-A of the paper). The paper's matrices have 992 rows: we use
+// the matching 32 x 31 cell-centered grid. The v_perp direction carries the
+// cylindrical volume element (gyro-symmetric 3D velocity space), so the
+// innermost v_perp face sits exactly on the axis where the metric vanishes
+// -- giving a natural zero-flux boundary.
+#pragma once
+
+#include "util/types.hpp"
+
+namespace bsis::xgc {
+
+class VelocityGrid {
+public:
+    /// `vpar_extent`/`vperp_extent` are in thermal velocities of the
+    /// reference temperature.
+    VelocityGrid(index_type n_vpar, index_type n_vperp,
+                 real_type vpar_extent = 6.0, real_type vperp_extent = 6.0);
+
+    index_type n_vpar() const { return n_vpar_; }
+    index_type n_vperp() const { return n_vperp_; }
+    index_type rows() const { return n_vpar_ * n_vperp_; }
+
+    real_type dvpar() const { return dvpar_; }
+    real_type dvperp() const { return dvperp_; }
+
+    /// Cell-center coordinates; i in [0, n_vpar), j in [0, n_vperp).
+    real_type vpar(index_type i) const
+    {
+        return -vpar_extent_ + (i + real_type{0.5}) * dvpar_;
+    }
+    real_type vperp(index_type j) const
+    {
+        return (j + real_type{0.5}) * dvperp_;
+    }
+
+    /// v_perp at face j-1/2 (face 0 is the axis, v_perp = 0).
+    real_type vperp_face(index_type j) const { return j * dvperp_; }
+
+    /// Cylindrical volume element of cell (i, j): 2*pi*v_perp*dv*dv.
+    real_type cell_volume(index_type j) const;
+
+    index_type row(index_type i, index_type j) const
+    {
+        return j * n_vpar_ + i;
+    }
+
+private:
+    index_type n_vpar_;
+    index_type n_vperp_;
+    real_type vpar_extent_;
+    real_type vperp_extent_;
+    real_type dvpar_;
+    real_type dvperp_;
+};
+
+}  // namespace bsis::xgc

@@ -1,0 +1,72 @@
+// Particle species of the collision proxy app.
+//
+// The paper's proxy simulates a plasma with one ion species and electrons
+// (Section II-A). Collisionality scales like nu ~ 1/(sqrt(m) T^{3/2}): at
+// equal temperature, electron self-collisions are ~sqrt(m_i/m_e) ~ 60x
+// faster than ion self-collisions -- which is exactly why the electron
+// matrices sit further from the identity and need ~30 BiCGStab iterations
+// where the ions need ~5 (Fig. 2 / Table III of the paper).
+#pragma once
+
+#include <cmath>
+#include <string>
+
+#include "util/types.hpp"
+
+namespace bsis::xgc {
+
+struct SpeciesParams {
+    std::string name;
+    real_type mass = 1.0;    ///< in units of the reference (ion) mass
+    real_type charge = 1.0;  ///< in units of e
+    /// Self-collision rate in units of the reference collision time,
+    /// defined AT the reference density (nu scales with n/reference_density).
+    real_type collision_rate = 1.0;
+    /// Density at which collision_rate is quoted. The workload sets this
+    /// to its physical reference density so that the normalized dynamics
+    /// are density-scale invariant while the distribution MAGNITUDES keep
+    /// their physical size (which is what the paper's ABSOLUTE residual
+    /// tolerance of 1e-10 is measured against).
+    real_type reference_density = 1.0;
+    /// How strongly the Rosenbluth-like shell screening of the background
+    /// distribution modulates the diffusion rates (0 = pure Dougherty
+    /// operator, 1 = full shell ratio). Controls the Picard contraction
+    /// rate; calibrated against Table III of the paper.
+    real_type screening_strength = 0.1;
+    /// Weight of the OTHER species' shell screening in this species'
+    /// coefficients (field-particle coupling: the ion matrix keeps
+    /// changing while the electrons relax, holding its warm-started
+    /// iteration count at ~2 instead of collapsing to 0).
+    real_type cross_species_weight = 0.0;
+};
+
+/// Deuterium-like ion species (reference units). `index` > 0 produces
+/// heavier, higher-charge impurity species (the multi-ion plasmas future
+/// XGC targets: Coulomb collisionality scales like Z^4 / sqrt(m)).
+inline SpeciesParams ion_species(int index = 0)
+{
+    SpeciesParams s;
+    s.name = index == 0 ? "ion" : "impurity_" + std::to_string(index);
+    s.mass = 1.0 + 2.0 * index;
+    s.charge = 1.0 + index;
+    const double z = s.charge;
+    s.collision_rate = z * z * z * z / std::sqrt(s.mass);
+    s.screening_strength = 0.6;
+    s.cross_species_weight = 0.6;
+    return s;
+}
+
+/// Electron species: nu_e/nu_i ~ sqrt(m_i/m_e) at equal temperature.
+inline SpeciesParams electron_species()
+{
+    SpeciesParams s;
+    s.name = "electron";
+    s.mass = 1.0 / 3672.0;
+    s.charge = -1.0;
+    s.collision_rate = 60.0;
+    s.screening_strength = 0.8;
+    s.cross_species_weight = 0.3;
+    return s;
+}
+
+}  // namespace bsis::xgc

@@ -1,0 +1,251 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "exec/executor.hpp"
+#include "matrix/conversions.hpp"
+#include "matrix/stencil.hpp"
+#include "util/rng.hpp"
+#include "xgc/workload.hpp"
+
+namespace bsis {
+namespace {
+
+struct Problem {
+    BatchCsr<real_type> a;
+    BatchVector<real_type> b;
+
+    static Problem make(size_type nbatch)
+    {
+        Problem p{make_synthetic_batch(16, 15, StencilKind::nine_point,
+                                       nbatch, {}),
+                  BatchVector<real_type>(nbatch, 240)};
+        Rng rng(17);
+        for (size_type i = 0; i < nbatch; ++i) {
+            auto bv = p.b.entry(i);
+            for (index_type k = 0; k < bv.len; ++k) {
+                bv[k] = rng.uniform(-1.0, 1.0);
+            }
+        }
+        return p;
+    }
+};
+
+real_type residual_inf(const BatchCsr<real_type>& a, size_type entry,
+                       ConstVecView<real_type> x, ConstVecView<real_type> b)
+{
+    std::vector<real_type> r(static_cast<std::size_t>(b.len));
+    spmv(a.entry(entry), x, VecView<real_type>{r.data(), b.len});
+    real_type worst = 0;
+    for (index_type i = 0; i < b.len; ++i) {
+        worst = std::max(worst,
+                         std::abs(r[static_cast<std::size_t>(i)] - b[i]));
+    }
+    return worst;
+}
+
+TEST(SimGpuExecutor, SolvesFunctionallyAndModelsTime)
+{
+    auto p = Problem::make(8);
+    SimGpuExecutor exec(gpusim::a100());
+    SolverSettings s;
+    s.tolerance = 1e-10;
+    BatchVector<real_type> x(8, p.a.rows());
+    const auto report = exec.solve(p.a, p.b, x, s);
+    EXPECT_TRUE(report.log.all_converged());
+    for (size_type i = 0; i < 8; ++i) {
+        EXPECT_LT(residual_inf(p.a, i, x.entry(i), p.b.entry(i)), 1e-9);
+    }
+    EXPECT_GT(report.kernel_seconds,
+              gpusim::a100().launch_overhead_us * 1e-6 * 0.99);
+    EXPECT_GT(report.wall_seconds, 0.0);
+    EXPECT_GT(report.block_cost.per_iteration_us, 0.0);
+    EXPECT_EQ(report.h2d_seconds, 0.0);  // transfers not requested
+}
+
+TEST(SimGpuExecutor, EllKernelModeledFasterThanCsr)
+{
+    auto p = Problem::make(64);
+    auto ell = to_ell(p.a);
+    SimGpuExecutor exec(gpusim::v100());
+    SolverSettings s;
+    s.tolerance = 1e-10;
+    BatchVector<real_type> x(64, p.a.rows());
+    const auto csr_report = exec.solve(p.a, p.b, x, s);
+    const auto ell_report = exec.solve(ell, p.b, x, s);
+    EXPECT_LT(ell_report.kernel_seconds, csr_report.kernel_seconds);
+    // Same arithmetic -> same iteration counts.
+    EXPECT_EQ(csr_report.log.total_iterations(),
+              ell_report.log.total_iterations());
+}
+
+TEST(SimGpuExecutor, PerEntryTimeDropsWithBatchSize)
+{
+    // Fig. 6 right: the GPU saturates with growing batch size.
+    SimGpuExecutor exec(gpusim::a100());
+    SolverSettings s;
+    s.tolerance = 1e-10;
+    double small_per_entry = 0;
+    double large_per_entry = 0;
+    {
+        auto p = Problem::make(4);
+        BatchVector<real_type> x(4, p.a.rows());
+        small_per_entry = exec.solve(p.a, p.b, x, s).per_entry_seconds();
+    }
+    {
+        auto p = Problem::make(256);
+        BatchVector<real_type> x(256, p.a.rows());
+        large_per_entry = exec.solve(p.a, p.b, x, s).per_entry_seconds();
+    }
+    EXPECT_LT(large_per_entry, small_per_entry / 4);
+}
+
+TEST(SimGpuExecutor, Mi100StepsAtComputeUnitMultiples)
+{
+    SimGpuExecutor exec(gpusim::mi100());
+    SolverSettings s;
+    s.tolerance = 1e-10;
+    // Real 992-row systems so occupancy is LDS-limited to one block/CU.
+    xgc::WorkloadParams wp;
+    wp.num_mesh_nodes = 61;  // 122 systems > 120 slots
+    xgc::CollisionWorkload w(wp);
+    auto a = w.make_matrix_batch();
+    w.assemble_batch(w.distributions(), w.distributions(), 0.0035, a);
+    auto& b = w.distributions();
+    BatchVector<real_type> x(w.num_systems(), a.rows());
+    const auto report = exec.solve(a, b, x, s);
+    EXPECT_EQ(report.occupancy.blocks_per_cu, 1);
+    EXPECT_EQ(report.num_waves, 2);  // 122 blocks over 120 slots
+}
+
+TEST(SimGpuExecutor, TransferModelCountsAllOperands)
+{
+    auto p = Problem::make(16);
+    SimGpuExecutor exec(gpusim::v100());
+    SolverSettings s;
+    BatchVector<real_type> x(16, p.a.rows());
+    const auto report = exec.solve(p.a, p.b, x, s, true);
+    EXPECT_GT(report.h2d_seconds, 0.0);
+    EXPECT_GT(report.d2h_seconds, 0.0);
+    EXPECT_GT(report.h2d_seconds, report.d2h_seconds);  // matrix down
+    EXPECT_NEAR(report.total_device_seconds(),
+                report.kernel_seconds + report.h2d_seconds +
+                    report.d2h_seconds,
+                1e-15);
+}
+
+TEST(SimGpuExecutor, SpmvTimingSweepIsMonotone)
+{
+    SimGpuExecutor exec(gpusim::a100());
+    const gpusim::SystemShape shape{992, 8928, 9};
+    const double t1 = exec.spmv_seconds(shape, BatchFormat::ell, 100);
+    const double t2 = exec.spmv_seconds(shape, BatchFormat::ell, 1000);
+    const double t3 = exec.spmv_seconds(shape, BatchFormat::csr, 1000);
+    EXPECT_LT(t1, t2);
+    EXPECT_LT(t2, t3);  // Fig. 7: ELL SpMV beats CSR SpMV
+}
+
+TEST(SimGpuExecutor, DirectQrSlowerThanIterative)
+{
+    // Fig. 6: batched QR is ~10-30x slower than batched BiCGStab.
+    xgc::WorkloadParams wp;
+    wp.num_mesh_nodes = 60;
+    xgc::CollisionWorkload w(wp);
+    auto a = w.make_matrix_batch();
+    w.assemble_batch(w.distributions(), w.distributions(), 0.0035, a);
+    BatchVector<real_type> x(w.num_systems(), a.rows());
+    SimGpuExecutor exec(gpusim::v100());
+    SolverSettings s;
+    s.tolerance = 1e-10;
+    const auto iterative = exec.solve(a, w.distributions(), x, s);
+    const auto [kl, ku] = bandwidths(a);
+    const double qr =
+        exec.direct_qr_seconds(a.rows(), kl, ku, w.num_systems());
+    const double ratio = qr / iterative.kernel_seconds;
+    EXPECT_GT(ratio, 5.0);
+    EXPECT_LT(ratio, 100.0);
+}
+
+TEST(CpuExecutor, GbsvSolvesExactly)
+{
+    auto p = Problem::make(6);
+    CpuExecutor cpu;
+    BatchVector<real_type> x(6, p.a.rows());
+    const auto report = cpu.gbsv(p.a, p.b, x);
+    for (size_type i = 0; i < 6; ++i) {
+        EXPECT_LT(residual_inf(p.a, i, x.entry(i), p.b.entry(i)), 1e-11);
+    }
+    EXPECT_GT(report.wall_seconds, 0.0);
+    EXPECT_GT(report.per_system_seconds, 0.0);
+}
+
+TEST(CpuExecutor, NodeModelScalesInCoreWaves)
+{
+    auto p38 = Problem::make(38);
+    auto p39 = Problem::make(39);
+    CpuExecutor cpu;
+    BatchVector<real_type> x38(38, p38.a.rows());
+    BatchVector<real_type> x39(39, p39.a.rows());
+    const auto r38 = cpu.gbsv(p38.a, p38.b, x38);
+    const auto r39 = cpu.gbsv(p39.a, p39.b, x39);
+    // 38 systems = one wave over 38 cores; 39 = two waves.
+    EXPECT_NEAR(r39.node_seconds, 2 * r38.node_seconds, 1e-12);
+}
+
+TEST(CpuExecutor, MatchesIterativeSolution)
+{
+    auto p = Problem::make(3);
+    CpuExecutor cpu;
+    BatchVector<real_type> x_direct(3, p.a.rows());
+    cpu.gbsv(p.a, p.b, x_direct);
+    SimGpuExecutor gpu(gpusim::a100());
+    SolverSettings s;
+    s.tolerance = 1e-12;
+    BatchVector<real_type> x_iter(3, p.a.rows());
+    gpu.solve(p.a, p.b, x_iter, s);
+    for (size_type i = 0; i < 3; ++i) {
+        for (index_type k = 0; k < p.a.rows(); ++k) {
+            EXPECT_NEAR(x_direct.entry(i)[k], x_iter.entry(i)[k], 1e-8);
+        }
+    }
+}
+
+TEST(CpuExecutor, IterativeModelSolvesAndScalesWithIterations)
+{
+    auto p = Problem::make(8);
+    CpuExecutor cpu;
+    SolverSettings s;
+    s.tolerance = 1e-10;
+    BatchVector<real_type> x(8, p.a.rows());
+    const auto tight = cpu.iterative(p.a, p.b, x, s);
+    for (size_type i = 0; i < 8; ++i) {
+        EXPECT_LT(residual_inf(p.a, i, x.entry(i), p.b.entry(i)), 1e-8);
+    }
+    s.tolerance = 1e-4;  // fewer iterations -> cheaper model
+    const auto loose = cpu.iterative(p.a, p.b, x, s);
+    EXPECT_GT(tight.node_seconds, loose.node_seconds);
+    EXPECT_GT(tight.per_system_seconds, 0.0);
+}
+
+TEST(GpuSolveReport, StorageConfigurationIsExposed)
+{
+    xgc::WorkloadParams wp;
+    wp.num_mesh_nodes = 1;
+    xgc::CollisionWorkload w(wp);
+    auto a = w.make_matrix_batch();
+    w.assemble_batch(w.distributions(), w.distributions(), 0.0035, a);
+    auto ell = to_ell(a);
+    BatchVector<real_type> x(2, a.rows());
+    SimGpuExecutor exec(gpusim::v100());
+    SolverSettings s;
+    s.tolerance = 1e-10;
+    const auto report = exec.solve(ell, w.distributions(), x, s);
+    // The paper's V100 configuration: 6 of 10 vectors in shared memory
+    // (9 solver vectors + Jacobi diagonal).
+    EXPECT_EQ(report.storage.num_shared, 6);
+    EXPECT_EQ(report.storage.num_global, 4);
+    EXPECT_EQ(report.block_threads, 992);
+}
+
+}  // namespace
+}  // namespace bsis

@@ -1,0 +1,195 @@
+// Cross-module integration tests: the full pipeline the benchmarks rely
+// on -- XGC workload -> batched matrices -> executors (simulated GPUs and
+// the CPU baseline) -> Picard driver -> I/O round trip.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+
+#include "exec/executor.hpp"
+#include "io/matrix_market.hpp"
+#include "matrix/conversions.hpp"
+#include "xgc/picard.hpp"
+#include "xgc/workload.hpp"
+
+namespace bsis {
+namespace {
+
+using xgc::CollisionWorkload;
+using xgc::PicardSettings;
+using xgc::WorkloadParams;
+
+TEST(Integration, GpuAndCpuSolversAgreeOnXgcMatrices)
+{
+    WorkloadParams wp;
+    wp.num_mesh_nodes = 2;
+    CollisionWorkload w(wp);
+    auto a = w.make_matrix_batch();
+    w.assemble_batch(w.distributions(), w.distributions(), 0.0035, a);
+    const auto& b = w.distributions();
+
+    SimGpuExecutor gpu(gpusim::a100());
+    SolverSettings s;
+    s.tolerance = 1e-11;
+    s.max_iterations = 500;
+    BatchVector<real_type> x_gpu(w.num_systems(), a.rows());
+    const auto gpu_report = gpu.solve(a, b, x_gpu, s);
+    ASSERT_TRUE(gpu_report.log.all_converged());
+
+    CpuExecutor cpu;
+    BatchVector<real_type> x_cpu(w.num_systems(), a.rows());
+    cpu.gbsv(a, b, x_cpu);
+
+    for (size_type i = 0; i < w.num_systems(); ++i) {
+        real_type scale = 0;
+        for (index_type k = 0; k < a.rows(); ++k) {
+            scale = std::max(scale, std::abs(x_cpu.entry(i)[k]));
+        }
+        for (index_type k = 0; k < a.rows(); ++k) {
+            ASSERT_NEAR(x_gpu.entry(i)[k], x_cpu.entry(i)[k],
+                        1e-7 * scale)
+                << "system " << i << " row " << k;
+        }
+    }
+}
+
+TEST(Integration, PicardThroughSimulatedGpu)
+{
+    WorkloadParams wp;
+    wp.num_mesh_nodes = 2;
+    CollisionWorkload w(wp);
+    SimGpuExecutor gpu(gpusim::v100());
+    SolverSettings s;
+    s.tolerance = 1e-10;
+    s.max_iterations = 500;
+
+    double modeled_total = 0;
+    const auto solver = [&](const BatchCsr<real_type>& a,
+                            const BatchVector<real_type>& b,
+                            BatchVector<real_type>& x, bool warm,
+                            int /*k*/) {
+        auto ell = to_ell(a);
+        SolverSettings local = s;
+        local.use_initial_guess = warm;
+        auto report = gpu.solve(ell, b, x, local);
+        modeled_total += report.kernel_seconds;
+        return report.log;
+    };
+    const auto report =
+        implicit_collision_step(w, PicardSettings{}, solver);
+    EXPECT_TRUE(report.converged);
+    EXPECT_LT(report.max_conservation_error(), 1e-12);
+    EXPECT_GT(modeled_total, 0.0);
+    for (const auto& log : report.linear_logs) {
+        EXPECT_TRUE(log.all_converged());
+    }
+}
+
+TEST(Integration, EllAndCsrPicardGiveSamePhysics)
+{
+    WorkloadParams wp;
+    wp.num_mesh_nodes = 1;
+    SolverSettings s;
+    s.tolerance = 1e-12;
+    s.max_iterations = 500;
+
+    CollisionWorkload w_csr(wp);
+    CollisionWorkload w_ell(wp);
+    const auto csr_solver = xgc::make_reference_solver(s);
+    const auto ell_solver = [&](const BatchCsr<real_type>& a,
+                                const BatchVector<real_type>& b,
+                                BatchVector<real_type>& x, bool warm,
+                                int /*k*/) {
+        auto ell = to_ell(a);
+        SolverSettings local = s;
+        local.use_initial_guess = warm;
+        return solve_batch(ell, b, x, local).log;
+    };
+    const auto r1 =
+        implicit_collision_step(w_csr, PicardSettings{}, csr_solver);
+    const auto r2 =
+        implicit_collision_step(w_ell, PicardSettings{}, ell_solver);
+    ASSERT_TRUE(r1.converged);
+    ASSERT_TRUE(r2.converged);
+    for (size_type sys = 0; sys < w_csr.num_systems(); ++sys) {
+        const auto f1 = w_csr.distributions().entry(sys);
+        const auto f2 = w_ell.distributions().entry(sys);
+        for (index_type k = 0; k < f1.len; ++k) {
+            ASSERT_NEAR(f1[k], f2[k], 1e-9 * std::abs(f1[k]) + 1e-16);
+        }
+    }
+}
+
+TEST(Integration, WorkloadBatchSurvivesDiskRoundTrip)
+{
+    WorkloadParams wp;
+    wp.n_vpar = 8;
+    wp.n_vperp = 7;
+    wp.num_mesh_nodes = 2;
+    CollisionWorkload w(wp);
+    auto a = w.make_matrix_batch();
+    w.assemble_batch(w.distributions(), w.distributions(), 0.0035, a);
+
+    const std::string root =
+        (std::filesystem::temp_directory_path() / "bsis_integration")
+            .string();
+    std::filesystem::remove_all(root);
+    io::write_batch(root, a, w.distributions());
+    const auto [a2, b2] = io::read_batch(root);
+    std::filesystem::remove_all(root);
+
+    // Solving the reloaded batch gives the same solutions.
+    SolverSettings s;
+    s.tolerance = 1e-11;
+    BatchVector<real_type> x1(a.num_batch(), a.rows());
+    BatchVector<real_type> x2(a.num_batch(), a.rows());
+    solve_batch(a, w.distributions(), x1, s);
+    solve_batch(a2, b2, x2, s);
+    for (size_type i = 0; i < a.num_batch(); ++i) {
+        for (index_type k = 0; k < a.rows(); ++k) {
+            ASSERT_NEAR(x1.entry(i)[k], x2.entry(i)[k],
+                        1e-9 * std::abs(x1.entry(i)[k]) + 1e-15);
+        }
+    }
+}
+
+TEST(Integration, CombinedBatchSpeedupOverCpuInPaperBand)
+{
+    // The headline claim (Fig. 9): batched BiCGStab(ELL) on the GPUs beats
+    // dgbsv on the Skylake node by ~4-9x for combined ion+electron batches
+    // over 5 warm-started Picard iterations. Use a modest batch (the
+    // models saturate) and require the modeled speedup to land in a
+    // generous band around the paper's.
+    WorkloadParams wp;
+    wp.num_mesh_nodes = 120;  // 240 systems: saturates all device models
+    CollisionWorkload w(wp);
+    SolverSettings s;
+    s.tolerance = 1e-10;
+    s.max_iterations = 500;
+
+    SimGpuExecutor gpu(gpusim::a100());
+    CpuExecutor cpu;
+    double gpu_total = 0;
+    double cpu_total = 0;
+    const auto solver = [&](const BatchCsr<real_type>& a,
+                            const BatchVector<real_type>& b,
+                            BatchVector<real_type>& x, bool warm,
+                            int /*k*/) {
+        auto ell = to_ell(a);
+        SolverSettings local = s;
+        local.use_initial_guess = warm;
+        auto report = gpu.solve(ell, b, x, local);
+        gpu_total += report.kernel_seconds;
+
+        BatchVector<real_type> x_cpu(a.num_batch(), a.rows());
+        cpu_total += cpu.gbsv(a, b, x_cpu).node_seconds;
+        return report.log;
+    };
+    implicit_collision_step(w, PicardSettings{}, solver);
+    const double speedup = cpu_total / gpu_total;
+    EXPECT_GT(speedup, 2.0);
+    EXPECT_LT(speedup, 20.0);
+}
+
+}  // namespace
+}  // namespace bsis

@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+#include "io/matrix_market.hpp"
+#include "matrix/stencil.hpp"
+#include "util/rng.hpp"
+
+namespace bsis::io {
+namespace {
+
+TEST(MatrixMarket, MatrixRoundTrip)
+{
+    auto batch = make_synthetic_batch(5, 4, StencilKind::nine_point, 2, {});
+    const auto coo = to_coo(batch, 1);
+    std::stringstream stream;
+    write_matrix(stream, coo);
+    const auto read = read_matrix(stream);
+    ASSERT_EQ(read.rows, coo.rows);
+    ASSERT_EQ(read.values.size(), coo.values.size());
+    for (std::size_t k = 0; k < coo.values.size(); ++k) {
+        EXPECT_EQ(read.row_idxs[k], coo.row_idxs[k]);
+        EXPECT_EQ(read.col_idxs[k], coo.col_idxs[k]);
+        EXPECT_DOUBLE_EQ(read.values[k], coo.values[k]);
+    }
+}
+
+TEST(MatrixMarket, VectorRoundTrip)
+{
+    std::vector<real_type> v{1.5, -2.25, 1e-17, 3.0};
+    std::stringstream stream;
+    write_vector(stream, ConstVecView<real_type>{v.data(), 4});
+    const auto read = read_vector(stream);
+    ASSERT_EQ(read.size(), 4u);
+    for (std::size_t i = 0; i < 4; ++i) {
+        EXPECT_DOUBLE_EQ(read[i], v[i]);
+    }
+}
+
+TEST(MatrixMarket, ReadsSymmetricFilesExpanded)
+{
+    std::stringstream stream(
+        "%%MatrixMarket matrix coordinate real symmetric\n"
+        "% comment line\n"
+        "2 2 2\n"
+        "1 1 4.0\n"
+        "2 1 -1.0\n");
+    const auto coo = read_matrix(stream);
+    EXPECT_EQ(coo.values.size(), 3u);  // off-diagonal mirrored
+}
+
+TEST(MatrixMarket, ParseErrors)
+{
+    {
+        std::stringstream s("not a banner\n1 1 0\n");
+        EXPECT_THROW(read_matrix(s), ParseError);
+    }
+    {
+        std::stringstream s("%%MatrixMarket matrix array real general\n2 1\n1\n2\n");
+        EXPECT_THROW(read_matrix(s), ParseError);  // array, not coordinate
+    }
+    {
+        std::stringstream s(
+            "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n");
+        EXPECT_THROW(read_matrix(s), ParseError);  // index out of range
+    }
+    {
+        std::stringstream s(
+            "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n");
+        EXPECT_THROW(read_matrix(s), ParseError);  // truncated
+    }
+    {
+        std::stringstream s("%%MatrixMarket matrix array real general\n2 3\n");
+        EXPECT_THROW(read_vector(s), ParseError);  // not a column
+    }
+}
+
+TEST(MatrixMarket, FromCooRequiresSharedPattern)
+{
+    Coo a;
+    a.rows = a.cols = 2;
+    a.row_idxs = {0, 1};
+    a.col_idxs = {0, 1};
+    a.values = {1.0, 2.0};
+    Coo b = a;
+    b.col_idxs = {1, 1};  // different pattern
+    EXPECT_THROW(from_coo({a, b}), DimensionMismatch);
+    EXPECT_NO_THROW(from_coo({a, a}));
+}
+
+TEST(MatrixMarket, FromCooSortsTripletsIntoCsr)
+{
+    Coo a;
+    a.rows = a.cols = 3;
+    // Unsorted triplets.
+    a.row_idxs = {2, 0, 1, 0};
+    a.col_idxs = {2, 1, 1, 0};
+    a.values = {3.0, 2.0, 5.0, 1.0};
+    const auto batch = from_coo({a});
+    EXPECT_EQ(batch.row_ptrs(), (std::vector<index_type>{0, 2, 3, 4}));
+    EXPECT_EQ(batch.col_idxs(), (std::vector<index_type>{0, 1, 1, 2}));
+    EXPECT_EQ(batch.values(0)[0], 1.0);
+    EXPECT_EQ(batch.values(0)[1], 2.0);
+    EXPECT_EQ(batch.values(0)[2], 5.0);
+    EXPECT_EQ(batch.values(0)[3], 3.0);
+}
+
+TEST(BatchFolder, WriteReadRoundTrip)
+{
+    const std::string root =
+        (std::filesystem::temp_directory_path() / "bsis_io_test").string();
+    std::filesystem::remove_all(root);
+
+    auto a = make_synthetic_batch(6, 5, StencilKind::nine_point, 3, {});
+    BatchVector<real_type> b(3, a.rows());
+    Rng rng(3);
+    for (size_type i = 0; i < 3; ++i) {
+        auto bv = b.entry(i);
+        for (index_type k = 0; k < bv.len; ++k) {
+            bv[k] = rng.uniform(-1.0, 1.0);
+        }
+    }
+    write_batch(root, a, b);
+    const auto [a2, b2] = read_batch(root);
+    ASSERT_EQ(a2.num_batch(), 3);
+    ASSERT_EQ(a2.rows(), a.rows());
+    EXPECT_EQ(a2.row_ptrs(), a.row_ptrs());
+    EXPECT_EQ(a2.col_idxs(), a.col_idxs());
+    for (size_type i = 0; i < 3; ++i) {
+        for (index_type k = 0; k < a.nnz_per_entry(); ++k) {
+            ASSERT_DOUBLE_EQ(a2.values(i)[k], a.values(i)[k]);
+        }
+        for (index_type k = 0; k < a.rows(); ++k) {
+            ASSERT_DOUBLE_EQ(b2.entry(i)[k], b.entry(i)[k]);
+        }
+    }
+    std::filesystem::remove_all(root);
+}
+
+TEST(BatchFolder, ReadMissingRootThrows)
+{
+    EXPECT_THROW(read_batch("/nonexistent/bsis_dir"), Error);
+}
+
+}  // namespace
+}  // namespace bsis::io

@@ -1,0 +1,341 @@
+// Property-based tests: randomized sweeps over module invariants,
+// parameterized by RNG seed (deterministic generators, so failures
+// reproduce exactly).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "core/solver.hpp"
+#include "core/storage_config.hpp"
+#include "gpusim/cache.hpp"
+#include "gpusim/scheduler.hpp"
+#include "lapack/banded_lu.hpp"
+#include "lapack/dense.hpp"
+#include "matrix/conversions.hpp"
+#include "matrix/stats.hpp"
+#include "util/rng.hpp"
+#include "xgc/distribution.hpp"
+#include "xgc/grid.hpp"
+
+namespace bsis {
+namespace {
+
+class Seeded : public ::testing::TestWithParam<std::uint64_t> {};
+
+/// Random square CSR batch with a random (shared) pattern: every row gets
+/// the diagonal plus a random set of off-diagonals; values are diagonally
+/// dominant so every solver and factorization applies.
+BatchCsr<real_type> random_sparse_batch(Rng& rng, index_type n,
+                                        size_type nbatch)
+{
+    std::vector<index_type> row_ptrs(static_cast<std::size_t>(n) + 1, 0);
+    std::vector<index_type> col_idxs;
+    for (index_type r = 0; r < n; ++r) {
+        std::vector<index_type> cols{r};
+        const int extras = static_cast<int>(rng.uniform_int(6));
+        for (int e = 0; e < extras; ++e) {
+            cols.push_back(static_cast<index_type>(rng.uniform_int(
+                static_cast<std::uint64_t>(n))));
+        }
+        std::sort(cols.begin(), cols.end());
+        cols.erase(std::unique(cols.begin(), cols.end()), cols.end());
+        for (const auto c : cols) {
+            col_idxs.push_back(c);
+        }
+        row_ptrs[static_cast<std::size_t>(r) + 1] =
+            static_cast<index_type>(col_idxs.size());
+    }
+    BatchCsr<real_type> batch(nbatch, n, row_ptrs, col_idxs);
+    for (size_type b = 0; b < nbatch; ++b) {
+        real_type* vals = batch.values(b);
+        const auto& ptrs = batch.row_ptrs();
+        const auto& cols = batch.col_idxs();
+        for (index_type r = 0; r < n; ++r) {
+            real_type off = 0;
+            index_type diag_pos = -1;
+            for (index_type p = ptrs[r]; p < ptrs[r + 1]; ++p) {
+                if (cols[p] == r) {
+                    diag_pos = p;
+                } else {
+                    vals[p] = rng.uniform(-1.0, 1.0);
+                    off += std::abs(vals[p]);
+                }
+            }
+            vals[diag_pos] = off + 1.0 + rng.uniform();
+        }
+    }
+    return batch;
+}
+
+TEST_P(Seeded, ConversionChainPreservesSpmvOnRandomPatterns)
+{
+    Rng rng(GetParam());
+    const index_type n = 20 + static_cast<index_type>(rng.uniform_int(60));
+    auto csr = random_sparse_batch(rng, n, 3);
+    auto ell = to_ell(csr);
+    auto sellp = to_sellp(csr, 8);
+    auto back = to_csr(ell);
+
+    std::vector<real_type> x(static_cast<std::size_t>(n));
+    for (auto& v : x) {
+        v = rng.uniform(-1.0, 1.0);
+    }
+    for (size_type b = 0; b < 3; ++b) {
+        std::vector<real_type> y0(static_cast<std::size_t>(n));
+        std::vector<real_type> y1(static_cast<std::size_t>(n));
+        const ConstVecView<real_type> xv{x.data(), n};
+        spmv(csr.entry(b), xv, VecView<real_type>{y0.data(), n});
+        spmv(ell.entry(b), xv, VecView<real_type>{y1.data(), n});
+        for (index_type i = 0; i < n; ++i) {
+            ASSERT_NEAR(y0[static_cast<std::size_t>(i)],
+                        y1[static_cast<std::size_t>(i)], 1e-13);
+        }
+        spmv(sellp.entry(b), xv, VecView<real_type>{y1.data(), n});
+        for (index_type i = 0; i < n; ++i) {
+            ASSERT_NEAR(y0[static_cast<std::size_t>(i)],
+                        y1[static_cast<std::size_t>(i)], 1e-13);
+        }
+        spmv(back.entry(b), xv, VecView<real_type>{y1.data(), n});
+        for (index_type i = 0; i < n; ++i) {
+            ASSERT_NEAR(y0[static_cast<std::size_t>(i)],
+                        y1[static_cast<std::size_t>(i)], 1e-13);
+        }
+    }
+}
+
+TEST_P(Seeded, TransposeSpmvIsAdjointOfSpmv)
+{
+    // <A x, y> == <x, A^T y> for random vectors, all formats.
+    Rng rng(GetParam() + 1000);
+    const index_type n = 16 + static_cast<index_type>(rng.uniform_int(48));
+    auto csr = random_sparse_batch(rng, n, 1);
+    auto ell = to_ell(csr);
+    std::vector<real_type> x(static_cast<std::size_t>(n));
+    std::vector<real_type> y(static_cast<std::size_t>(n));
+    for (index_type i = 0; i < n; ++i) {
+        x[static_cast<std::size_t>(i)] = rng.uniform(-1.0, 1.0);
+        y[static_cast<std::size_t>(i)] = rng.uniform(-1.0, 1.0);
+    }
+    std::vector<real_type> ax(static_cast<std::size_t>(n));
+    std::vector<real_type> aty(static_cast<std::size_t>(n));
+    const ConstVecView<real_type> xv{x.data(), n};
+    const ConstVecView<real_type> yv{y.data(), n};
+    spmv(csr.entry(0), xv, VecView<real_type>{ax.data(), n});
+    spmv_transpose(csr.entry(0), yv, VecView<real_type>{aty.data(), n});
+    const real_type lhs = blas::dot(ConstVecView<real_type>{ax.data(), n},
+                                    yv);
+    const real_type rhs = blas::dot(xv,
+                                    ConstVecView<real_type>{aty.data(), n});
+    EXPECT_NEAR(lhs, rhs, 1e-11 * (std::abs(lhs) + 1));
+    // ELL transpose agrees with CSR transpose.
+    std::vector<real_type> aty_ell(static_cast<std::size_t>(n));
+    spmv_transpose(ell.entry(0), yv, VecView<real_type>{aty_ell.data(), n});
+    for (index_type i = 0; i < n; ++i) {
+        ASSERT_NEAR(aty_ell[static_cast<std::size_t>(i)],
+                    aty[static_cast<std::size_t>(i)], 1e-12);
+    }
+}
+
+TEST_P(Seeded, EverySolverReachesToleranceOnRandomBatches)
+{
+    Rng rng(GetParam() + 2000);
+    const index_type n = 24 + static_cast<index_type>(rng.uniform_int(40));
+    auto csr = random_sparse_batch(rng, n, 2);
+    BatchVector<real_type> b(2, n);
+    for (size_type i = 0; i < 2; ++i) {
+        for (auto& v : b.entry(i)) {
+            v = rng.uniform(-1.0, 1.0);
+        }
+    }
+    for (const auto solver :
+         {SolverType::bicgstab, SolverType::bicg, SolverType::cgs,
+          SolverType::gmres}) {
+        SolverSettings s;
+        s.solver = solver;
+        s.tolerance = 1e-9;
+        s.max_iterations = 2000;
+        BatchVector<real_type> x(2, n);
+        const auto result = solve_batch(csr, b, x, s);
+        EXPECT_TRUE(result.log.all_converged())
+            << "solver " << static_cast<int>(solver) << " seed "
+            << GetParam();
+        for (size_type i = 0; i < 2; ++i) {
+            EXPECT_LE(result.log.residual_norm(i), 1e-9);
+        }
+    }
+}
+
+TEST_P(Seeded, GreedyScheduleNeverWorseThanWaveQuantized)
+{
+    Rng rng(GetParam() + 3000);
+    const int n = 50 + static_cast<int>(rng.uniform_int(200));
+    const int slots = 8 + static_cast<int>(rng.uniform_int(64));
+    std::vector<double> durations;
+    durations.reserve(static_cast<std::size_t>(n));
+    double total = 0;
+    double longest = 0;
+    for (int i = 0; i < n; ++i) {
+        durations.push_back(rng.uniform(1e-5, 2e-3));
+        total += durations.back();
+        longest = std::max(longest, durations.back());
+    }
+    const auto greedy = gpusim::schedule_blocks(
+        durations, slots, gpusim::SchedulingPolicy::greedy_dynamic);
+    const auto wave = gpusim::schedule_blocks(
+        durations, slots, gpusim::SchedulingPolicy::wave_quantized);
+    EXPECT_LE(greedy.makespan_seconds, wave.makespan_seconds + 1e-15);
+    // Lower bounds of any schedule.
+    EXPECT_GE(greedy.makespan_seconds, longest - 1e-15);
+    EXPECT_GE(greedy.makespan_seconds, total / slots - 1e-12);
+    // Greedy list scheduling is within 2x of the trivial lower bound.
+    EXPECT_LE(greedy.makespan_seconds,
+              2 * std::max(longest, total / slots) + 1e-12);
+}
+
+TEST_P(Seeded, CoalescingCoversEveryAccessWithoutDuplicates)
+{
+    Rng rng(GetParam() + 4000);
+    std::vector<std::uint64_t> addrs;
+    for (int lane = 0; lane < 32; ++lane) {
+        addrs.push_back(rng.uniform_int(1 << 20));
+    }
+    std::vector<std::uint64_t> segs;
+    gpusim::coalesce(addrs, 8, 128, segs);
+    // Segments are unique, aligned, and cover every lane access.
+    for (std::size_t i = 1; i < segs.size(); ++i) {
+        EXPECT_LT(segs[i - 1], segs[i]);
+    }
+    for (const auto s : segs) {
+        EXPECT_EQ(s % 128, 0u);
+    }
+    for (const auto a : addrs) {
+        bool covered_lo = false;
+        bool covered_hi = false;
+        for (const auto s : segs) {
+            covered_lo |= a >= s && a < s + 128;
+            covered_hi |= a + 7 >= s && a + 7 < s + 128;
+        }
+        EXPECT_TRUE(covered_lo && covered_hi);
+    }
+    EXPECT_LE(segs.size(), 2 * addrs.size());
+}
+
+TEST_P(Seeded, CacheHitRateImprovesOnSecondPass)
+{
+    Rng rng(GetParam() + 5000);
+    gpusim::Cache cache(16 * 1024, 128, 4);
+    // Working set half the capacity: second pass must hit ~always.
+    std::vector<std::uint64_t> addrs;
+    for (int i = 0; i < 64; ++i) {
+        addrs.push_back(rng.uniform_int(8 * 1024));
+    }
+    for (const auto a : addrs) {
+        cache.access(a);
+    }
+    const auto first = cache.stats();
+    for (const auto a : addrs) {
+        EXPECT_TRUE(cache.access(a)) << "address " << a;
+    }
+    EXPECT_GT(cache.stats().hits, first.hits);
+}
+
+TEST_P(Seeded, MomentFixHitsArbitraryNearbyTargets)
+{
+    Rng rng(GetParam() + 6000);
+    const xgc::VelocityGrid grid(16, 15);
+    xgc::PlasmaState state;
+    state.density = 1.0 + rng.uniform(-0.2, 0.2);
+    state.u_par = rng.uniform(-0.2, 0.2);
+    state.temperature = 1.0 + rng.uniform(-0.3, 0.3);
+    std::vector<real_type> f(static_cast<std::size_t>(grid.rows()));
+    xgc::maxwellian(grid, state, VecView<real_type>{f.data(), grid.rows()});
+    auto target =
+        xgc::conserved(grid, ConstVecView<real_type>{f.data(), grid.rows()});
+    target.density *= 1.0 + rng.uniform(-0.01, 0.01);
+    target.momentum += rng.uniform(-0.01, 0.01);
+    target.energy *= 1.0 + rng.uniform(-0.01, 0.01);
+    xgc::moment_fix(grid, VecView<real_type>{f.data(), grid.rows()},
+                    target);
+    const auto fixed =
+        xgc::conserved(grid, ConstVecView<real_type>{f.data(), grid.rows()});
+    EXPECT_NEAR(fixed.density, target.density,
+                1e-11 * std::abs(target.density));
+    EXPECT_NEAR(fixed.momentum, target.momentum,
+                1e-11 * (std::abs(target.momentum) + 1));
+    EXPECT_NEAR(fixed.energy, target.energy,
+                1e-11 * std::abs(target.energy));
+}
+
+TEST_P(Seeded, StorageConfigInvariants)
+{
+    Rng rng(GetParam() + 7000);
+    const index_type n = 64 + static_cast<index_type>(rng.uniform_int(2000));
+    const index_type warp = rng.uniform() < 0.5 ? 32 : 64;
+    const size_type capacity =
+        static_cast<size_type>(rng.uniform_int(128 * 1024));
+    const auto slots = bicgstab_slots(1);
+    const auto cfg = configure_storage(slots, n, warp, sizeof(real_type),
+                                       capacity);
+    EXPECT_EQ(cfg.num_shared + cfg.num_global,
+              static_cast<int>(slots.size()));
+    EXPECT_EQ(cfg.padded_length % warp, 0);
+    EXPECT_GE(cfg.padded_length, n);
+    EXPECT_LT(cfg.padded_length, n + warp);
+    EXPECT_EQ(cfg.shared_bytes,
+              static_cast<size_type>(cfg.num_shared) * cfg.padded_length *
+                  static_cast<size_type>(sizeof(real_type)));
+    EXPECT_LE(cfg.shared_bytes, capacity);
+    // Monotonicity: more capacity never places fewer vectors.
+    const auto bigger = configure_storage(slots, n, warp, sizeof(real_type),
+                                          capacity * 2 + 4096);
+    EXPECT_GE(bigger.num_shared, cfg.num_shared);
+}
+
+TEST_P(Seeded, BandedLuMatchesDenseLuOnRandomBands)
+{
+    Rng rng(GetParam() + 8000);
+    const index_type n = 12 + static_cast<index_type>(rng.uniform_int(30));
+    const auto kl =
+        static_cast<index_type>(rng.uniform_int(std::min(n - 1, 5)));
+    const auto ku =
+        static_cast<index_type>(rng.uniform_int(std::min(n - 1, 5)));
+    BatchBanded<real_type> banded(1, n, kl, ku);
+    BatchDense<real_type> dense(1, n, n);
+    auto bv = banded.entry(0);
+    auto dv = dense.entry(0);
+    for (index_type i = 0; i < n; ++i) {
+        real_type off = 0;
+        for (index_type j = std::max<index_type>(0, i - kl);
+             j <= std::min<index_type>(n - 1, i + ku); ++j) {
+            if (j != i) {
+                bv(i, j) = rng.uniform(-1.0, 1.0);
+                dv(i, j) = bv(i, j);
+                off += std::abs(bv(i, j));
+            }
+        }
+        bv(i, i) = off + 1;
+        dv(i, i) = bv(i, i);
+    }
+    std::vector<real_type> rhs(static_cast<std::size_t>(n));
+    for (auto& v : rhs) {
+        v = rng.uniform(-1.0, 1.0);
+    }
+    auto x_banded = rhs;
+    auto x_dense = rhs;
+    lapack::gbsv(banded.entry(0), VecView<real_type>{x_banded.data(), n});
+    lapack::gesv(dense.entry(0), VecView<real_type>{x_dense.data(), n});
+    for (index_type i = 0; i < n; ++i) {
+        ASSERT_NEAR(x_banded[static_cast<std::size_t>(i)],
+                    x_dense[static_cast<std::size_t>(i)], 1e-10);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Seeded,
+                         ::testing::Values<std::uint64_t>(1, 2, 3, 5, 8, 13,
+                                                          21, 34));
+
+}  // namespace
+}  // namespace bsis

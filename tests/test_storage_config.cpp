@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include "core/storage_config.hpp"
+#include "core/work_profile.hpp"
+#include "gpusim/device.hpp"
+#include "gpusim/occupancy.hpp"
+
+namespace bsis {
+namespace {
+
+TEST(StorageConfig, PadsLengthToWarpMultiple)
+{
+    const auto cfg = configure_storage(bicgstab_slots(0), 991, 32, 8,
+                                       1 << 20);
+    EXPECT_EQ(cfg.padded_length, 992);
+    const auto cfg64 = configure_storage(bicgstab_slots(0), 992, 64, 8,
+                                         1 << 20);
+    EXPECT_EQ(cfg64.padded_length, 1024);
+}
+
+TEST(StorageConfig, AllVectorsFitWithAmpleSharedMemory)
+{
+    const auto cfg = configure_storage(bicgstab_slots(1), 992, 32, 8,
+                                       1 << 20);
+    EXPECT_EQ(cfg.num_shared, 10);
+    EXPECT_EQ(cfg.num_global, 0);
+    EXPECT_EQ(cfg.shared_bytes, size_type{10} * 992 * 8);
+}
+
+TEST(StorageConfig, V100PlacesSixOfNineVectorsInShared)
+{
+    // The paper (Section IV-D): "On the V100, this method allocates 6
+    // vectors in local shared memory, while the remaining 3 vectors are
+    // allocated in global device memory."
+    const auto& v100 = gpusim::v100();
+    const auto cfg = configure_storage(
+        bicgstab_slots(0), 992, v100.warp_size, sizeof(real_type),
+        static_cast<size_type>(v100.max_shared_kib_per_block * 1024));
+    EXPECT_EQ(cfg.num_shared, 6);
+    EXPECT_EQ(cfg.num_global, 3);
+}
+
+TEST(StorageConfig, SpmvVectorsArePlacedFirst)
+{
+    // Capacity for exactly 4 vectors: the reds of Algorithm 1 must win.
+    const size_type capacity = size_type{4} * 992 * 8;
+    const auto cfg =
+        configure_storage(bicgstab_slots(0), 992, 32, 8, capacity);
+    EXPECT_EQ(cfg.num_shared, 4);
+    EXPECT_TRUE(cfg.in_shared("p_hat"));
+    EXPECT_TRUE(cfg.in_shared("v"));
+    EXPECT_TRUE(cfg.in_shared("s_hat"));
+    EXPECT_TRUE(cfg.in_shared("t"));
+    EXPECT_FALSE(cfg.in_shared("r"));
+    EXPECT_FALSE(cfg.in_shared("x"));
+}
+
+TEST(StorageConfig, PrecondStorageIsPlacedLast)
+{
+    const size_type capacity = size_type{9} * 992 * 8;
+    const auto cfg =
+        configure_storage(bicgstab_slots(1), 992, 32, 8, capacity);
+    EXPECT_EQ(cfg.num_shared, 9);
+    EXPECT_FALSE(cfg.in_shared("prec_0"));
+}
+
+TEST(StorageConfig, ZeroCapacitySpillsEverything)
+{
+    const auto cfg = configure_storage(bicgstab_slots(1), 992, 32, 8, 0);
+    EXPECT_EQ(cfg.num_shared, 0);
+    EXPECT_EQ(cfg.num_global, 10);
+    EXPECT_EQ(cfg.shared_bytes, 0);
+}
+
+TEST(StorageConfig, UnknownSlotNameThrows)
+{
+    const auto cfg = configure_storage(bicgstab_slots(0), 32, 32, 8, 1024);
+    EXPECT_THROW(cfg.in_shared("nonexistent"), BadArgument);
+}
+
+TEST(StorageConfig, SlotListsMatchSolverRequirements)
+{
+    EXPECT_EQ(bicgstab_slots(0).size(), 9u);
+    EXPECT_EQ(bicgstab_slots(1).size(), 10u);
+    EXPECT_EQ(cgs_slots(1).size(), 10u);
+    EXPECT_EQ(cg_slots(1).size(), 6u);
+    EXPECT_EQ(richardson_slots(0).size(), 3u);
+    EXPECT_EQ(gmres_slots(30, 1).size(), 4u + 31u + 1u);
+    EXPECT_THROW(gmres_slots(0, 0), BadArgument);
+}
+
+TEST(StorageConfig, PrecondWorkVectorsPerType)
+{
+    EXPECT_EQ(precond_work_vectors(PrecondType::identity), 0);
+    EXPECT_EQ(precond_work_vectors(PrecondType::jacobi), 1);
+    EXPECT_EQ(precond_work_vectors(PrecondType::block_jacobi, 8), 8);
+}
+
+TEST(Occupancy, PaperGpusGetExpectedBlocksPerCu)
+{
+    // BiCGStab on the 992-row systems: V100 2 blocks/SM, A100 2 blocks/SM,
+    // MI100 1 block/CU (LDS-limited) -- the MI100 steps in Fig. 6 are at
+    // multiples of 120 = 1 block x 120 CUs.
+    const auto config_for = [](const gpusim::DeviceSpec& d) {
+        return configure_storage(
+            bicgstab_slots(1), 992, d.warp_size, sizeof(real_type),
+            static_cast<size_type>(d.max_shared_kib_per_block * 1024));
+    };
+    const auto& v100 = gpusim::v100();
+    const auto& a100 = gpusim::a100();
+    const auto& mi100 = gpusim::mi100();
+    EXPECT_EQ(gpusim::compute_occupancy(v100, 992,
+                                        config_for(v100).shared_bytes)
+                  .blocks_per_cu,
+              2);
+    EXPECT_EQ(gpusim::compute_occupancy(a100, 992,
+                                        config_for(a100).shared_bytes)
+                  .blocks_per_cu,
+              2);
+    EXPECT_EQ(gpusim::compute_occupancy(mi100, 1024,
+                                        config_for(mi100).shared_bytes)
+                  .blocks_per_cu,
+              1);
+    EXPECT_EQ(gpusim::compute_occupancy(mi100, 1024,
+                                        config_for(mi100).shared_bytes)
+                  .device_slots(mi100),
+              120);
+}
+
+TEST(Occupancy, ThreadLimitCapsSmallBlocks)
+{
+    const auto& v100 = gpusim::v100();
+    const auto occ = gpusim::compute_occupancy(v100, 64, 0);
+    EXPECT_EQ(occ.blocks_per_cu, v100.max_blocks_per_cu);
+    EXPECT_STREQ(occ.limiter, "blocks");
+}
+
+TEST(Occupancy, SharedLimitDominatesWhenLarge)
+{
+    const auto& v100 = gpusim::v100();
+    // 100 KiB per block: only one fits in the 128 KiB carve-out.
+    const auto occ = gpusim::compute_occupancy(v100, 128, 100 * 1024);
+    EXPECT_EQ(occ.blocks_per_cu, 1);
+    EXPECT_STREQ(occ.limiter, "shared");
+}
+
+TEST(Occupancy, RejectsEmptyBlocks)
+{
+    EXPECT_THROW(gpusim::compute_occupancy(gpusim::v100(), 0, 0),
+                 BadArgument);
+}
+
+}  // namespace
+}  // namespace bsis

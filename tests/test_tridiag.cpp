@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "lapack/tridiag.hpp"
+#include "util/rng.hpp"
+
+namespace bsis::lapack {
+namespace {
+
+/// Fills one tridiagonal entry with a random diagonally dominant system.
+void fill_random(TridiagView<real_type> t, std::uint64_t seed)
+{
+    Rng rng(seed);
+    for (index_type i = 0; i < t.n; ++i) {
+        t.sub[i] = i > 0 ? rng.uniform(-1.0, 1.0) : 0.0;
+        t.sup[i] = i + 1 < t.n ? rng.uniform(-1.0, 1.0) : 0.0;
+        t.diag[i] = std::abs(t.sub[i]) + std::abs(t.sup[i]) + 1.0 +
+                    rng.uniform();
+    }
+}
+
+/// Residual ||A x - b||_inf of a tridiagonal system.
+real_type residual(const TridiagView<real_type>& t,
+                   const std::vector<real_type>& x,
+                   const std::vector<real_type>& b)
+{
+    real_type worst = 0;
+    for (index_type i = 0; i < t.n; ++i) {
+        real_type sum = t.diag[i] * x[static_cast<std::size_t>(i)];
+        if (i > 0) {
+            sum += t.sub[i] * x[static_cast<std::size_t>(i) - 1];
+        }
+        if (i + 1 < t.n) {
+            sum += t.sup[i] * x[static_cast<std::size_t>(i) + 1];
+        }
+        worst = std::max(worst,
+                         std::abs(sum - b[static_cast<std::size_t>(i)]));
+    }
+    return worst;
+}
+
+class TridiagSolvers : public ::testing::TestWithParam<index_type> {};
+
+TEST_P(TridiagSolvers, ThomasSolvesToMachinePrecision)
+{
+    const index_type n = GetParam();
+    BatchTridiag batch(1, n);
+    auto t = batch.entry(0);
+    fill_random(t, 10 + n);
+    // Keep an unfactorized copy for the residual.
+    BatchTridiag copy_batch(1, n);
+    auto copy = copy_batch.entry(0);
+    for (index_type i = 0; i < n; ++i) {
+        copy.sub[i] = t.sub[i];
+        copy.diag[i] = t.diag[i];
+        copy.sup[i] = t.sup[i];
+    }
+    Rng rng(1);
+    std::vector<real_type> b(static_cast<std::size_t>(n));
+    for (auto& v : b) {
+        v = rng.uniform(-1.0, 1.0);
+    }
+    auto x = b;
+    thomas_solve(t, VecView<real_type>{x.data(), n});
+    EXPECT_LT(residual(copy, x, b), 1e-12);
+}
+
+TEST_P(TridiagSolvers, CyclicReductionMatchesThomas)
+{
+    const index_type n = GetParam();
+    BatchTridiag batch(1, n);
+    auto t = batch.entry(0);
+    fill_random(t, 500 + n);
+    Rng rng(2);
+    std::vector<real_type> b(static_cast<std::size_t>(n));
+    for (auto& v : b) {
+        v = rng.uniform(-1.0, 1.0);
+    }
+    auto x_cr = b;
+    cyclic_reduction_solve(t, VecView<real_type>{x_cr.data(), n});
+    EXPECT_LT(residual(t, x_cr, b), 1e-11);  // CR leaves the matrix intact
+    auto x_thomas = b;
+    thomas_solve(t, VecView<real_type>{x_thomas.data(), n});
+    for (index_type i = 0; i < n; ++i) {
+        EXPECT_NEAR(x_cr[static_cast<std::size_t>(i)],
+                    x_thomas[static_cast<std::size_t>(i)], 1e-11);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, TridiagSolvers,
+                         ::testing::Values<index_type>(1, 2, 3, 7, 16, 31,
+                                                       64, 255, 992));
+
+TEST(Tridiag, ThomasThrowsOnZeroPivot)
+{
+    BatchTridiag batch(1, 2);
+    auto t = batch.entry(0);
+    t.diag[0] = 0.0;
+    t.diag[1] = 1.0;
+    std::vector<real_type> b{1.0, 1.0};
+    EXPECT_THROW(thomas_solve(t, VecView<real_type>{b.data(), 2}),
+                 NumericalBreakdown);
+}
+
+TEST(Tridiag, BatchedDriversSolveEverySystem)
+{
+    const index_type n = 64;
+    const size_type nbatch = 12;
+    BatchTridiag a1(nbatch, n);
+    BatchTridiag a2(nbatch, n);
+    BatchVector<real_type> x1(nbatch, n);
+    BatchVector<real_type> x2(nbatch, n);
+    std::vector<std::vector<real_type>> rhs;
+    Rng rng(3);
+    for (size_type b = 0; b < nbatch; ++b) {
+        fill_random(a1.entry(b), 900 + b);
+        auto t1 = a1.entry(b);
+        auto t2 = a2.entry(b);
+        for (index_type i = 0; i < n; ++i) {
+            t2.sub[i] = t1.sub[i];
+            t2.diag[i] = t1.diag[i];
+            t2.sup[i] = t1.sup[i];
+        }
+        rhs.emplace_back(static_cast<std::size_t>(n));
+        for (index_type i = 0; i < n; ++i) {
+            rhs.back()[static_cast<std::size_t>(i)] = rng.uniform(-1.0, 1.0);
+            x1.entry(b)[i] = rhs.back()[static_cast<std::size_t>(i)];
+            x2.entry(b)[i] = rhs.back()[static_cast<std::size_t>(i)];
+        }
+    }
+    batch_thomas(a1, x1);
+    batch_cyclic_reduction(a2, x2);
+    for (size_type b = 0; b < nbatch; ++b) {
+        std::vector<real_type> xs(x2.entry(b).begin(), x2.entry(b).end());
+        EXPECT_LT(residual(a2.entry(b), xs,
+                           rhs[static_cast<std::size_t>(b)]),
+                  1e-11);
+        for (index_type i = 0; i < n; ++i) {
+            EXPECT_NEAR(x1.entry(b)[i], x2.entry(b)[i], 1e-11);
+        }
+    }
+}
+
+class PentadiagSolver : public ::testing::TestWithParam<index_type> {};
+
+TEST_P(PentadiagSolver, SolvesDiagonallyDominantSystems)
+{
+    const index_type n = GetParam();
+    BatchPentadiag batch(1, n);
+    auto p = batch.entry(0);
+    Rng rng(40 + n);
+    for (index_type i = 0; i < n; ++i) {
+        p.sub2[i] = i > 1 ? rng.uniform(-1.0, 1.0) : 0.0;
+        p.sub1[i] = i > 0 ? rng.uniform(-1.0, 1.0) : 0.0;
+        p.sup1[i] = i + 1 < n ? rng.uniform(-1.0, 1.0) : 0.0;
+        p.sup2[i] = i + 2 < n ? rng.uniform(-1.0, 1.0) : 0.0;
+        p.diag[i] = std::abs(p.sub2[i]) + std::abs(p.sub1[i]) +
+                    std::abs(p.sup1[i]) + std::abs(p.sup2[i]) + 1.5;
+    }
+    // Dense copy for the residual check.
+    std::vector<real_type> dense(static_cast<std::size_t>(n) * n, 0.0);
+    for (index_type i = 0; i < n; ++i) {
+        dense[static_cast<std::size_t>(i) * n + i] = p.diag[i];
+        if (i > 0) dense[static_cast<std::size_t>(i) * n + i - 1] = p.sub1[i];
+        if (i > 1) dense[static_cast<std::size_t>(i) * n + i - 2] = p.sub2[i];
+        if (i + 1 < n) dense[static_cast<std::size_t>(i) * n + i + 1] = p.sup1[i];
+        if (i + 2 < n) dense[static_cast<std::size_t>(i) * n + i + 2] = p.sup2[i];
+    }
+    std::vector<real_type> b(static_cast<std::size_t>(n));
+    for (auto& v : b) {
+        v = rng.uniform(-1.0, 1.0);
+    }
+    auto x = b;
+    pentadiag_solve(p, VecView<real_type>{x.data(), n});
+    for (index_type i = 0; i < n; ++i) {
+        real_type sum = 0;
+        for (index_type j = 0; j < n; ++j) {
+            sum += dense[static_cast<std::size_t>(i) * n + j] *
+                   x[static_cast<std::size_t>(j)];
+        }
+        EXPECT_NEAR(sum, b[static_cast<std::size_t>(i)], 1e-11)
+            << "row " << i;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, PentadiagSolver,
+                         ::testing::Values<index_type>(1, 2, 3, 5, 17, 64,
+                                                       255));
+
+TEST(TridiagFlops, ScaleLinearly)
+{
+    EXPECT_GT(lapack::thomas_flops(100), 0);
+    EXPECT_NEAR(lapack::thomas_flops(200) / lapack::thomas_flops(100), 2.0,
+                1e-12);
+    EXPECT_GT(lapack::cyclic_reduction_flops(100),
+              lapack::thomas_flops(100));
+    EXPECT_GT(lapack::pentadiag_flops(100), lapack::thomas_flops(100));
+}
+
+}  // namespace
+}  // namespace bsis::lapack
