@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_blockjacobi.dir/bench_ablation_blockjacobi.cpp.o"
+  "CMakeFiles/bench_ablation_blockjacobi.dir/bench_ablation_blockjacobi.cpp.o.d"
+  "bench_ablation_blockjacobi"
+  "bench_ablation_blockjacobi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_blockjacobi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

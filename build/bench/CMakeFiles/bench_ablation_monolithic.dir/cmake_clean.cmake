@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_monolithic.dir/bench_ablation_monolithic.cpp.o"
+  "CMakeFiles/bench_ablation_monolithic.dir/bench_ablation_monolithic.cpp.o.d"
+  "bench_ablation_monolithic"
+  "bench_ablation_monolithic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_monolithic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_reductions.dir/bench_ablation_reductions.cpp.o"
+  "CMakeFiles/bench_ablation_reductions.dir/bench_ablation_reductions.cpp.o.d"
+  "bench_ablation_reductions"
+  "bench_ablation_reductions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_reductions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_convergence_history.dir/bench_convergence_history.cpp.o"
+  "CMakeFiles/bench_convergence_history.dir/bench_convergence_history.cpp.o.d"
+  "bench_convergence_history"
+  "bench_convergence_history.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_convergence_history.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extension_exascale.dir/bench_extension_exascale.cpp.o"
+  "CMakeFiles/bench_extension_exascale.dir/bench_extension_exascale.cpp.o.d"
+  "bench_extension_exascale"
+  "bench_extension_exascale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extension_exascale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extension_multispecies.dir/bench_extension_multispecies.cpp.o"
+  "CMakeFiles/bench_extension_multispecies.dir/bench_extension_multispecies.cpp.o.d"
+  "bench_extension_multispecies"
+  "bench_extension_multispecies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extension_multispecies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

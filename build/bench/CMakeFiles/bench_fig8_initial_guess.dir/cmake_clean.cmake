@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_initial_guess.dir/bench_fig8_initial_guess.cpp.o"
+  "CMakeFiles/bench_fig8_initial_guess.dir/bench_fig8_initial_guess.cpp.o.d"
+  "bench_fig8_initial_guess"
+  "bench_fig8_initial_guess.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_initial_guess.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

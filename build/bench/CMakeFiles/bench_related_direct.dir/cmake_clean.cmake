@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_related_direct.dir/bench_related_direct.cpp.o"
+  "CMakeFiles/bench_related_direct.dir/bench_related_direct.cpp.o.d"
+  "bench_related_direct"
+  "bench_related_direct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_related_direct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

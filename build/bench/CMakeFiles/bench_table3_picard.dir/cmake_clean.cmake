@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_picard.dir/bench_table3_picard.cpp.o"
+  "CMakeFiles/bench_table3_picard.dir/bench_table3_picard.cpp.o.d"
+  "bench_table3_picard"
+  "bench_table3_picard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_picard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tolerance_study.dir/bench_tolerance_study.cpp.o"
+  "CMakeFiles/bench_tolerance_study.dir/bench_tolerance_study.cpp.o.d"
+  "bench_tolerance_study"
+  "bench_tolerance_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tolerance_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

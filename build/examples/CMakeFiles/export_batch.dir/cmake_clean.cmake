@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/export_batch.dir/export_batch.cpp.o"
+  "CMakeFiles/export_batch.dir/export_batch.cpp.o.d"
+  "export_batch"
+  "export_batch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/export_batch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solve_from_files.dir/solve_from_files.cpp.o"
+  "CMakeFiles/solve_from_files.dir/solve_from_files.cpp.o.d"
+  "solve_from_files"
+  "solve_from_files.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solve_from_files.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

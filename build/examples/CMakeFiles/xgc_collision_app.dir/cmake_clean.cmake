@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xgc_collision_app.dir/xgc_collision_app.cpp.o"
+  "CMakeFiles/xgc_collision_app.dir/xgc_collision_app.cpp.o.d"
+  "xgc_collision_app"
+  "xgc_collision_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xgc_collision_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

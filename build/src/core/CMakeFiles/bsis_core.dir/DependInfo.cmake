@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/monolithic.cpp" "src/core/CMakeFiles/bsis_core.dir/monolithic.cpp.o" "gcc" "src/core/CMakeFiles/bsis_core.dir/monolithic.cpp.o.d"
+  "/root/repo/src/core/solver.cpp" "src/core/CMakeFiles/bsis_core.dir/solver.cpp.o" "gcc" "src/core/CMakeFiles/bsis_core.dir/solver.cpp.o.d"
+  "/root/repo/src/core/storage_config.cpp" "src/core/CMakeFiles/bsis_core.dir/storage_config.cpp.o" "gcc" "src/core/CMakeFiles/bsis_core.dir/storage_config.cpp.o.d"
+  "/root/repo/src/core/tuning.cpp" "src/core/CMakeFiles/bsis_core.dir/tuning.cpp.o" "gcc" "src/core/CMakeFiles/bsis_core.dir/tuning.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/bsis_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/matrix/CMakeFiles/bsis_matrix.dir/DependInfo.cmake"
+  "/root/repo/build/src/lapack/CMakeFiles/bsis_lapack.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsis_core.dir/monolithic.cpp.o"
+  "CMakeFiles/bsis_core.dir/monolithic.cpp.o.d"
+  "CMakeFiles/bsis_core.dir/solver.cpp.o"
+  "CMakeFiles/bsis_core.dir/solver.cpp.o.d"
+  "CMakeFiles/bsis_core.dir/storage_config.cpp.o"
+  "CMakeFiles/bsis_core.dir/storage_config.cpp.o.d"
+  "CMakeFiles/bsis_core.dir/tuning.cpp.o"
+  "CMakeFiles/bsis_core.dir/tuning.cpp.o.d"
+  "libbsis_core.a"
+  "libbsis_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsis_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exec/executor.cpp" "src/exec/CMakeFiles/bsis_exec.dir/executor.cpp.o" "gcc" "src/exec/CMakeFiles/bsis_exec.dir/executor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/bsis_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/bsis_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/lapack/CMakeFiles/bsis_lapack.dir/DependInfo.cmake"
+  "/root/repo/build/src/matrix/CMakeFiles/bsis_matrix.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bsis_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

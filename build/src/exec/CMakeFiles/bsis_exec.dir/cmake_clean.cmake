@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsis_exec.dir/executor.cpp.o"
+  "CMakeFiles/bsis_exec.dir/executor.cpp.o.d"
+  "libbsis_exec.a"
+  "libbsis_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsis_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpusim/cache.cpp" "src/gpusim/CMakeFiles/bsis_gpusim.dir/cache.cpp.o" "gcc" "src/gpusim/CMakeFiles/bsis_gpusim.dir/cache.cpp.o.d"
+  "/root/repo/src/gpusim/cost_model.cpp" "src/gpusim/CMakeFiles/bsis_gpusim.dir/cost_model.cpp.o" "gcc" "src/gpusim/CMakeFiles/bsis_gpusim.dir/cost_model.cpp.o.d"
+  "/root/repo/src/gpusim/device.cpp" "src/gpusim/CMakeFiles/bsis_gpusim.dir/device.cpp.o" "gcc" "src/gpusim/CMakeFiles/bsis_gpusim.dir/device.cpp.o.d"
+  "/root/repo/src/gpusim/occupancy.cpp" "src/gpusim/CMakeFiles/bsis_gpusim.dir/occupancy.cpp.o" "gcc" "src/gpusim/CMakeFiles/bsis_gpusim.dir/occupancy.cpp.o.d"
+  "/root/repo/src/gpusim/scheduler.cpp" "src/gpusim/CMakeFiles/bsis_gpusim.dir/scheduler.cpp.o" "gcc" "src/gpusim/CMakeFiles/bsis_gpusim.dir/scheduler.cpp.o.d"
+  "/root/repo/src/gpusim/simt.cpp" "src/gpusim/CMakeFiles/bsis_gpusim.dir/simt.cpp.o" "gcc" "src/gpusim/CMakeFiles/bsis_gpusim.dir/simt.cpp.o.d"
+  "/root/repo/src/gpusim/simt_kernels.cpp" "src/gpusim/CMakeFiles/bsis_gpusim.dir/simt_kernels.cpp.o" "gcc" "src/gpusim/CMakeFiles/bsis_gpusim.dir/simt_kernels.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/bsis_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/matrix/CMakeFiles/bsis_matrix.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/bsis_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/lapack/CMakeFiles/bsis_lapack.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsis_gpusim.dir/cache.cpp.o"
+  "CMakeFiles/bsis_gpusim.dir/cache.cpp.o.d"
+  "CMakeFiles/bsis_gpusim.dir/cost_model.cpp.o"
+  "CMakeFiles/bsis_gpusim.dir/cost_model.cpp.o.d"
+  "CMakeFiles/bsis_gpusim.dir/device.cpp.o"
+  "CMakeFiles/bsis_gpusim.dir/device.cpp.o.d"
+  "CMakeFiles/bsis_gpusim.dir/occupancy.cpp.o"
+  "CMakeFiles/bsis_gpusim.dir/occupancy.cpp.o.d"
+  "CMakeFiles/bsis_gpusim.dir/scheduler.cpp.o"
+  "CMakeFiles/bsis_gpusim.dir/scheduler.cpp.o.d"
+  "CMakeFiles/bsis_gpusim.dir/simt.cpp.o"
+  "CMakeFiles/bsis_gpusim.dir/simt.cpp.o.d"
+  "CMakeFiles/bsis_gpusim.dir/simt_kernels.cpp.o"
+  "CMakeFiles/bsis_gpusim.dir/simt_kernels.cpp.o.d"
+  "libbsis_gpusim.a"
+  "libbsis_gpusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsis_gpusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsis_io.dir/matrix_market.cpp.o"
+  "CMakeFiles/bsis_io.dir/matrix_market.cpp.o.d"
+  "libbsis_io.a"
+  "libbsis_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsis_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

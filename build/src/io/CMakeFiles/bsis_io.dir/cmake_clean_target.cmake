@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbsis_io.a"
+)

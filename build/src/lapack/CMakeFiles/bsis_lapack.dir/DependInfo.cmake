@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lapack/banded_lu.cpp" "src/lapack/CMakeFiles/bsis_lapack.dir/banded_lu.cpp.o" "gcc" "src/lapack/CMakeFiles/bsis_lapack.dir/banded_lu.cpp.o.d"
+  "/root/repo/src/lapack/banded_qr.cpp" "src/lapack/CMakeFiles/bsis_lapack.dir/banded_qr.cpp.o" "gcc" "src/lapack/CMakeFiles/bsis_lapack.dir/banded_qr.cpp.o.d"
+  "/root/repo/src/lapack/dense.cpp" "src/lapack/CMakeFiles/bsis_lapack.dir/dense.cpp.o" "gcc" "src/lapack/CMakeFiles/bsis_lapack.dir/dense.cpp.o.d"
+  "/root/repo/src/lapack/eigen.cpp" "src/lapack/CMakeFiles/bsis_lapack.dir/eigen.cpp.o" "gcc" "src/lapack/CMakeFiles/bsis_lapack.dir/eigen.cpp.o.d"
+  "/root/repo/src/lapack/tridiag.cpp" "src/lapack/CMakeFiles/bsis_lapack.dir/tridiag.cpp.o" "gcc" "src/lapack/CMakeFiles/bsis_lapack.dir/tridiag.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/bsis_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/matrix/CMakeFiles/bsis_matrix.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

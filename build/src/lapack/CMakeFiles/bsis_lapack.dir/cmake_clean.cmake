@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsis_lapack.dir/banded_lu.cpp.o"
+  "CMakeFiles/bsis_lapack.dir/banded_lu.cpp.o.d"
+  "CMakeFiles/bsis_lapack.dir/banded_qr.cpp.o"
+  "CMakeFiles/bsis_lapack.dir/banded_qr.cpp.o.d"
+  "CMakeFiles/bsis_lapack.dir/dense.cpp.o"
+  "CMakeFiles/bsis_lapack.dir/dense.cpp.o.d"
+  "CMakeFiles/bsis_lapack.dir/eigen.cpp.o"
+  "CMakeFiles/bsis_lapack.dir/eigen.cpp.o.d"
+  "CMakeFiles/bsis_lapack.dir/tridiag.cpp.o"
+  "CMakeFiles/bsis_lapack.dir/tridiag.cpp.o.d"
+  "libbsis_lapack.a"
+  "libbsis_lapack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsis_lapack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bsis_lapack.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsis_matrix.dir/stats.cpp.o"
+  "CMakeFiles/bsis_matrix.dir/stats.cpp.o.d"
+  "CMakeFiles/bsis_matrix.dir/stencil.cpp.o"
+  "CMakeFiles/bsis_matrix.dir/stencil.cpp.o.d"
+  "libbsis_matrix.a"
+  "libbsis_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsis_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsis_util.dir/table.cpp.o"
+  "CMakeFiles/bsis_util.dir/table.cpp.o.d"
+  "CMakeFiles/bsis_util.dir/timer.cpp.o"
+  "CMakeFiles/bsis_util.dir/timer.cpp.o.d"
+  "libbsis_util.a"
+  "libbsis_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsis_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsis_xgc.dir/collision_operator.cpp.o"
+  "CMakeFiles/bsis_xgc.dir/collision_operator.cpp.o.d"
+  "CMakeFiles/bsis_xgc.dir/distribution.cpp.o"
+  "CMakeFiles/bsis_xgc.dir/distribution.cpp.o.d"
+  "CMakeFiles/bsis_xgc.dir/grid.cpp.o"
+  "CMakeFiles/bsis_xgc.dir/grid.cpp.o.d"
+  "CMakeFiles/bsis_xgc.dir/picard.cpp.o"
+  "CMakeFiles/bsis_xgc.dir/picard.cpp.o.d"
+  "CMakeFiles/bsis_xgc.dir/workload.cpp.o"
+  "CMakeFiles/bsis_xgc.dir/workload.cpp.o.d"
+  "libbsis_xgc.a"
+  "libbsis_xgc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsis_xgc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

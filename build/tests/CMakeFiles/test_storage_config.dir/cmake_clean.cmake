@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_storage_config.dir/test_storage_config.cpp.o"
+  "CMakeFiles/test_storage_config.dir/test_storage_config.cpp.o.d"
+  "test_storage_config"
+  "test_storage_config.pdb"
+  "test_storage_config[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_storage_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_xgc.dir/test_xgc.cpp.o"
+  "CMakeFiles/test_xgc.dir/test_xgc.cpp.o.d"
+  "test_xgc"
+  "test_xgc.pdb"
+  "test_xgc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_xgc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
