@@ -12,22 +12,33 @@
 //
 // Batches mix equal numbers of ion and electron matrices at absolute
 // tolerance 1e-10, exactly as in the paper's evaluation.
+//
+// Pass --sanitize to run every GPU solve with the SIMT sanitizer attached;
+// the bench exits nonzero on any reported violation.
+#include <cstring>
 #include <iostream>
 
 #include "common.hpp"
 
-int main()
+int main(int argc, char** argv)
 {
     using namespace bsis;
     using bsis::bench::XgcBatch;
+
+    const bool sanitize =
+        argc > 1 && std::strcmp(argv[1], "--sanitize") == 0;
 
     SolverSettings settings;
     settings.tolerance = 1e-10;
     settings.max_iterations = 500;
 
-    const SimGpuExecutor v100(gpusim::v100());
-    const SimGpuExecutor a100(gpusim::a100());
-    const SimGpuExecutor mi100(gpusim::mi100());
+    SimGpuExecutor v100(gpusim::v100());
+    SimGpuExecutor a100(gpusim::a100());
+    SimGpuExecutor mi100(gpusim::mi100());
+    v100.set_sanitize(sanitize);
+    a100.set_sanitize(sanitize);
+    mi100.set_sanitize(sanitize);
+    std::int64_t violations = 0;
     const CpuExecutor skylake;
 
     Table table({"batch", "series", "total_ms", "us_per_entry"});
@@ -56,6 +67,8 @@ int main()
                 exec->solve(ell, problem.rhs(), x, settings);
             add_row("bicgstab-ell-" + exec->device().name,
                     ell_report.kernel_seconds);
+            violations += csr_report.sanitizer.total_violations +
+                          ell_report.sanitizer.total_violations;
             if (exec == &v100) {
                 // Convergence statistics (same arithmetic on every
                 // device; report once).
@@ -96,5 +109,8 @@ int main()
            "rest\n"
            "  * per-entry time falls with batch size (GPU saturation)\n"
            "  * MI100 total time steps at multiples of 120 systems\n";
-    return 0;
+    if (sanitize) {
+        std::cout << "sanitizer: " << violations << " violation(s)\n";
+    }
+    return violations == 0 ? 0 : 1;
 }

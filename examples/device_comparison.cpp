@@ -3,6 +3,9 @@
 // vectors fit in shared memory), occupancy, scheduling, per-operation
 // costs, and the resulting kernel time -- the quantities Sections IV-C/D/E
 // of the paper reason about.
+// Pass --sanitize to run every device's solve with the SIMT sanitizer
+// attached; the example fails on any reported violation.
+#include <cstring>
 #include <iostream>
 
 #include "exec/executor.hpp"
@@ -10,9 +13,11 @@
 #include "util/table.hpp"
 #include "xgc/workload.hpp"
 
-int main()
+int main(int argc, char** argv)
 {
     using namespace bsis;
+    const bool sanitize =
+        argc > 1 && std::strcmp(argv[1], "--sanitize") == 0;
 
     xgc::WorkloadParams wp;
     wp.num_mesh_nodes = 240;  // 480 systems, enough to saturate every GPU
@@ -31,11 +36,18 @@ int main()
                  "occupancy_limit", "waves", "spmv_us", "dot_us",
                  "iteration_us", "kernel_ms", "h2d_ms", "us_per_entry"});
     int count = 0;
+    std::int64_t violations = 0;
     const auto* gpus = gpusim::all_gpus(count);
     for (int g = 0; g < count; ++g) {
-        const SimGpuExecutor exec(gpus[g]);
+        SimGpuExecutor exec(gpus[g]);
+        exec.set_sanitize(sanitize);
         BatchVector<real_type> x(a.num_batch(), a.rows());
         const auto report = exec.solve(ell, b, x, settings, true);
+        if (report.sanitized) {
+            std::cout << gpus[g].name << " (warp " << gpus[g].warp_size
+                      << "): " << report.sanitizer.summary() << '\n';
+            violations += report.sanitizer.total_violations;
+        }
         table.new_row()
             .add(gpus[g].name)
             .add(report.storage.num_shared)
@@ -73,5 +85,5 @@ int main()
                  "fits all of them; the MI100's 64 KiB LDS\nholds one "
                  "block per CU, which is why its batch curve steps at "
                  "multiples of 120.\n";
-    return 0;
+    return violations == 0 ? 0 : 1;
 }

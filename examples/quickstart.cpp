@@ -6,16 +6,24 @@
 // and run:
 //   cmake -B build -G Ninja && cmake --build build
 //   ./build/examples/quickstart
+//
+// Pass --sanitize to additionally replay the fused GPU kernel trace under
+// the SIMT sanitizer (races / barrier divergence / bounds); the example
+// then fails on any reported violation.
+#include <cstring>
 #include <iostream>
 
 #include "core/solver.hpp"
+#include "exec/executor.hpp"
 #include "matrix/conversions.hpp"
 #include "matrix/stencil.hpp"
 #include "util/rng.hpp"
 
-int main()
+int main(int argc, char** argv)
 {
     using namespace bsis;
+    const bool sanitize =
+        argc > 1 && std::strcmp(argv[1], "--sanitize") == 0;
 
     // 1. A batch of 64 independent systems on a 16 x 16 grid (256 rows
     //    each), all sharing the 9-point stencil pattern.
@@ -55,5 +63,21 @@ int main()
               << "mean iterations: " << result.log.mean_iterations() << '\n'
               << "max iterations:  " << result.log.max_iterations() << '\n'
               << "residual(0):     " << result.log.residual_norm(0) << '\n';
+
+    // 6. Optional: the same solve through the simulated-GPU executor with
+    //    the SIMT sanitizer checking the traced fused kernel.
+    if (sanitize) {
+        SimGpuExecutor exec(gpusim::v100());
+        exec.set_sanitize(true);
+        BatchVector<real_type> x_gpu(num_batch, csr.rows());
+        const auto report = exec.solve(ell, b, x_gpu, settings);
+        std::cout << report.sanitizer.summary() << '\n';
+        if (!report.sanitized || !report.sanitizer.clean()) {
+            for (const auto& v : report.sanitizer.violations) {
+                std::cerr << "  " << v.describe() << '\n';
+            }
+            return 1;
+        }
+    }
     return result.log.all_converged() ? 0 : 1;
 }

@@ -3,10 +3,15 @@
 // (BiCGStab / GMRES / Richardson, with and without Jacobi), the banded
 // direct solvers (dgbsv-style LU and the Givens QR), and the format
 // auto-tuner's recommendation.
+// Pass --sanitize to additionally run the BiCGStab composition through the
+// simulated-GPU executor with the SIMT sanitizer attached; the example
+// fails on any reported violation.
+#include <cstring>
 #include <iostream>
 
 #include "core/solver.hpp"
 #include "core/tuning.hpp"
+#include "exec/executor.hpp"
 #include "lapack/banded_lu.hpp"
 #include "lapack/banded_qr.hpp"
 #include "matrix/conversions.hpp"
@@ -15,9 +20,11 @@
 #include "util/timer.hpp"
 #include "xgc/workload.hpp"
 
-int main()
+int main(int argc, char** argv)
 {
     using namespace bsis;
+    const bool sanitize =
+        argc > 1 && std::strcmp(argv[1], "--sanitize") == 0;
 
     // Electron-only workload: 32 systems of 992 rows.
     xgc::WorkloadParams wp;
@@ -101,5 +108,22 @@ int main()
     table.print(std::cout);
     std::cout << "\nNote: host wall times; the GPU story is in "
                  "bench/bench_fig6_solvers.\n";
+
+    if (sanitize) {
+        SolverSettings s;
+        s.tolerance = 1e-10;
+        s.max_iterations = 2000;
+        SimGpuExecutor exec(gpusim::v100());
+        exec.set_sanitize(true);
+        BatchVector<real_type> x(a.num_batch(), a.rows());
+        const auto report = exec.solve(ell, b, x, s);
+        std::cout << "\n" << report.sanitizer.summary() << '\n';
+        if (!report.sanitized || !report.sanitizer.clean()) {
+            for (const auto& v : report.sanitizer.violations) {
+                std::cerr << "  " << v.describe() << '\n';
+            }
+            return 1;
+        }
+    }
     return 0;
 }

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Hardened check tier: build, run the sanitizer-labeled tests, then run the
+# solver example suite under --sanitize. Any SIMT sanitizer finding (shared
+# race, barrier divergence, out-of-bounds access) fails the script.
+#
+# Usage: scripts/check.sh            (build dir defaults to ./build)
+#        BUILD_DIR=out scripts/check.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR=${BUILD_DIR:-build}
+
+cmake -B "$BUILD_DIR" -S .
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+echo "== sanitizer test tier =="
+ctest --test-dir "$BUILD_DIR" -L sanitizer --output-on-failure
+
+echo "== sanitized examples =="
+for example in quickstart solver_comparison device_comparison; do
+    echo "-- $example --sanitize"
+    "$BUILD_DIR/examples/$example" --sanitize > /dev/null
+done
+
+echo "check.sh: all sanitized runs clean"

@@ -16,6 +16,21 @@ bool StorageConfig::in_shared(const std::string& name) const
     throw BadArgument("StorageConfig::in_shared", "unknown slot " + name);
 }
 
+int StorageConfig::shared_slot_index(const std::string& name) const
+{
+    int ordinal = 0;
+    for (const auto& slot : slots) {
+        if (slot.name == name) {
+            return slot.space == MemSpace::shared ? ordinal : -1;
+        }
+        if (slot.space == MemSpace::shared) {
+            ++ordinal;
+        }
+    }
+    throw BadArgument("StorageConfig::shared_slot_index",
+                      "unknown slot " + name);
+}
+
 StorageConfig configure_storage(std::vector<VectorSlot> slots,
                                 index_type length, index_type warp_size,
                                 size_type value_bytes,

@@ -46,6 +46,11 @@ struct StorageConfig {
     int num_global = 0;             ///< vectors spilled to global memory
 
     bool in_shared(const std::string& name) const;
+
+    /// Ordinal of `name` among the shared-memory slots, in slot order
+    /// (i.e. its vector index within the block's shared allocation), or
+    /// -1 when the slot spilled to global memory.
+    int shared_slot_index(const std::string& name) const;
 };
 
 /// Greedily assigns slots to shared memory in priority order (spmv <

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "gpusim/simt.hpp"
+#include "gpusim/simt_kernels.hpp"
 #include "lapack/banded_lu.hpp"
 #include "matrix/conversions.hpp"
 #include "util/error.hpp"
@@ -75,6 +77,36 @@ size_type values_bytes(const BatchEll<real_type>& a)
            static_cast<size_type>(sizeof(real_type));
 }
 
+/// Pattern arrays the traced kernels need, per matrix format. Unused
+/// arrays point to an empty vector (the other format's kernel never
+/// touches them).
+struct TraceInputs {
+    gpusim::TracedFormat format{};
+    const std::vector<index_type>* row_ptrs;
+    const std::vector<index_type>* csr_cols;
+    const std::vector<index_type>* ell_cols;
+    index_type nnz_per_row = 0;
+    index_type nnz_stored = 0;
+};
+
+const std::vector<index_type>& no_pattern()
+{
+    static const std::vector<index_type> empty;
+    return empty;
+}
+
+TraceInputs trace_inputs(const BatchCsr<real_type>& a)
+{
+    return {gpusim::TracedFormat::csr, &a.row_ptrs(), &a.col_idxs(),
+            &no_pattern(), 0, a.nnz_per_entry()};
+}
+
+TraceInputs trace_inputs(const BatchEll<real_type>& a)
+{
+    return {gpusim::TracedFormat::ell, &no_pattern(), &no_pattern(),
+            &a.col_idxs(), a.nnz_per_row(), a.stored_per_entry()};
+}
+
 }  // namespace
 
 template <typename BatchMatrix>
@@ -131,7 +163,47 @@ GpuSolveReport SimGpuExecutor::solve_impl(const BatchMatrix& a,
     report.kernel_seconds =
         device_.launch_overhead_us * 1e-6 + schedule.makespan_seconds;
 
-    // 5. Transfers (values + pattern + rhs down, solution up).
+    // 5. Sanitized trace replay (opt-in): re-trace the fused kernel for
+    // the first blocks of the batch with the SIMT sanitizer attached.
+    // BiCGStab is the fused solver the tracer models; other solvers are
+    // reported un-sanitized rather than traced with the wrong kernel.
+    if (sanitize_ && settings.solver == SolverType::bicgstab &&
+        a.num_batch() > 0) {
+        report.sanitized = true;
+        const auto inputs = trace_inputs(a);
+        gpusim::Sanitizer sanitizer;
+        const int num_warps =
+            (report.block_threads + device_.warp_size - 1) /
+            device_.warp_size;
+        sanitizer.set_shared_limit(
+            gpusim::traced_shared_bytes(report.storage, num_warps));
+        const auto blocks = std::min<size_type>(2, a.num_batch());
+        for (size_type blk = 0; blk < blocks; ++blk) {
+            gpusim::MemoryHierarchy mem(
+                static_cast<std::int64_t>(device_.l1_shared_kib_per_cu *
+                                          1024),
+                static_cast<std::int64_t>(device_.l2_mib * 1024 * 1024));
+            gpusim::BlockTracer tracer(report.block_threads,
+                                       device_.warp_size, &mem);
+            tracer.attach_sanitizer(&sanitizer);
+            const auto map = gpusim::AddressMap::for_system(
+                blk, shape.rows, inputs.nnz_stored,
+                report.storage.num_global);
+            sanitizer.clear_buffers();
+            gpusim::register_map_buffers(
+                sanitizer, map, shape.rows, inputs.nnz_stored,
+                inputs.format == gpusim::TracedFormat::csr,
+                report.storage.num_global);
+            gpusim::trace_bicgstab(
+                tracer, map, inputs.format, *inputs.row_ptrs,
+                *inputs.csr_cols, *inputs.ell_cols, shape.rows,
+                inputs.nnz_per_row,
+                std::max(1, report.log.iterations(blk)), report.storage);
+        }
+        report.sanitizer = sanitizer.report();
+    }
+
+    // 6. Transfers (values + pattern + rhs down, solution up).
     if (include_transfers) {
         double h2d = static_cast<double>(values_bytes(a)) +
                      static_cast<double>(pattern_bytes(a)) +

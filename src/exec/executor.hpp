@@ -15,6 +15,7 @@
 #include "gpusim/cost_model.hpp"
 #include "gpusim/device.hpp"
 #include "gpusim/occupancy.hpp"
+#include "gpusim/sanitizer.hpp"
 #include "gpusim/scheduler.hpp"
 #include "matrix/batch_csr.hpp"
 #include "matrix/batch_ell.hpp"
@@ -34,6 +35,8 @@ struct GpuSolveReport {
     int num_waves = 0;
     index_type block_threads = 0;
     gpusim::BlockCost block_cost;    ///< per-op modeled costs
+    gpusim::SanitizerReport sanitizer;  ///< findings of the sanitized trace
+    bool sanitized = false;          ///< whether a sanitized trace ran
 
     double total_device_seconds() const
     {
@@ -57,6 +60,14 @@ public:
     {}
 
     const gpusim::DeviceSpec& device() const { return device_; }
+
+    /// Enables the SIMT sanitizer: each solve additionally replays the
+    /// fused BiCGStab kernel trace for the first blocks of the batch with
+    /// race / barrier-divergence / bounds checking, reporting findings in
+    /// GpuSolveReport::sanitizer. Observation-only: the solution, the
+    /// counters, and the modeled times are unchanged.
+    void set_sanitize(bool on) { sanitize_ = on; }
+    bool sanitize() const { return sanitize_; }
 
     /// Solves the batch (functionally exact) and models the device time.
     /// `include_transfers`: account H2D of values+pattern+b (+x when warm
@@ -91,6 +102,7 @@ private:
                               bool include_transfers) const;
 
     gpusim::DeviceSpec device_;
+    bool sanitize_ = false;
 };
 
 /// Timing report of the CPU baseline.

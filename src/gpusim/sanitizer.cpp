@@ -1,0 +1,192 @@
+#include "gpusim/sanitizer.hpp"
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace bsis::gpusim {
+
+const char* to_string(ViolationKind kind)
+{
+    switch (kind) {
+    case ViolationKind::write_read_race:
+        return "write-read race";
+    case ViolationKind::read_write_race:
+        return "read-write race";
+    case ViolationKind::write_write_race:
+        return "write-write race";
+    case ViolationKind::barrier_divergence:
+        return "barrier divergence";
+    case ViolationKind::shared_oob:
+        return "shared out-of-bounds";
+    case ViolationKind::global_oob:
+        return "global out-of-bounds";
+    }
+    return "unknown";
+}
+
+std::string Violation::describe() const
+{
+    std::ostringstream out;
+    out << to_string(kind) << " in " << kernel << ": warp " << warp;
+    if (lane >= 0) {
+        out << " lane " << lane;
+    }
+    out << " at 0x" << std::hex << address << std::dec << " (epoch "
+        << epoch;
+    if (other_warp == -2) {
+        out << ", conflicts with several warps";
+    } else if (other_warp >= 0) {
+        out << ", conflicts with warp " << other_warp;
+    }
+    out << ")";
+    return out.str();
+}
+
+std::string SanitizerReport::summary() const
+{
+    if (clean()) {
+        return "sanitizer: clean (0 violations)";
+    }
+    std::ostringstream out;
+    out << "sanitizer: " << total_violations << " violation(s): " << races
+        << " race(s), " << barrier_divergences
+        << " barrier divergence(s), " << oob_accesses
+        << " out-of-bounds access(es)";
+    return out.str();
+}
+
+Sanitizer::Sanitizer(int max_recorded) : max_recorded_(max_recorded)
+{
+    BSIS_ENSURE_ARG(max_recorded >= 0, "negative violation cap");
+}
+
+void Sanitizer::register_buffer(std::string name, std::uint64_t base,
+                                size_type bytes)
+{
+    BSIS_ENSURE_ARG(bytes >= 0, "negative buffer size");
+    buffers_.push_back({std::move(name), base, bytes});
+}
+
+void Sanitizer::begin_block()
+{
+    shadow_.clear();
+    epoch_ = 0;
+}
+
+void Sanitizer::record(ViolationKind kind, int warp, int other_warp,
+                       int lane, std::uint64_t address)
+{
+    ++report_.total_violations;
+    switch (kind) {
+    case ViolationKind::write_read_race:
+    case ViolationKind::read_write_race:
+    case ViolationKind::write_write_race:
+        ++report_.races;
+        break;
+    case ViolationKind::barrier_divergence:
+        ++report_.barrier_divergences;
+        break;
+    case ViolationKind::shared_oob:
+    case ViolationKind::global_oob:
+        ++report_.oob_accesses;
+        break;
+    }
+    if (static_cast<int>(report_.violations.size()) < max_recorded_) {
+        report_.violations.push_back(
+            {kind, kernel_, warp, other_warp, lane, address, epoch_});
+    }
+}
+
+void Sanitizer::on_shared_access(int warp,
+                                 const std::vector<std::uint64_t>& addrs,
+                                 int bytes_per_lane, bool is_write)
+{
+    for (std::size_t lane = 0; lane < addrs.size(); ++lane) {
+        const auto addr = addrs[lane];
+        const auto bytes = static_cast<std::uint64_t>(bytes_per_lane);
+        if (shared_limit_ >= 0 &&
+            addr + bytes > static_cast<std::uint64_t>(shared_limit_)) {
+            record(ViolationKind::shared_oob, warp,
+                   /*other_warp=*/-1, static_cast<int>(lane), addr);
+            continue;  // outside the allocation: no meaningful race state
+        }
+        bool reported = false;  // at most one race per lane access
+        for (std::uint64_t g = addr / granule_bytes;
+             g <= (addr + bytes - 1) / granule_bytes; ++g) {
+            auto& cell = shadow_[g];
+            if (is_write) {
+                if (!reported && cell.write_epoch == epoch_ &&
+                    cell.writer_warp != warp) {
+                    record(ViolationKind::write_write_race, warp,
+                           cell.writer_warp, static_cast<int>(lane), addr);
+                    reported = true;
+                }
+                if (!reported && cell.read_epoch == epoch_ &&
+                    cell.reader_warp != warp) {
+                    record(ViolationKind::read_write_race, warp,
+                           cell.reader_warp, static_cast<int>(lane), addr);
+                    reported = true;
+                }
+                cell.write_epoch = epoch_;
+                cell.writer_warp = warp;
+            } else {
+                if (!reported && cell.write_epoch == epoch_ &&
+                    cell.writer_warp != warp) {
+                    record(ViolationKind::write_read_race, warp,
+                           cell.writer_warp, static_cast<int>(lane), addr);
+                    reported = true;
+                }
+                if (cell.read_epoch != epoch_) {
+                    cell.read_epoch = epoch_;
+                    cell.reader_warp = warp;
+                } else if (cell.reader_warp != warp) {
+                    cell.reader_warp = -2;  // several reader warps
+                }
+            }
+        }
+    }
+}
+
+void Sanitizer::on_global_access(int warp,
+                                 const std::vector<std::uint64_t>& addrs,
+                                 int bytes_per_lane, bool is_write)
+{
+    (void)is_write;
+    if (buffers_.empty()) {
+        return;  // bounds checking not armed
+    }
+    for (std::size_t lane = 0; lane < addrs.size(); ++lane) {
+        const auto first = addrs[lane];
+        const auto last =
+            first + static_cast<std::uint64_t>(bytes_per_lane) - 1;
+        if (!inside_registered_buffer(first, last)) {
+            record(ViolationKind::global_oob, warp, /*other_warp=*/-1,
+                   static_cast<int>(lane), first);
+        }
+    }
+}
+
+bool Sanitizer::inside_registered_buffer(std::uint64_t first,
+                                         std::uint64_t last) const
+{
+    for (const auto& buf : buffers_) {
+        if (first >= buf.base &&
+            last < buf.base + static_cast<std::uint64_t>(buf.bytes)) {
+            return true;
+        }
+    }
+    return false;
+}
+
+void Sanitizer::on_barrier(int active_threads, int block_threads)
+{
+    if (active_threads < block_threads) {
+        record(ViolationKind::barrier_divergence, /*warp=*/-1,
+               /*other_warp=*/-1, /*lane=*/-1,
+               static_cast<std::uint64_t>(active_threads));
+    }
+    ++epoch_;
+}
+
+}  // namespace bsis::gpusim

@@ -1,0 +1,140 @@
+// SIMT sanitizer: shared-memory race, barrier-divergence, and
+// out-of-bounds detection for traced kernels.
+//
+// The fused batched solver places solver vectors in the block's shared
+// memory (Section IV-D), which is exactly the setting where a missing
+// __syncthreads() or an overrun of the configured shared allocation
+// silently corrupts results. The sanitizer attaches to a BlockTracer and
+// observes its addressed accesses:
+//
+//   * Races: a ThreadSanitizer-style epoch model. Every block-wide barrier
+//     advances an epoch counter; two shared-memory accesses that touch
+//     overlapping bytes FROM DIFFERENT WARPS IN THE SAME EPOCH, at least
+//     one of them a write, are unordered (no happens-before edge) and are
+//     reported as a race. Accesses from the SAME warp are lockstep-ordered
+//     by the SIMT execution model and never race by construction.
+//   * Barrier divergence: a barrier issued with an active thread count
+//     smaller than the block's thread count (some threads will never
+//     arrive -- deadlock or undefined behaviour on real hardware).
+//   * Bounds: shared accesses are checked against the block's configured
+//     shared-memory allocation (set_shared_limit, from the StorageConfig);
+//     global accesses are checked against registered buffer extents
+//     (register_buffer) when any are registered.
+//
+// The sanitizer is observation-only: it never alters counters, cache
+// state, or the trace itself.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace bsis::gpusim {
+
+/// Classification of a sanitizer finding.
+enum class ViolationKind {
+    write_read_race,   ///< read of a location written this epoch
+    read_write_race,   ///< write of a location read this epoch
+    write_write_race,  ///< write of a location written this epoch
+    barrier_divergence,
+    shared_oob,
+    global_oob,
+};
+
+const char* to_string(ViolationKind kind);
+
+/// One sanitizer finding with full attribution.
+struct Violation {
+    ViolationKind kind{};
+    std::string kernel;        ///< traced kernel issuing the access
+    int warp = -1;             ///< warp issuing the offending access
+    int other_warp = -1;       ///< prior conflicting warp (races; -2 = many)
+    int lane = -1;             ///< lane index within the access
+    std::uint64_t address = 0; ///< byte address (shared: block offset)
+    std::int64_t epoch = 0;    ///< barrier interval of the access
+
+    std::string describe() const;
+};
+
+/// Aggregate result of a sanitized trace (possibly several blocks).
+struct SanitizerReport {
+    std::vector<Violation> violations;  ///< first `max_recorded` findings
+    std::int64_t total_violations = 0;  ///< every finding, recorded or not
+    std::int64_t races = 0;
+    std::int64_t barrier_divergences = 0;
+    std::int64_t oob_accesses = 0;
+
+    bool clean() const { return total_violations == 0; }
+    std::string summary() const;
+};
+
+/// Race / divergence / bounds checker attachable to a BlockTracer.
+class Sanitizer {
+public:
+    explicit Sanitizer(int max_recorded = 64);
+
+    /// Enables shared-memory bounds checking against `bytes` (the block's
+    /// configured shared allocation). Negative disables (the default).
+    void set_shared_limit(size_type bytes) { shared_limit_ = bytes; }
+
+    /// Registers a global buffer [base, base + bytes) for bounds checking.
+    /// Once any buffer is registered, every global access must fall
+    /// entirely inside a registered buffer.
+    void register_buffer(std::string name, std::uint64_t base,
+                         size_type bytes);
+    void clear_buffers() { buffers_.clear(); }
+
+    /// Labels subsequent findings with the traced kernel's name.
+    void set_kernel(std::string name) { kernel_ = std::move(name); }
+
+    /// Starts a fresh block: clears the shadow state and epoch counter but
+    /// keeps the accumulated report (so one report can cover a batch).
+    void begin_block();
+
+    std::int64_t epoch() const { return epoch_; }
+    const SanitizerReport& report() const { return report_; }
+
+    // --- hooks called by BlockTracer -----------------------------------
+    void on_shared_access(int warp, const std::vector<std::uint64_t>& addrs,
+                          int bytes_per_lane, bool is_write);
+    void on_global_access(int warp, const std::vector<std::uint64_t>& addrs,
+                          int bytes_per_lane, bool is_write);
+    void on_barrier(int active_threads, int block_threads);
+
+private:
+    /// Per-granule shadow cell: the last write and the readers of the
+    /// current read epoch. reader_warp == -2 means several warps read the
+    /// granule in that epoch.
+    struct Shadow {
+        std::int64_t write_epoch = -1;
+        int writer_warp = -1;
+        std::int64_t read_epoch = -1;
+        int reader_warp = -1;
+    };
+
+    static constexpr std::uint64_t granule_bytes = 4;
+
+    void record(ViolationKind kind, int warp, int other_warp, int lane,
+                std::uint64_t address);
+    bool inside_registered_buffer(std::uint64_t first,
+                                  std::uint64_t last) const;
+
+    struct Buffer {
+        std::string name;
+        std::uint64_t base = 0;
+        size_type bytes = 0;
+    };
+
+    int max_recorded_;
+    size_type shared_limit_ = -1;
+    std::vector<Buffer> buffers_;
+    std::string kernel_ = "<untraced>";
+    std::int64_t epoch_ = 0;
+    std::unordered_map<std::uint64_t, Shadow> shadow_;
+    SanitizerReport report_;
+};
+
+}  // namespace bsis::gpusim

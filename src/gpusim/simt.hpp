@@ -7,6 +7,11 @@
 // and cache hierarchy and accumulates the counters NVIDIA Nsight Compute /
 // AMD rocprof report -- warp (wavefront) utilization and L1/L2 hit rates --
 // which reproduces Table II of the paper.
+//
+// A Sanitizer (gpusim/sanitizer.hpp) can be attached to observe addressed
+// shared/global accesses, warp attribution, and barriers for race,
+// divergence, and bounds checking; attaching one never changes counters or
+// cache behaviour.
 #pragma once
 
 #include <cstdint>
@@ -16,6 +21,8 @@
 #include "util/types.hpp"
 
 namespace bsis::gpusim {
+
+class Sanitizer;
 
 /// Profiler counters of one traced block execution.
 struct SimtCounters {
@@ -56,6 +63,20 @@ public:
     int warp_size() const { return warp_size_; }
     int num_warps() const { return num_warps_; }
 
+    /// Attaches (or detaches, with nullptr) a sanitizer. Starts a fresh
+    /// shadow block on the sanitizer; its report keeps accumulating.
+    void attach_sanitizer(Sanitizer* sanitizer);
+    Sanitizer* sanitizer() const { return sanitizer_; }
+
+    /// Sets the warp issuing the subsequent instructions (sanitizer
+    /// attribution; counters are warp-agnostic). Kernels set this as they
+    /// walk their per-warp work decomposition.
+    void set_warp(int warp);
+    int current_warp() const { return warp_; }
+
+    /// Labels subsequent sanitizer findings with the kernel's name.
+    void set_kernel(const char* name);
+
     /// Generic ALU/shuffle warp instruction.
     void instr(int active_lanes);
 
@@ -69,21 +90,48 @@ public:
     void store_global(const std::vector<std::uint64_t>& lane_addrs,
                       int bytes_per_lane);
 
-    /// Shared-memory access (no cache model: LDS/shared is explicitly
-    /// managed and conflict-free for these access patterns).
+    /// Addressed shared-memory access: `lane_addrs` holds the byte OFFSET
+    /// into the block's shared allocation touched by each active lane (no
+    /// cache model: LDS/shared is explicitly managed). Feeds the sanitizer
+    /// when one is attached.
+    void load_shared(const std::vector<std::uint64_t>& lane_addrs,
+                     int bytes_per_lane);
+    void store_shared(const std::vector<std::uint64_t>& lane_addrs,
+                      int bytes_per_lane);
+
+    /// DEPRECATED count-only shared access shims: counter semantics are
+    /// identical to the addressed overloads (one warp instruction,
+    /// `active_lanes` shared accesses) but carry no addresses, so the
+    /// sanitizer cannot check them. Kept for callers that only need
+    /// counters; new kernels must use the addressed overloads.
     void load_shared(int active_lanes);
     void store_shared(int active_lanes);
 
-    /// Block-wide barrier (__syncthreads / s_barrier).
+    /// Block-wide barrier (__syncthreads / s_barrier) with every thread
+    /// participating.
     void barrier();
+
+    /// Barrier reached by only `active_threads` of the block's threads --
+    /// flagged as barrier divergence by an attached sanitizer when fewer
+    /// than block_threads() arrive.
+    void barrier(int active_threads);
 
     const SimtCounters& counters() const { return counters_; }
 
 private:
+    /// Common counter bump of addressed and count-only shared accesses
+    /// (exactly once per access -- the overloads must not chain through
+    /// each other, which would double count).
+    void record_shared(int active_lanes);
+    void global_access(const std::vector<std::uint64_t>& lane_addrs,
+                       int bytes_per_lane, bool is_write);
+
     int block_threads_;
     int warp_size_;
     int num_warps_;
     MemoryHierarchy* mem_;
+    Sanitizer* sanitizer_ = nullptr;
+    int warp_ = 0;
     SimtCounters counters_;
     std::vector<std::uint64_t> segments_;
 };

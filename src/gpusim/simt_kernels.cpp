@@ -53,6 +53,37 @@ AddressMap AddressMap::for_system(size_type system_index, index_type rows,
     return map;
 }
 
+size_type traced_shared_bytes(const StorageConfig& config, int num_warps)
+{
+    return config.shared_bytes +
+           static_cast<size_type>(num_warps) *
+               static_cast<size_type>(sizeof(real_type));
+}
+
+void register_map_buffers(Sanitizer& sanitizer, const AddressMap& map,
+                          index_type rows, index_type nnz_stored,
+                          bool csr_pattern, int num_spill_vectors)
+{
+    const auto ib = static_cast<size_type>(sizeof(index_type));
+    const auto vb = static_cast<size_type>(sizeof(real_type));
+    sanitizer.register_buffer("col_idxs", map.col_idxs,
+                              static_cast<size_type>(nnz_stored) * ib);
+    if (csr_pattern) {
+        sanitizer.register_buffer(
+            "row_ptrs", map.row_ptrs,
+            (static_cast<size_type>(rows) + 1) * ib);
+    }
+    sanitizer.register_buffer("values", map.values,
+                              static_cast<size_type>(nnz_stored) * vb);
+    sanitizer.register_buffer("b", map.b,
+                              static_cast<size_type>(rows) * vb);
+    if (num_spill_vectors > 0) {
+        sanitizer.register_buffer(
+            "spill", map.spill,
+            static_cast<size_type>(num_spill_vectors) * rows * vb);
+    }
+}
+
 namespace {
 
 /// One coalesced warp access to `active` consecutive elements starting at
@@ -73,12 +104,29 @@ void contiguous_access(BlockTracer& tracer, std::uint64_t base,
     }
 }
 
+/// Same, but for a vector living in shared memory (base = byte offset).
+void shared_contiguous(BlockTracer& tracer, std::uint64_t base,
+                       index_type first, int active, bool store,
+                       std::vector<std::uint64_t>& scratch)
+{
+    scratch.clear();
+    for (int lane = 0; lane < active; ++lane) {
+        scratch.push_back(base + static_cast<std::uint64_t>(first + lane) *
+                                     sizeof(real_type));
+    }
+    if (store) {
+        tracer.store_shared(scratch, sizeof(real_type));
+    } else {
+        tracer.load_shared(scratch, sizeof(real_type));
+    }
+}
+
 /// Reads vector elements [first, first+active) from shared or global.
 void vec_read(BlockTracer& tracer, std::uint64_t base, index_type first,
               int active, std::vector<std::uint64_t>& scratch)
 {
-    if (base == shared_space) {
-        tracer.load_shared(active);
+    if (is_shared_addr(base)) {
+        shared_contiguous(tracer, base, first, active, false, scratch);
     } else {
         contiguous_access(tracer, base, first, active, sizeof(real_type),
                           false, scratch);
@@ -88,8 +136,8 @@ void vec_read(BlockTracer& tracer, std::uint64_t base, index_type first,
 void vec_write(BlockTracer& tracer, std::uint64_t base, index_type first,
                int active, std::vector<std::uint64_t>& scratch)
 {
-    if (base == shared_space) {
-        tracer.store_shared(active);
+    if (is_shared_addr(base)) {
+        shared_contiguous(tracer, base, first, active, true, scratch);
     } else {
         contiguous_access(tracer, base, first, active, sizeof(real_type),
                           true, scratch);
@@ -101,17 +149,17 @@ void gather_x(BlockTracer& tracer, std::uint64_t x_base,
               const index_type* cols, int active,
               std::vector<std::uint64_t>& lane_addrs)
 {
-    if (x_base == shared_space) {
-        tracer.load_shared(active);
-        return;
-    }
     lane_addrs.clear();
     for (int lane = 0; lane < active; ++lane) {
         lane_addrs.push_back(x_base +
                              static_cast<std::uint64_t>(cols[lane]) *
                                  sizeof(real_type));
     }
-    tracer.load_global(lane_addrs, sizeof(real_type));
+    if (is_shared_addr(x_base)) {
+        tracer.load_shared(lane_addrs, sizeof(real_type));
+    } else {
+        tracer.load_global(lane_addrs, sizeof(real_type));
+    }
 }
 
 /// Warp shuffle reduction over `count` values: stages halve the live
@@ -132,6 +180,7 @@ void trace_spmv_csr(BlockTracer& tracer, const AddressMap& map,
                     const std::vector<index_type>& col_idxs,
                     std::uint64_t x_base, std::uint64_t y_base)
 {
+    tracer.set_kernel("spmv_csr");
     const auto rows = static_cast<index_type>(row_ptrs.size()) - 1;
     const int warp = tracer.warp_size();
     const int warps = tracer.num_warps();
@@ -140,6 +189,7 @@ void trace_spmv_csr(BlockTracer& tracer, const AddressMap& map,
 
     // Warp w handles rows w, w + warps, ... (one warp per row).
     for (index_type r = 0; r < rows; ++r) {
+        tracer.set_warp(static_cast<int>(r % warps));
         // Row extent loaded by the warp leader.
         contiguous_access(tracer, map.row_ptrs, r, 2, sizeof(index_type),
                           false, scratch);
@@ -160,7 +210,6 @@ void trace_spmv_csr(BlockTracer& tracer, const AddressMap& map,
                                 warp, std::max<index_type>(nnz, 1))));
         vec_write(tracer, y_base, r, 1, scratch);
     }
-    (void)warps;
     tracer.barrier();
 }
 
@@ -169,7 +218,9 @@ void trace_spmv_ell(BlockTracer& tracer, const AddressMap& map,
                     const std::vector<index_type>& ell_col_idxs,
                     std::uint64_t x_base, std::uint64_t y_base)
 {
+    tracer.set_kernel("spmv_ell");
     const int warp = tracer.warp_size();
+    const int warps = tracer.num_warps();
     std::vector<std::uint64_t> scratch;
     std::vector<std::uint64_t> gather;
     std::vector<index_type> cols(static_cast<std::size_t>(warp));
@@ -178,6 +229,7 @@ void trace_spmv_ell(BlockTracer& tracer, const AddressMap& map,
     // consecutive lanes read consecutive memory (column-major layout).
     for (index_type k = 0; k < nnz_per_row; ++k) {
         for (index_type r0 = 0; r0 < rows; r0 += warp) {
+            tracer.set_warp(static_cast<int>((r0 / warp) % warps));
             const int active =
                 static_cast<int>(std::min<index_type>(warp, rows - r0));
             const index_type slot_first = k * rows + r0;
@@ -201,6 +253,7 @@ void trace_spmv_ell(BlockTracer& tracer, const AddressMap& map,
         }
     }
     for (index_type r0 = 0; r0 < rows; r0 += warp) {
+        tracer.set_warp(static_cast<int>((r0 / warp) % warps));
         const int active =
             static_cast<int>(std::min<index_type>(warp, rows - r0));
         vec_write(tracer, y_base, r0, active, scratch);
@@ -214,9 +267,11 @@ void trace_spmv_ell_multi(BlockTracer& tracer, const AddressMap& map,
                           int threads_per_row, std::uint64_t x_base,
                           std::uint64_t y_base)
 {
+    tracer.set_kernel("spmv_ell_multi");
     const int warp = tracer.warp_size();
     BSIS_ENSURE_ARG(threads_per_row >= 1 && warp % threads_per_row == 0,
                     "threads_per_row must divide the warp size");
+    const int warps = tracer.num_warps();
     const int rows_per_warp = warp / threads_per_row;
     std::vector<std::uint64_t> lane_vals;
     std::vector<std::uint64_t> lane_cols;
@@ -225,6 +280,7 @@ void trace_spmv_ell_multi(BlockTracer& tracer, const AddressMap& map,
     // A warp covers `rows_per_warp` consecutive rows; within each row its
     // thread group strides over the slots.
     for (index_type r0 = 0; r0 < rows; r0 += rows_per_warp) {
+        tracer.set_warp(static_cast<int>((r0 / rows_per_warp) % warps));
         const int active_rows = static_cast<int>(
             std::min<index_type>(rows_per_warp, rows - r0));
         for (index_type k0 = 0; k0 < nnz_per_row;
@@ -247,21 +303,21 @@ void trace_spmv_ell_multi(BlockTracer& tracer, const AddressMap& map,
                                         slot * sizeof(real_type));
                     const index_type c = ell_col_idxs[slot];
                     if (c != ell_padding) {
-                        if (x_base != shared_space) {
-                            gather.push_back(
-                                x_base + static_cast<std::uint64_t>(c) *
-                                             sizeof(real_type));
-                        }
+                        gather.push_back(
+                            x_base + static_cast<std::uint64_t>(c) *
+                                         sizeof(real_type));
                         ++live;
                     }
                 }
             }
             tracer.load_global(lane_cols, sizeof(index_type));
             tracer.load_global(lane_vals, sizeof(real_type));
-            if (x_base == shared_space) {
-                tracer.load_shared(live);
-            } else if (!gather.empty()) {
-                tracer.load_global(gather, sizeof(real_type));
+            if (!gather.empty()) {
+                if (is_shared_addr(x_base)) {
+                    tracer.load_shared(gather, sizeof(real_type));
+                } else {
+                    tracer.load_global(gather, sizeof(real_type));
+                }
             }
             tracer.flop(live, 2);
         }
@@ -273,27 +329,30 @@ void trace_spmv_ell_multi(BlockTracer& tracer, const AddressMap& map,
             tracer.flop(active_rows * width);
         }
         std::vector<std::uint64_t> store;
-        if (y_base != shared_space) {
-            for (int rr = 0; rr < active_rows; ++rr) {
-                store.push_back(y_base +
-                                static_cast<std::uint64_t>(r0 + rr) *
-                                    sizeof(real_type));
-            }
-            tracer.store_global(store, sizeof(real_type));
+        for (int rr = 0; rr < active_rows; ++rr) {
+            store.push_back(y_base + static_cast<std::uint64_t>(r0 + rr) *
+                                         sizeof(real_type));
+        }
+        if (is_shared_addr(y_base)) {
+            tracer.store_shared(store, sizeof(real_type));
         } else {
-            tracer.store_shared(active_rows);
+            tracer.store_global(store, sizeof(real_type));
         }
     }
     tracer.barrier();
 }
 
 void trace_dot(BlockTracer& tracer, index_type n, std::uint64_t a_base,
-               std::uint64_t b_base)
+               std::uint64_t b_base, std::uint64_t scratch_base)
 {
+    tracer.set_kernel("dot");
     const int warp = tracer.warp_size();
+    const int warps = tracer.num_warps();
     std::vector<std::uint64_t> scratch;
+    std::vector<std::uint64_t> one(1);
     // Grid-stride accumulation into per-lane partials.
     for (index_type i0 = 0; i0 < n; i0 += warp) {
+        tracer.set_warp(static_cast<int>((i0 / warp) % warps));
         const int active =
             static_cast<int>(std::min<index_type>(warp, n - i0));
         vec_read(tracer, a_base, i0, active, scratch);
@@ -302,21 +361,48 @@ void trace_dot(BlockTracer& tracer, index_type n, std::uint64_t a_base,
         }
         tracer.flop(active, 2);
     }
-    // Per-warp tree, then cross-warp tree via shared memory.
+    // Per-warp shuffle tree (all warps run it concurrently; issued once).
     warp_reduce(tracer, warp);
-    tracer.barrier();
-    tracer.store_shared(1);
-    warp_reduce(tracer, tracer.num_warps());
-    tracer.barrier();
+    // Lane 0 of each warp publishes its partial to the reduction scratch.
+    for (int w = 0; w < warps; ++w) {
+        tracer.set_warp(w);
+        one[0] = scratch_base + static_cast<std::uint64_t>(w) *
+                                    sizeof(real_type);
+        tracer.store_shared(one, sizeof(real_type));
+    }
+    tracer.barrier();  // partials must be visible before the combine
+    // Warp 0 combines the partials and publishes the result.
+    tracer.set_warp(0);
+    scratch.clear();
+    for (int w = 0; w < warps; ++w) {
+        scratch.push_back(scratch_base + static_cast<std::uint64_t>(w) *
+                                             sizeof(real_type));
+    }
+    tracer.load_shared(scratch, sizeof(real_type));
+    warp_reduce(tracer, warps);
+    one[0] = scratch_base;
+    tracer.store_shared(one, sizeof(real_type));
+    tracer.barrier();  // result must be visible to every warp
+    // Every thread reads the result back: a full-warp broadcast load of
+    // scratch[0] (LDS broadcasts same-address lanes in one cycle).
+    scratch.assign(static_cast<std::size_t>(warp), scratch_base);
+    for (int w = 0; w < warps; ++w) {
+        tracer.set_warp(w);
+        tracer.load_shared(scratch, sizeof(real_type));
+    }
+    tracer.barrier();  // scratch may be reused after this point
 }
 
 void trace_axpy(BlockTracer& tracer, index_type n,
                 const std::vector<std::uint64_t>& read_bases,
                 std::uint64_t out_base)
 {
+    tracer.set_kernel("axpy");
     const int warp = tracer.warp_size();
+    const int warps = tracer.num_warps();
     std::vector<std::uint64_t> scratch;
     for (index_type i0 = 0; i0 < n; i0 += warp) {
+        tracer.set_warp(static_cast<int>((i0 / warp) % warps));
         const int active =
             static_cast<int>(std::min<index_type>(warp, n - i0));
         for (const auto base : read_bases) {
@@ -336,16 +422,27 @@ void trace_bicgstab(BlockTracer& tracer, const AddressMap& map,
                     index_type rows, index_type nnz_per_row, int iterations,
                     const StorageConfig& config)
 {
-    // Resolve every solver vector to shared memory or a spilled global
-    // region, in slot order.
+    tracer.set_kernel("bicgstab");
+    // Resolve every solver vector to its shared-memory offset or a spilled
+    // global region, in slot order. Shared vector i sits at byte offset
+    // i * padded_length * sizeof(real_type); the cross-warp reduction
+    // scratch follows the last shared vector.
     BSIS_ENSURE_ARG(!config.slots.empty(), "storage config not built");
+    const auto vector_bytes =
+        static_cast<std::uint64_t>(config.padded_length) *
+        sizeof(real_type);
     std::vector<std::uint64_t> base(config.slots.size());
     int spill = 0;
     for (std::size_t i = 0; i < config.slots.size(); ++i) {
-        base[i] = config.slots[i].space == MemSpace::shared
-                      ? shared_space
-                      : map.spill_vec(spill++);
+        base[i] =
+            config.slots[i].space == MemSpace::shared
+                ? static_cast<std::uint64_t>(
+                      config.shared_slot_index(config.slots[i].name)) *
+                      vector_bytes
+                : map.spill_vec(spill++);
     }
+    const std::uint64_t reduce_scratch =
+        static_cast<std::uint64_t>(config.num_shared) * vector_bytes;
     const auto vec = [&](const char* name) {
         for (std::size_t i = 0; i < config.slots.size(); ++i) {
             if (config.slots[i].name == name) {
@@ -383,6 +480,9 @@ void trace_bicgstab(BlockTracer& tracer, const AddressMap& map,
             trace_axpy(tracer, rows, {in}, out);
         }
     };
+    const auto dot = [&](std::uint64_t a, std::uint64_t b) {
+        trace_dot(tracer, rows, a, b, reduce_scratch);
+    };
 
     // Setup: Jacobi generation (diagonal gather + invert), r = b - A x,
     // r_hat = r, initial norm.
@@ -392,23 +492,23 @@ void trace_bicgstab(BlockTracer& tracer, const AddressMap& map,
     spmv(x, t);
     trace_axpy(tracer, rows, {map.b, t}, r);
     trace_axpy(tracer, rows, {r}, r_hat);
-    trace_dot(tracer, rows, r, r);
+    dot(r, r);
 
     for (int it = 0; it < iterations; ++it) {
-        trace_dot(tracer, rows, r, r_hat);        // rho
+        dot(r, r_hat);                            // rho
         trace_axpy(tracer, rows, {r, p, v}, p);   // p update
         precond(p, p_hat);
         spmv(p_hat, v);
-        trace_dot(tracer, rows, r_hat, v);        // alpha denominator
+        dot(r_hat, v);                            // alpha denominator
         trace_axpy(tracer, rows, {r, v}, s);      // s = r - alpha v
-        trace_dot(tracer, rows, s, s);            // ||s||
+        dot(s, s);                                // ||s||
         precond(s, s_hat);
         spmv(s_hat, t);
-        trace_dot(tracer, rows, t, s);            // omega numerator
-        trace_dot(tracer, rows, t, t);            // omega denominator
+        dot(t, s);                                // omega numerator
+        dot(t, t);                                // omega denominator
         trace_axpy(tracer, rows, {x, p_hat, s_hat}, x);
         trace_axpy(tracer, rows, {s, t}, r);
-        trace_dot(tracer, rows, r, r);            // ||r||
+        dot(r, r);                                // ||r||
     }
 }
 

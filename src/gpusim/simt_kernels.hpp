@@ -6,24 +6,42 @@
 // reductions (dot/norm), streaming vector updates, and the fused BiCGStab
 // solver assembled from them. They do no arithmetic on real data -- the
 // functional solve happens in bsis_core -- they generate the *access
-// trace*, from which the profiler counters of Table II are measured.
+// trace*, from which the profiler counters of Table II are measured and
+// against which the SIMT sanitizer checks races, barrier divergence, and
+// bounds.
 //
-// Vector operands are identified by a byte base address; the special value
-// `shared_space` marks a vector living in the block's shared memory (no
-// cache traffic, counted as shared accesses).
+// Vector operands are identified by a byte base address. Addresses below
+// `shared_region_end` are byte offsets into the block's shared memory (no
+// cache traffic, counted as shared accesses); the traced BiCGStab places
+// shared solver vector i at offset i * padded_length * sizeof(real_type),
+// followed by the cross-warp reduction scratch. `shared_space` (offset 0)
+// marks the first shared vector and remains valid for single-operand
+// traces.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
 #include "core/storage_config.hpp"
+#include "gpusim/sanitizer.hpp"
 #include "gpusim/simt.hpp"
 #include "util/types.hpp"
 
 namespace bsis::gpusim {
 
-/// Address marker for operands kept in shared memory.
+/// End of the shared-memory address window: any base/address below this is
+/// interpreted as a byte offset into the block's shared allocation. Global
+/// regions (AddressMap) all live far above it.
+inline constexpr std::uint64_t shared_region_end = std::uint64_t{1} << 30;
+
+/// Address marker for an operand at the bottom of shared memory.
 inline constexpr std::uint64_t shared_space = 0;
+
+/// Whether a base address denotes shared memory.
+inline constexpr bool is_shared_addr(std::uint64_t addr)
+{
+    return addr < shared_region_end;
+}
 
 /// Virtual layout of one system's operands. The shared sparsity pattern
 /// uses the SAME addresses for every system (it is stored once per batch,
@@ -47,6 +65,19 @@ struct AddressMap {
                            static_cast<std::uint64_t>(rows) * sizeof(real_type);
     }
 };
+
+/// Shared bytes the traced solver actually touches for `config`: the
+/// configured vectors plus one cross-warp reduction scratch slot per warp.
+/// Pass this to Sanitizer::set_shared_limit for bounds checking.
+size_type traced_shared_bytes(const StorageConfig& config, int num_warps);
+
+/// Registers the global regions of `map` with `sanitizer` for
+/// out-of-bounds checking: the sparsity pattern (`row_ptrs` only when
+/// `csr_pattern`), per-system values, the right-hand side, and the spilled
+/// solver vectors.
+void register_map_buffers(Sanitizer& sanitizer, const AddressMap& map,
+                          index_type rows, index_type nnz_stored,
+                          bool csr_pattern, int num_spill_vectors);
 
 /// Warp-per-row CSR SpMV (Fig. 5a): each row is read by one warp with
 /// lanes covering its nonzeros, followed by a warp shuffle reduction.
@@ -75,9 +106,13 @@ void trace_spmv_ell_multi(BlockTracer& tracer, const AddressMap& map,
                           std::uint64_t y_base);
 
 /// Block-wide dot product / norm over vectors of length n (pass the same
-/// base twice for a norm).
+/// base twice for a norm). `scratch_base` is the shared byte offset of the
+/// cross-warp reduction scratch (one real per warp): per-warp partials are
+/// stored there, a barrier orders them, warp 0 combines and publishes the
+/// result, and a final barrier protects the scratch before reuse.
 void trace_dot(BlockTracer& tracer, index_type n, std::uint64_t a_base,
-               std::uint64_t b_base);
+               std::uint64_t b_base,
+               std::uint64_t scratch_base = shared_space);
 
 /// Streaming vector update reading the vectors in `read_bases` and writing
 /// `out_base` (e.g. axpy = 2 reads incl. the output's old value, 1 write).

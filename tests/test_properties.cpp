@@ -10,6 +10,7 @@
 
 #include "core/solver.hpp"
 #include "core/storage_config.hpp"
+#include "exec/executor.hpp"
 #include "gpusim/cache.hpp"
 #include "gpusim/scheduler.hpp"
 #include "lapack/banded_lu.hpp"
@@ -330,6 +331,47 @@ TEST_P(Seeded, BandedLuMatchesDenseLuOnRandomBands)
     for (index_type i = 0; i < n; ++i) {
         ASSERT_NEAR(x_banded[static_cast<std::size_t>(i)],
                     x_dense[static_cast<std::size_t>(i)], 1e-10);
+    }
+}
+
+TEST_P(Seeded, SanitizedSolveIsCleanAndObservationOnly)
+{
+    // Random batch systems, random sizes, both warp widths: the fused
+    // BiCGStab trace must be violation-free under the SIMT sanitizer, and
+    // turning the sanitizer on must not perturb the solve (bit-identical
+    // solutions, identical iteration counts).
+    Rng rng(GetParam());
+    const index_type n = 16 + static_cast<index_type>(rng.uniform_int(80));
+    const size_type nbatch = 1 + static_cast<size_type>(rng.uniform_int(4));
+    auto a = random_sparse_batch(rng, n, nbatch);
+    BatchVector<real_type> b(nbatch, n);
+    for (size_type s = 0; s < nbatch; ++s) {
+        for (index_type i = 0; i < n; ++i) {
+            b.entry(s)[i] = rng.uniform(-1.0, 1.0);
+        }
+    }
+    SolverSettings settings;
+    settings.tolerance = 1e-9;
+
+    // V100: warp 32; MI100: wavefront 64.
+    for (const auto* device : {&gpusim::v100(), &gpusim::mi100()}) {
+        SimGpuExecutor plain(*device);
+        SimGpuExecutor sanitized(*device);
+        sanitized.set_sanitize(true);
+        BatchVector<real_type> x_plain(nbatch, n, 0.0);
+        BatchVector<real_type> x_san(nbatch, n, 0.0);
+        const auto r_plain = plain.solve(a, b, x_plain, settings);
+        const auto r_san = sanitized.solve(a, b, x_san, settings);
+
+        ASSERT_TRUE(r_san.sanitized);
+        EXPECT_TRUE(r_san.sanitizer.clean())
+            << device->name << ": " << r_san.sanitizer.summary();
+        for (size_type s = 0; s < nbatch; ++s) {
+            EXPECT_EQ(r_plain.log.iterations(s), r_san.log.iterations(s));
+            for (index_type i = 0; i < n; ++i) {
+                ASSERT_EQ(x_plain.entry(s)[i], x_san.entry(s)[i]);
+            }
+        }
     }
 }
 
