@@ -16,7 +16,13 @@ int main()
     using namespace bsis::gpusim;
 
     const SystemShape shape{992, 9 * 992, 9};
-    const auto work = work_profile(SolverType::bicgstab, PrecondType::jacobi);
+    // Fused profile: the sweep structure of the single-pass kernels.
+    // Unfused profile: one sweep per BLAS call (the reference path).
+    const auto work_fused =
+        work_profile(SolverType::bicgstab, PrecondType::jacobi);
+    const auto work_unfused =
+        work_profile(SolverType::bicgstab, PrecondType::jacobi, 30, 4,
+                     /*fused=*/false);
     const int iterations = 20;
     const size_type nbatch = 960;
 
@@ -29,6 +35,7 @@ int main()
             ell_block_size(shape.rows, device.warp_size);
 
         const auto kernel_time = [&](const StorageConfig& config,
+                                     const SolverWorkProfile& work,
                                      double launches_per_solve) {
             const auto occ = compute_occupancy(device, block_threads,
                                                config.shared_bytes);
@@ -48,31 +55,45 @@ int main()
             bicgstab_slots(1), shape.rows, device.warp_size,
             sizeof(real_type),
             static_cast<size_type>(device.max_shared_kib_per_block * 1024));
-        // Fused: ONE launch for the entire batched solve.
-        const double fused = kernel_time(fused_config, 1.0);
+        // Fully fused: ONE launch for the entire batched solve, single-pass
+        // sweeps, shared-memory placement.
+        const double fused = kernel_time(fused_config, work_fused, 1.0);
+
+        // Sweep-fusion ablation alone: still one launch and the shared
+        // placement, but one sweep per BLAS call (the pre-fusion host
+        // path).
+        const double unfused_sweeps =
+            kernel_time(fused_config, work_unfused, 1.0);
 
         // Component kernels: every SpMV / dot / axpy / precond apply is a
         // separate launch, each iteration of every wave.
         const double ops_per_iteration =
-            work.spmv_per_iter + work.precond_per_iter +
-            work.dots_per_iter + work.axpys_per_iter;
+            work_unfused.spmv_per_iter + work_unfused.precond_per_iter +
+            work_unfused.dots_per_iter + work_unfused.axpys_per_iter;
         // Per-component launches cannot keep data in shared memory across
-        // kernels: the unfused variant also loses the placement.
+        // kernels (nor fuse sweeps): the unfused variant also loses the
+        // placement.
         const auto spilled_config =
             configure_storage(bicgstab_slots(1), shape.rows,
                               device.warp_size, sizeof(real_type), 0);
-        const double unfused =
-            kernel_time(spilled_config, ops_per_iteration * iterations);
+        const double unfused = kernel_time(spilled_config, work_unfused,
+                                           ops_per_iteration * iterations);
 
-        // Shared-memory ablation alone: fused launch count, but nothing
-        // placed in shared memory.
-        const double no_shared = kernel_time(spilled_config, 1.0);
+        // Shared-memory ablation alone: fused launch count and sweeps, but
+        // nothing placed in shared memory.
+        const double no_shared =
+            kernel_time(spilled_config, work_fused, 1.0);
 
         table.new_row()
             .add(device.name)
             .add("fused + shared placement")
             .add(fused * 1e3, 5)
             .add(1.0, 3);
+        table.new_row()
+            .add(device.name)
+            .add("fused launch, unfused sweeps")
+            .add(unfused_sweeps * 1e3, 5)
+            .add(unfused_sweeps / fused, 3);
         table.new_row()
             .add(device.name)
             .add("fused, no shared placement")

@@ -19,7 +19,7 @@ int main()
     using namespace bsis::gpusim;
 
     const SystemShape shape{992, 9 * 992, 9};
-    Table table({"device", "solver", "iteration_us", "spmv_%",
+    Table table({"device", "solver", "iteration_us", "spmv_prec_%",
                  "reductions_%", "updates_%"});
     struct Entry {
         const char* name;
@@ -51,11 +51,13 @@ int main()
             const auto cost =
                 block_cost(device, shape, BatchFormat::ell, block_threads,
                            config, work, occ.blocks_per_cu);
-            const double spmv = work.spmv_per_iter * cost.spmv_us;
-            const double dots = work.dots_per_iter * cost.dot_us;
-            const double updates =
-                work.axpys_per_iter * cost.axpy_us +
-                work.precond_per_iter * cost.precond_us;
+            // The cost model's own decomposition: with the fused work
+            // profile the reduction share is what survives fusion (the
+            // standalone dot sweeps plus the cross-warp combines of the
+            // norms riding on update sweeps).
+            const double spmv = cost.iter_spmv_us;
+            const double dots = cost.iter_reduction_us;
+            const double updates = cost.iter_update_us;
             const double total = cost.per_iteration_us;
             table.new_row()
                 .add(device.name)

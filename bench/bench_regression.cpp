@@ -1,0 +1,236 @@
+// Perf-regression harness for the batched solvers.
+//
+// Times the canonical workload of the paper -- BiCGStab+Jacobi over a
+// batch of 992-row / 9-nnz-per-row collision systems -- on the host (wall
+// time, fused vs unfused kernels, CSR and ELL) and on the modeled devices
+// (kernel seconds at warp 32 and warp 64), and writes the medians to
+// BENCH_solvers.json so successive commits can be compared.
+//
+// Usage: bench_regression [--smoke] [--out <path>]
+//   --smoke    tiny batch / few repetitions (the `perf`-labeled ctest run)
+//   --out      output path for the JSON (default: BENCH_solvers.json)
+// BSIS_QUICK=1 is honored like --smoke.
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+
+namespace {
+
+using namespace bsis;
+
+double median(std::vector<double> v)
+{
+    std::sort(v.begin(), v.end());
+    const std::size_t n = v.size();
+    return n == 0 ? 0.0
+                  : (n % 2 == 1 ? v[n / 2]
+                                : 0.5 * (v[n / 2 - 1] + v[n / 2]));
+}
+
+double mean_iterations(const BatchLog& log)
+{
+    double sum = 0;
+    for (size_type i = 0; i < log.num_batch(); ++i) {
+        sum += log.iterations(i);
+    }
+    return log.num_batch() == 0 ? 0.0
+                                : sum / static_cast<double>(log.num_batch());
+}
+
+/// One timed host configuration: median wall seconds over the repetitions.
+struct HostCase {
+    std::string format;
+    std::string variant;
+    double median_wall_seconds = 0;
+    double mean_iterations = 0;
+    bool all_converged = false;
+};
+
+/// One modeled device configuration (deterministic, no repetitions).
+struct DeviceCase {
+    std::string device;
+    int warp_size = 0;
+    std::string format;
+    double kernel_seconds = 0;
+    double per_iteration_us = 0;
+};
+
+template <typename BatchMatrix>
+HostCase time_host(const char* format, bool fused, const BatchMatrix& a,
+                   const BatchVector<real_type>& b, int reps)
+{
+    SolverSettings settings;
+    settings.solver = SolverType::bicgstab;
+    settings.precond = PrecondType::jacobi;
+    settings.fused_kernels = fused;
+    BatchVector<real_type> x(a.num_batch(), a.rows());
+    std::vector<double> walls;
+    BatchSolveResult last;
+    // One untimed warm-up solve so allocation of the persistent workspace
+    // pool (and cache warming) does not land in the first sample.
+    solve_batch(a, b, x, settings);
+    for (int rep = 0; rep < reps; ++rep) {
+        last = solve_batch(a, b, x, settings);
+        walls.push_back(last.wall_seconds);
+    }
+    HostCase c;
+    c.format = format;
+    c.variant = fused ? "fused" : "unfused";
+    c.median_wall_seconds = median(std::move(walls));
+    c.mean_iterations = mean_iterations(last.log);
+    c.all_converged = last.log.all_converged();
+    return c;
+}
+
+void write_json(const std::string& path, bool smoke, size_type num_systems,
+                index_type rows, index_type nnz_per_row, int reps,
+                const std::vector<HostCase>& host,
+                const std::vector<DeviceCase>& devices)
+{
+    std::ofstream out(path);
+    if (!out) {
+        std::cerr << "cannot open " << path << " for writing\n";
+        std::exit(1);
+    }
+    out.precision(9);
+    out << "{\n";
+    out << "  \"bench\": \"solvers_regression\",\n";
+    out << "  \"workload\": \"bicgstab+jacobi, xgc collision batch\",\n";
+    out << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n";
+    out << "  \"num_systems\": " << num_systems << ",\n";
+    out << "  \"rows\": " << rows << ",\n";
+    out << "  \"nnz_per_row\": " << nnz_per_row << ",\n";
+    out << "  \"repetitions\": " << reps << ",\n";
+    out << "  \"host\": [\n";
+    for (std::size_t i = 0; i < host.size(); ++i) {
+        const auto& c = host[i];
+        out << "    {\"format\": \"" << c.format
+            << "\", \"variant\": \"" << c.variant
+            << "\", \"median_wall_seconds\": " << c.median_wall_seconds
+            << ", \"mean_iterations\": " << c.mean_iterations
+            << ", \"all_converged\": "
+            << (c.all_converged ? "true" : "false") << "}"
+            << (i + 1 < host.size() ? "," : "") << "\n";
+    }
+    out << "  ],\n";
+    out << "  \"modeled\": [\n";
+    for (std::size_t i = 0; i < devices.size(); ++i) {
+        const auto& c = devices[i];
+        out << "    {\"device\": \"" << c.device
+            << "\", \"warp_size\": " << c.warp_size << ", \"format\": \""
+            << c.format << "\", \"kernel_seconds\": " << c.kernel_seconds
+            << ", \"per_iteration_us\": " << c.per_iteration_us << "}"
+            << (i + 1 < devices.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n";
+    out << "}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv)
+{
+    using namespace bsis;
+
+    bool smoke = bench::quick_mode();
+    std::string out_path = "BENCH_solvers.json";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0) {
+            smoke = true;
+        } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+            out_path = argv[++i];
+        } else {
+            std::cerr << "usage: bench_regression [--smoke] [--out <path>]\n";
+            return 1;
+        }
+    }
+    const size_type num_systems = smoke ? 40 : 1000;
+    const int reps = smoke ? 3 : 7;
+
+    bench::XgcBatch batch(num_systems);
+    const auto& csr = batch.a;
+    const auto ell = to_ell(csr);
+    const auto& b = batch.rhs();
+    const index_type rows = csr.rows();
+    const index_type width = ell.nnz_per_row();
+
+    std::cout << "perf regression: " << num_systems << " systems, " << rows
+              << " rows, " << width << " nnz/row, " << reps
+              << " repetitions" << (smoke ? " (smoke)" : "") << "\n";
+
+    std::vector<HostCase> host;
+    host.push_back(time_host("csr", true, csr, b, reps));
+    host.push_back(time_host("csr", false, csr, b, reps));
+    host.push_back(time_host("ell", true, ell, b, reps));
+    host.push_back(time_host("ell", false, ell, b, reps));
+
+    Table table({"format", "variant", "median_wall_s", "mean_iters",
+                 "converged"});
+    for (const auto& c : host) {
+        table.new_row()
+            .add(c.format)
+            .add(c.variant)
+            .add(c.median_wall_seconds, 6)
+            .add(c.mean_iterations, 2)
+            .add(c.all_converged ? "yes" : "no");
+    }
+
+    // Modeled kernel time on the paper's warp-32 and warp-64 devices; the
+    // work profile (and thus the fused sweep structure priced by the cost
+    // model) comes from the solve itself.
+    std::vector<DeviceCase> devices;
+    const gpusim::DeviceSpec* specs[] = {&gpusim::v100(), &gpusim::mi100()};
+    SolverSettings settings;
+    settings.solver = SolverType::bicgstab;
+    settings.precond = PrecondType::jacobi;
+    for (const auto* spec : specs) {
+        SimGpuExecutor exec(*spec);
+        for (int f = 0; f < 2; ++f) {
+            BatchVector<real_type> x(csr.num_batch(), rows);
+            const auto report =
+                f == 0 ? exec.solve(csr, b, x, settings)
+                       : exec.solve(ell, b, x, settings);
+            DeviceCase c;
+            c.device = spec->name;
+            c.warp_size = spec->warp_size;
+            c.format = f == 0 ? "csr" : "ell";
+            c.kernel_seconds = report.kernel_seconds;
+            c.per_iteration_us = report.block_cost.per_iteration_us;
+            devices.push_back(c);
+        }
+    }
+    Table modeled({"device", "warp", "format", "kernel_s", "iter_us"});
+    for (const auto& c : devices) {
+        modeled.new_row()
+            .add(c.device)
+            .add(c.warp_size)
+            .add(c.format)
+            .add(c.kernel_seconds, 6)
+            .add(c.per_iteration_us, 4);
+    }
+
+    std::cout << "\n=== host wall time (fused vs unfused kernels)\n\n";
+    table.print(std::cout);
+    std::cout << "\n=== modeled kernel time (warp 32 / warp 64)\n\n";
+    modeled.print(std::cout);
+
+    write_json(out_path, smoke, num_systems, rows, width, reps, host,
+               devices);
+    std::cout << "\n[json written to " << out_path << "]\n";
+
+    // Self-check: the regression harness is only useful if the numbers it
+    // writes are well-formed.
+    for (const auto& c : host) {
+        if (!(c.median_wall_seconds > 0) || !c.all_converged) {
+            std::cerr << "regression bench: bad host case " << c.format
+                      << "/" << c.variant << "\n";
+            return 1;
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Perf-regression run: builds, then times the canonical 992-row collision
+# batch (BiCGStab+Jacobi, CSR and ELL, fused and unfused host kernels,
+# modeled warp-32/warp-64 devices) and writes BENCH_solvers.json at the
+# repo root for commit-over-commit comparison.
+#
+# Usage: scripts/bench_regression.sh            (full run, ~1000 systems)
+#        BSIS_QUICK=1 scripts/bench_regression.sh   (smoke-size run)
+#        BUILD_DIR=out scripts/bench_regression.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR=${BUILD_DIR:-build}
+
+cmake -B "$BUILD_DIR" -S .
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target bench_regression
+
+"$BUILD_DIR/bench/bench_regression" --out BENCH_solvers.json
+
+echo "bench_regression.sh: wrote $(pwd)/BENCH_solvers.json"

@@ -16,6 +16,9 @@ cmake --build "$BUILD_DIR" -j "$(nproc)"
 echo "== sanitizer test tier =="
 ctest --test-dir "$BUILD_DIR" -L sanitizer --output-on-failure
 
+echo "== perf regression tier (smoke) =="
+ctest --test-dir "$BUILD_DIR" -L perf --output-on-failure
+
 echo "== sanitized examples =="
 for example in quickstart solver_comparison device_comparison; do
     echo "-- $example --sanitize"

@@ -112,6 +112,111 @@ inline void mul_elementwise(ConstVecView<T> x, ConstVecView<T> y, VecView<T> z)
     }
 }
 
+// ---- fused single-pass kernels ------------------------------------------
+//
+// Each of these sweeps its operands exactly once, mirroring the fused GPU
+// kernels of Rupp et al. ("Pipelined Iterative Solvers with Kernel Fusion
+// for GPUs"): the compositions they replace (copy+axpy, axpy+axpby,
+// back-to-back dots over shared operands) each cost one full vector sweep
+// per BLAS call on the host, exactly as they cost one kernel launch plus
+// one global-memory round trip on the device. Reductions fused into an
+// update sweep accumulate in the SAME element order as the unfused
+// reference (left to right), so results agree to rounding (see the 4-ulp
+// property tests). Output views may alias input views: every iteration
+// reads its operands before writing the output element.
+
+/// z := alpha * x + beta * y + gamma * z in one sweep.
+///
+/// Covers the BiCGStab direction update p = r + beta * (p - omega * v)
+/// (alpha=1, beta=-beta*omega, gamma=beta) and the solution update
+/// x += alpha * p_hat + omega * s_hat (gamma=1), each previously two
+/// sweeps (axpy+axpby / axpy+axpy).
+template <typename T>
+inline void axpbypcz(T alpha, ConstVecView<T> x, T beta, ConstVecView<T> y,
+                     T gamma, VecView<T> z)
+{
+    BSIS_ASSERT(x.len == z.len && y.len == z.len);
+    for (index_type i = 0; i < z.len; ++i) {
+        z[i] = alpha * x[i] + beta * y[i] + gamma * z[i];
+    }
+}
+
+/// z := alpha * x + beta * y in one sweep (replaces copy + axpy pairs).
+template <typename T>
+inline void zaxpby(T alpha, ConstVecView<T> x, T beta, ConstVecView<T> y,
+                   VecView<T> z)
+{
+    BSIS_ASSERT(x.len == z.len && y.len == z.len);
+    for (index_type i = 0; i < z.len; ++i) {
+        z[i] = alpha * x[i] + beta * y[i];
+    }
+}
+
+/// z := alpha * x + beta * y, returning ||z||_2, in one sweep.
+///
+/// Covers the BiCGStab s-vector update s = r - alpha * v + ||s|| and the
+/// residual update r = s - omega * t + ||r||, each previously three
+/// sweeps (copy + axpy + nrm2).
+template <typename T>
+inline T zaxpby_nrm2(T alpha, ConstVecView<T> x, T beta, ConstVecView<T> y,
+                     VecView<T> z)
+{
+    BSIS_ASSERT(x.len == z.len && y.len == z.len);
+    T sum{};
+    for (index_type i = 0; i < z.len; ++i) {
+        const T zi = alpha * x[i] + beta * y[i];
+        z[i] = zi;
+        sum += zi * zi;
+    }
+    return std::sqrt(sum);
+}
+
+/// y := alpha * x + y, returning ||y||_2, in one sweep (the CG/CGS/BiCG
+/// residual update r -= alpha * q fused with its norm).
+template <typename T>
+inline T axpy_nrm2(T alpha, ConstVecView<T> x, VecView<T> y)
+{
+    BSIS_ASSERT(x.len == y.len);
+    T sum{};
+    for (index_type i = 0; i < x.len; ++i) {
+        const T yi = y[i] + alpha * x[i];
+        y[i] = yi;
+        sum += yi * yi;
+    }
+    return std::sqrt(sum);
+}
+
+/// Computes d1 := x . y1 and d2 := x . y2 in one sweep over x (the
+/// BiCGStab dual reduction t.t / t.s, previously two passes over t).
+template <typename T>
+inline void dot2(ConstVecView<T> x, ConstVecView<T> y1, ConstVecView<T> y2,
+                 T& d1, T& d2)
+{
+    BSIS_ASSERT(x.len == y1.len && x.len == y2.len);
+    T sum1{};
+    T sum2{};
+    for (index_type i = 0; i < x.len; ++i) {
+        sum1 += x[i] * y1[i];
+        sum2 += x[i] * y2[i];
+    }
+    d1 = sum1;
+    d2 = sum2;
+}
+
+/// Paired update: y1 := alpha * x1 + beta * y1 and y2 := alpha * x2 +
+/// beta * y2 in one loop (the BiCG primal/shadow direction updates, which
+/// share their scalars).
+template <typename T>
+inline void axpby2(T alpha, ConstVecView<T> x1, ConstVecView<T> x2, T beta,
+                   VecView<T> y1, VecView<T> y2)
+{
+    BSIS_ASSERT(x1.len == y1.len && x2.len == y2.len && y1.len == y2.len);
+    for (index_type i = 0; i < y1.len; ++i) {
+        y1[i] = alpha * x1[i] + beta * y1[i];
+        y2[i] = alpha * x2[i] + beta * y2[i];
+    }
+}
+
 /// Dense matrix-vector product y := A x for a row-major n x n block.
 template <typename T>
 inline void gemv(index_type n, const T* a, ConstVecView<T> x, VecView<T> y)

@@ -65,17 +65,17 @@ EntryResult bicg_kernel(const MatrixView& a, ConstVecView<real_type> b,
         }
         const real_type alpha = rho / pq;
         blas::axpy(alpha, ConstVecView<real_type>(p), x);
-        blas::axpy(-alpha, ConstVecView<real_type>(q), r);
+        // r -= alpha * q fused with ||r||; shadow residual in a plain axpy.
+        r_norm = blas::axpy_nrm2(-alpha, ConstVecView<real_type>(q), r);
         blas::axpy(-alpha, ConstVecView<real_type>(q_hat), r_hat);
-        r_norm = blas::nrm2(ConstVecView<real_type>(r));
         prec.apply(ConstVecView<real_type>(r), z);
         prec.apply(ConstVecView<real_type>(r_hat), z_hat);
         const real_type rho_new = blas::dot(ConstVecView<real_type>(z),
                                             ConstVecView<real_type>(r_hat));
         const real_type beta = rho_new / rho;
-        blas::axpby(real_type{1}, ConstVecView<real_type>(z), beta, p);
-        blas::axpby(real_type{1}, ConstVecView<real_type>(z_hat), beta,
-                    p_hat);
+        // Primal/shadow direction updates share their scalars: one loop.
+        blas::axpby2(real_type{1}, ConstVecView<real_type>(z),
+                     ConstVecView<real_type>(z_hat), beta, p, p_hat);
         rho = rho_new;
     }
     return {max_iters, r_norm, stop.done(r_norm, b_norm)};

@@ -55,8 +55,8 @@ EntryResult cg_kernel(const MatrixView& a, ConstVecView<real_type> b,
         }
         const real_type alpha = rz / pq;
         blas::axpy(alpha, ConstVecView<real_type>(p), x);
-        blas::axpy(-alpha, ConstVecView<real_type>(q), r);
-        r_norm = blas::nrm2(ConstVecView<real_type>(r));
+        // r -= alpha * q fused with ||r|| (one sweep instead of two).
+        r_norm = blas::axpy_nrm2(-alpha, ConstVecView<real_type>(q), r);
         prec.apply(ConstVecView<real_type>(r), z);
         const real_type rz_new = blas::dot(ConstVecView<real_type>(r),
                                            ConstVecView<real_type>(z));

@@ -55,12 +55,12 @@ EntryResult cgs_kernel(const MatrixView& a, ConstVecView<real_type> b,
             blas::copy(ConstVecView<real_type>(u), p);
         } else {
             const real_type beta = rho / rho_old;
-            // u = r + beta q
-            blas::copy(ConstVecView<real_type>(r), u);
-            blas::axpy(beta, ConstVecView<real_type>(q), u);
-            // p = u + beta (q + beta p)
-            blas::axpby(real_type{1}, ConstVecView<real_type>(q), beta, p);
-            blas::axpby(real_type{1}, ConstVecView<real_type>(u), beta, p);
+            // u = r + beta q in one sweep (was copy + axpy).
+            blas::zaxpby(real_type{1}, ConstVecView<real_type>(r), beta,
+                         ConstVecView<real_type>(q), u);
+            // p = u + beta q + beta^2 p in one sweep (was two axpbys).
+            blas::axpbypcz(real_type{1}, ConstVecView<real_type>(u), beta,
+                           ConstVecView<real_type>(q), beta * beta, p);
         }
         prec.apply(ConstVecView<real_type>(p), u_hat);
         spmv(a, ConstVecView<real_type>(u_hat), v);
@@ -70,17 +70,17 @@ EntryResult cgs_kernel(const MatrixView& a, ConstVecView<real_type> b,
             return {iter, r_norm, false};
         }
         const real_type alpha = rho / sigma;
-        // q = u - alpha v
-        blas::copy(ConstVecView<real_type>(u), q);
-        blas::axpy(-alpha, ConstVecView<real_type>(v), q);
+        // q = u - alpha v in one sweep (was copy + axpy).
+        blas::zaxpby(real_type{1}, ConstVecView<real_type>(u), -alpha,
+                     ConstVecView<real_type>(v), q);
         // u_hat = M^-1 (u + q); x += alpha u_hat; r -= alpha A u_hat
-        blas::copy(ConstVecView<real_type>(u), t);
-        blas::axpy(real_type{1}, ConstVecView<real_type>(q), t);
+        blas::zaxpby(real_type{1}, ConstVecView<real_type>(u), real_type{1},
+                     ConstVecView<real_type>(q), t);
         prec.apply(ConstVecView<real_type>(t), u_hat);
         blas::axpy(alpha, ConstVecView<real_type>(u_hat), x);
         spmv(a, ConstVecView<real_type>(u_hat), t);
-        blas::axpy(-alpha, ConstVecView<real_type>(t), r);
-        r_norm = blas::nrm2(ConstVecView<real_type>(r));
+        // r -= alpha * t fused with ||r||.
+        r_norm = blas::axpy_nrm2(-alpha, ConstVecView<real_type>(t), r);
         rho_old = rho;
     }
     return {max_iters, r_norm, stop.done(r_norm, b_norm)};

@@ -64,6 +64,22 @@ int workspace_slots(const SolverSettings& s)
     return 0;
 }
 
+/// Per-calling-thread solver scratch, persistent across solve_batch calls
+/// so repeated solves (Picard loops, bench repetitions) stop reallocating.
+/// thread_local (rather than a global pool) keeps concurrent solve_batch
+/// calls from different host threads isolated; the OpenMP threads of each
+/// call's parallel region index into their caller's pool.
+struct SolveScratch {
+    WorkspacePool workspaces;
+    std::vector<GmresScratch> gmres;
+};
+
+SolveScratch& solve_scratch()
+{
+    thread_local SolveScratch scratch;
+    return scratch;
+}
+
 /// Runs the fully composed kernel over the batch. Prec and Stop are
 /// compile-time parameters here, exactly as in the paper's fused kernel.
 template <typename BatchMatrix, typename Prec, typename Stop>
@@ -76,12 +92,13 @@ void run_batch(const BatchMatrix& a, const BatchVector<real_type>& b,
     const int solver_slots = workspace_slots(settings);
     const int nthreads = max_threads();
 
-    std::vector<Workspace> workspaces(static_cast<std::size_t>(nthreads));
-    std::vector<GmresScratch> gmres_scratch(
-        static_cast<std::size_t>(nthreads));
-    for (auto& ws : workspaces) {
-        ws.require(n, solver_slots);
+    auto& scratch = solve_scratch();
+    scratch.workspaces.require(nthreads, n, solver_slots);
+    if (static_cast<int>(scratch.gmres.size()) < nthreads) {
+        scratch.gmres.resize(static_cast<std::size_t>(nthreads));
     }
+    auto& workspaces = scratch.workspaces;
+    auto& gmres_scratch = scratch.gmres;
 
     // Exceptions cannot unwind through an OpenMP region: capture the
     // first one and rethrow it after the loop.
@@ -89,7 +106,7 @@ void run_batch(const BatchMatrix& a, const BatchVector<real_type>& b,
 #pragma omp parallel for schedule(dynamic)
     for (size_type i = 0; i < nbatch; ++i) {
         try {
-        auto& ws = workspaces[static_cast<std::size_t>(this_thread())];
+        auto& ws = workspaces.at(this_thread());
         const auto av = a.entry(i);
         const auto bv = b.entry(i);
         auto xv = x.entry(i);
@@ -122,8 +139,12 @@ void run_batch(const BatchMatrix& a, const BatchVector<real_type>& b,
         EntryResult result;
         switch (settings.solver) {
         case SolverType::bicgstab:
-            result = bicgstab_kernel(av, bv, xv, prec, stop,
-                                     settings.max_iterations, ws);
+            result = settings.fused_kernels
+                         ? bicgstab_kernel(av, bv, xv, prec, stop,
+                                           settings.max_iterations, ws)
+                         : bicgstab_kernel_unfused(av, bv, xv, prec, stop,
+                                                   settings.max_iterations,
+                                                   ws);
             break;
         case SolverType::bicg:
             result = bicg_kernel(av, bv, xv, prec, stop,
@@ -213,7 +234,8 @@ BatchSolveResult solve_batch(const BatchMatrix& a,
     result.log = BatchLog(a.num_batch());
     result.work = work_profile(settings.solver, settings.precond,
                                settings.gmres_restart,
-                               settings.block_jacobi_size);
+                               settings.block_jacobi_size,
+                               settings.fused_kernels);
     Timer timer;
     switch (settings.precond) {
     case PrecondType::identity:

@@ -36,6 +36,10 @@ struct SolverSettings {
     /// When false, x is zeroed before solving; when true the caller's x is
     /// used as the initial guess (the Picard warm-start of Fig. 8).
     bool use_initial_guess = false;
+    /// When false, BiCGStab runs the reference one-sweep-per-BLAS-call
+    /// composition instead of the fused single-pass kernels. Only the
+    /// fusion A/B benches and tests flip this; results agree to rounding.
+    bool fused_kernels = true;
 };
 
 /// Outcome of a batched solve.

@@ -24,7 +24,11 @@ enum class SolverType {
 /// Per-iteration and setup operation counts of a solver composition.
 /// "axpys" counts all streaming vector updates (axpy/axpby/copy/fill);
 /// "dots" counts block-wide reductions (dot products and norms), which on
-/// the GPU serialize behind barrier synchronization.
+/// the GPU serialize behind barrier synchronization. These are OPERATION
+/// counts (they fix the flop totals and stay valid for the CPU-node
+/// model); the `fused_*` fields below describe how the fused kernel packs
+/// those operations into full-vector SWEEPS, which is what the memory-
+/// bound GPU cost model prices.
 struct SolverWorkProfile {
     double spmv_per_iter = 0;
     double precond_per_iter = 0;
@@ -34,6 +38,24 @@ struct SolverWorkProfile {
     double setup_dots = 0;
     double setup_axpys = 0;
     int num_vectors = 0;  ///< per-system vectors incl. x and precond storage
+
+    /// Fused-kernel sweep structure (all zero when the solver is not
+    /// expressed in fused form; the cost model then falls back to one
+    /// sweep per operation count above).
+    double fused_update_sweeps = 0;  ///< pure streaming update sweeps/iter
+    double fused_norm_update_sweeps = 0;  ///< update sweeps that also
+                                          ///< produce a reduction result
+    double fused_dot_sweeps = 0;  ///< standalone reduction sweeps/iter
+    double fused_extra_dots = 0;  ///< additional reduction results
+                                  ///< piggybacked on an existing sweep
+                                  ///< (e.g. the dual-dot's second result)
+
+    bool has_fused_shape() const
+    {
+        return fused_update_sweeps + fused_norm_update_sweeps +
+                   fused_dot_sweeps >
+               0;
+    }
 };
 
 inline int precond_work_vectors(PrecondType precond,
@@ -51,9 +73,15 @@ inline int precond_work_vectors(PrecondType precond,
     return 0;
 }
 
+/// Builds the work profile of one solver composition. With `fused` (the
+/// default, matching the host kernels since the kernel-fusion PR) the
+/// profile also carries the fused sweep structure; `fused = false`
+/// describes the reference one-sweep-per-BLAS-call composition, used by
+/// the fusion ablations.
 inline SolverWorkProfile work_profile(SolverType solver, PrecondType precond,
                                       int gmres_restart = 30,
-                                      int block_jacobi_size = 4)
+                                      int block_jacobi_size = 4,
+                                      bool fused = true)
 {
     const int prec_vecs = precond_work_vectors(precond, block_jacobi_size);
     const double prec_ops = 1.0;
@@ -63,22 +91,54 @@ inline SolverWorkProfile work_profile(SolverType solver, PrecondType precond,
         // Algorithm 1: 2 SpMV, 2 preconditioner applications, 6 reductions
         // (||r||, rho, r_hat.v, ||s||, t.s, t.t), ~6 vector updates.
         p = {2, 2 * prec_ops, 6, 6, 1, 1, 3, 9 + prec_vecs};
+        if (fused) {
+            // Fused sweeps: p and x updates (pure), s and r updates with
+            // fused norms, rho / r_hat.v / dual-dot reduction sweeps; the
+            // dual-dot's second result rides along.
+            p.fused_update_sweeps = 2;
+            p.fused_norm_update_sweeps = 2;
+            p.fused_dot_sweeps = 3;
+            p.fused_extra_dots = 1;
+        }
         break;
     case SolverType::cgs:
         // 2 SpMV, 2 preconditioner applications, 3 reductions (rho,
         // sigma, ||r||), ~8 vector updates.
         p = {2, 2 * prec_ops, 3, 8, 1, 1, 2, 9 + prec_vecs};
+        if (fused) {
+            // u, p, q, t, x single-pass updates; r update with fused norm;
+            // rho and sigma reduction sweeps.
+            p.fused_update_sweeps = 5;
+            p.fused_norm_update_sweeps = 1;
+            p.fused_dot_sweeps = 2;
+        }
         break;
     case SolverType::bicg:
         // 1 SpMV + 1 transpose SpMV, 2 preconditioner applications,
         // 3 reductions (rho, p_hat.q, ||r||), ~6 vector updates.
         p = {2, 2 * prec_ops, 3, 6, 1, 2, 4, 9 + prec_vecs};
+        if (fused) {
+            // x, r_hat, and the paired p/p_hat updates (shared-scalar
+            // loop, still two vectors of traffic); r update with fused
+            // norm; rho and p_hat.q reduction sweeps.
+            p.fused_update_sweeps = 4;
+            p.fused_norm_update_sweeps = 1;
+            p.fused_dot_sweeps = 2;
+        }
         break;
     case SolverType::cg:
         p = {1, prec_ops, 3, 3, 1, 2, 2, 5 + prec_vecs};
+        if (fused) {
+            // x and p updates; r update with fused norm; p.q and r.z
+            // reduction sweeps.
+            p.fused_update_sweeps = 2;
+            p.fused_norm_update_sweeps = 1;
+            p.fused_dot_sweeps = 2;
+        }
         break;
     case SolverType::gmres: {
         // Average inner step: MGS against j+1 basis vectors, j ~ m/2.
+        // Not expressed in fused form: MGS serializes dot/axpy pairs.
         const double avg_orth = gmres_restart / 2.0 + 1.0;
         p = {1, prec_ops, avg_orth + 1, avg_orth + 1, 1, 1, 2,
              gmres_restart + 5 + prec_vecs};

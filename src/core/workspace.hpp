@@ -56,6 +56,48 @@ private:
     std::vector<real_type> storage_;
 };
 
+/// Per-thread workspace pool, persistent across batched solves.
+///
+/// `run_batch` used to allocate one Workspace per OpenMP thread on EVERY
+/// call, which dominates small-batch solve time when callers loop (the
+/// Picard driver re-solves the same-shaped batch every nonlinear
+/// iteration; the benches re-solve it per repetition). The pool grows but
+/// never shrinks, so after the first solve of a given shape, repeated
+/// solves do no allocation at all. Intended use is one pool per calling
+/// thread (a `thread_local` in the solve driver), indexed by the OpenMP
+/// thread id inside the parallel region.
+class WorkspacePool {
+public:
+    /// Grows the pool to `num_threads` workspaces of at least
+    /// (`length` x `num_slots`) each. Call OUTSIDE the parallel region:
+    /// growing the vector may relocate the workspaces.
+    void require(int num_threads, index_type length, int num_slots)
+    {
+        BSIS_ENSURE_ARG(num_threads >= 0, "negative thread count");
+        if (static_cast<int>(workspaces_.size()) < num_threads) {
+            workspaces_.resize(static_cast<std::size_t>(num_threads));
+        }
+        for (auto& ws : workspaces_) {
+            ws.require(length, num_slots);
+        }
+    }
+
+    int num_threads() const
+    {
+        return static_cast<int>(workspaces_.size());
+    }
+
+    Workspace& at(int thread)
+    {
+        BSIS_ASSERT(thread >= 0 &&
+                    thread < static_cast<int>(workspaces_.size()));
+        return workspaces_[static_cast<std::size_t>(thread)];
+    }
+
+private:
+    std::vector<Workspace> workspaces_;
+};
+
 /// Per-system solve outcome returned by the solver kernels.
 struct EntryResult {
     int iterations = 0;

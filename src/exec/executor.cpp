@@ -38,15 +38,9 @@ std::vector<VectorSlot> slots_for(const SolverSettings& settings)
 
 gpusim::SystemShape shape_of(const BatchCsr<real_type>& a)
 {
-    gpusim::SystemShape shape;
-    shape.rows = a.rows();
-    shape.nnz = a.nnz_per_entry();
-    index_type max_row = 0;
-    for (index_type r = 0; r < a.rows(); ++r) {
-        max_row = std::max(max_row, a.row_ptrs()[r + 1] - a.row_ptrs()[r]);
-    }
-    shape.nnz_per_row = max_row;
-    return shape;
+    // max_nnz_per_row is cached on the batch at construction; this runs
+    // per solve and must not rescan the row pointers.
+    return {a.rows(), a.nnz_per_entry(), a.max_nnz_per_row()};
 }
 
 gpusim::SystemShape shape_of(const BatchEll<real_type>& a)
@@ -313,6 +307,11 @@ CpuSolveReport CpuExecutor::iterative(const BatchCsr<real_type>& a,
                                       const SolverSettings& settings) const
 {
     CpuSolveReport report;
+    if (a.num_batch() == 0) {
+        // Nothing to solve or model: skip the solve and the scheduler
+        // rather than scheduling zero blocks.
+        return report;
+    }
     Timer timer;
     const auto result = solve_batch(a, b, x, settings);
     report.wall_seconds = timer.seconds();

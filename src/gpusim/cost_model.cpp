@@ -153,10 +153,28 @@ BlockCost block_cost(const DeviceSpec& device, const SystemShape& shape,
                     work.setup_axpys * cost.axpy_us +
                     cost.precond_us;  // Jacobi generation
 
-    cost.per_iteration_us = work.spmv_per_iter * cost.spmv_us +
-                            work.precond_per_iter * cost.precond_us +
-                            work.dots_per_iter * cost.dot_us +
-                            work.axpys_per_iter * cost.axpy_us;
+    cost.iter_spmv_us = work.spmv_per_iter * cost.spmv_us +
+                        work.precond_per_iter * cost.precond_us;
+    if (work.has_fused_shape()) {
+        // Fused kernel: price SWEEPS, not BLAS calls. A norm fused into an
+        // update sweep reuses that sweep's traffic and pays only the
+        // cross-warp combine latency; the dual-dot's second result
+        // likewise piggybacks on the first's sweep.
+        const double combine_us =
+            device.reduction_latency_us + spill_penalty;
+        cost.iter_update_us =
+            (work.fused_update_sweeps + work.fused_norm_update_sweeps) *
+            cost.axpy_us;
+        cost.iter_reduction_us =
+            work.fused_dot_sweeps * cost.dot_us +
+            (work.fused_norm_update_sweeps + work.fused_extra_dots) *
+                combine_us;
+    } else {
+        cost.iter_reduction_us = work.dots_per_iter * cost.dot_us;
+        cost.iter_update_us = work.axpys_per_iter * cost.axpy_us;
+    }
+    cost.per_iteration_us =
+        cost.iter_spmv_us + cost.iter_reduction_us + cost.iter_update_us;
     return cost;
 }
 

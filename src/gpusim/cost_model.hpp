@@ -36,6 +36,15 @@ struct BlockCost {
     double setup_us = 0;      ///< residual init + preconditioner generation
     double per_iteration_us = 0;
 
+    /// Decomposition of per_iteration_us (consumed by the ablation
+    /// benches): SpMV + preconditioner / reduction / streaming-update
+    /// shares. With a fused work profile, a norm fused into an update
+    /// sweep is split between the update share (the sweep's traffic) and
+    /// the reduction share (the combine latency).
+    double iter_spmv_us = 0;       ///< SpMV + preconditioner share
+    double iter_reduction_us = 0;  ///< block-wide reduction share
+    double iter_update_us = 0;     ///< streaming vector-update share
+
     double block_us(int iterations) const
     {
         return setup_us + per_iteration_us * iterations;

@@ -55,8 +55,10 @@ AddressMap AddressMap::for_system(size_type system_index, index_type rows,
 
 size_type traced_shared_bytes(const StorageConfig& config, int num_warps)
 {
+    // Two scratch slots per warp: the fused dual-dot publishes two partials
+    // per warp in one pass.
     return config.shared_bytes +
-           static_cast<size_type>(num_warps) *
+           static_cast<size_type>(num_warps) * 2 *
                static_cast<size_type>(sizeof(real_type));
 }
 
@@ -171,6 +173,61 @@ void warp_reduce(BlockTracer& tracer, int count)
         tracer.flop(half);
         count = half;
     }
+}
+
+/// Cross-warp combine of `num_results` per-warp reduction partials: warp
+/// w's partial for result j lives at scratch slot w * num_results + j.
+/// Partials are published, a barrier orders them, warp 0 combines each
+/// result and publishes it to the first `num_results` scratch slots, a
+/// barrier makes them visible, every thread broadcast-reads them, and a
+/// final barrier protects the scratch before reuse.
+void cross_warp_combine(BlockTracer& tracer, std::uint64_t scratch_base,
+                        int num_results)
+{
+    const int warp = tracer.warp_size();
+    const int warps = tracer.num_warps();
+    std::vector<std::uint64_t> addrs;
+    const auto slot = [&](int w, int j) {
+        return scratch_base +
+               static_cast<std::uint64_t>(w * num_results + j) *
+                   sizeof(real_type);
+    };
+    // The leading lanes of each warp publish its partials.
+    for (int w = 0; w < warps; ++w) {
+        tracer.set_warp(w);
+        addrs.clear();
+        for (int j = 0; j < num_results; ++j) {
+            addrs.push_back(slot(w, j));
+        }
+        tracer.store_shared(addrs, sizeof(real_type));
+    }
+    tracer.barrier();  // partials must be visible before the combine
+    // Warp 0 combines each result's partials and publishes the results.
+    tracer.set_warp(0);
+    for (int j = 0; j < num_results; ++j) {
+        addrs.clear();
+        for (int w = 0; w < warps; ++w) {
+            addrs.push_back(slot(w, j));
+        }
+        tracer.load_shared(addrs, sizeof(real_type));
+        warp_reduce(tracer, warps);
+    }
+    addrs.clear();
+    for (int j = 0; j < num_results; ++j) {
+        addrs.push_back(slot(0, j));
+    }
+    tracer.store_shared(addrs, sizeof(real_type));
+    tracer.barrier();  // results must be visible to every warp
+    // Every thread reads the results back: full-warp broadcast loads (LDS
+    // broadcasts same-address lanes in one cycle).
+    for (int j = 0; j < num_results; ++j) {
+        addrs.assign(static_cast<std::size_t>(warp), slot(0, j));
+        for (int w = 0; w < warps; ++w) {
+            tracer.set_warp(w);
+            tracer.load_shared(addrs, sizeof(real_type));
+        }
+    }
+    tracer.barrier();  // scratch may be reused after this point
 }
 
 }  // namespace
@@ -349,7 +406,6 @@ void trace_dot(BlockTracer& tracer, index_type n, std::uint64_t a_base,
     const int warp = tracer.warp_size();
     const int warps = tracer.num_warps();
     std::vector<std::uint64_t> scratch;
-    std::vector<std::uint64_t> one(1);
     // Grid-stride accumulation into per-lane partials.
     for (index_type i0 = 0; i0 < n; i0 += warp) {
         tracer.set_warp(static_cast<int>((i0 / warp) % warps));
@@ -363,34 +419,65 @@ void trace_dot(BlockTracer& tracer, index_type n, std::uint64_t a_base,
     }
     // Per-warp shuffle tree (all warps run it concurrently; issued once).
     warp_reduce(tracer, warp);
-    // Lane 0 of each warp publishes its partial to the reduction scratch.
-    for (int w = 0; w < warps; ++w) {
-        tracer.set_warp(w);
-        one[0] = scratch_base + static_cast<std::uint64_t>(w) *
-                                    sizeof(real_type);
-        tracer.store_shared(one, sizeof(real_type));
+    cross_warp_combine(tracer, scratch_base, 1);
+}
+
+void trace_dot2(BlockTracer& tracer, index_type n, std::uint64_t x_base,
+                std::uint64_t y1_base, std::uint64_t y2_base,
+                std::uint64_t scratch_base)
+{
+    tracer.set_kernel("dot2");
+    const int warp = tracer.warp_size();
+    const int warps = tracer.num_warps();
+    std::vector<std::uint64_t> scratch;
+    // One grid-stride sweep feeds BOTH per-lane partials: each distinct
+    // operand is read once, then two fused multiply-adds accumulate
+    // x*y1 and x*y2.
+    for (index_type i0 = 0; i0 < n; i0 += warp) {
+        tracer.set_warp(static_cast<int>((i0 / warp) % warps));
+        const int active =
+            static_cast<int>(std::min<index_type>(warp, n - i0));
+        vec_read(tracer, x_base, i0, active, scratch);
+        if (y1_base != x_base) {
+            vec_read(tracer, y1_base, i0, active, scratch);
+        }
+        if (y2_base != x_base && y2_base != y1_base) {
+            vec_read(tracer, y2_base, i0, active, scratch);
+        }
+        tracer.flop(active, 2);
+        tracer.flop(active, 2);
     }
-    tracer.barrier();  // partials must be visible before the combine
-    // Warp 0 combines the partials and publishes the result.
-    tracer.set_warp(0);
-    scratch.clear();
-    for (int w = 0; w < warps; ++w) {
-        scratch.push_back(scratch_base + static_cast<std::uint64_t>(w) *
-                                             sizeof(real_type));
+    // Per-warp shuffle trees for the two partials, then one combine round
+    // publishing both results.
+    warp_reduce(tracer, warp);
+    warp_reduce(tracer, warp);
+    cross_warp_combine(tracer, scratch_base, 2);
+}
+
+void trace_axpy_nrm2(BlockTracer& tracer, index_type n,
+                     const std::vector<std::uint64_t>& read_bases,
+                     std::uint64_t out_base, std::uint64_t scratch_base)
+{
+    tracer.set_kernel("axpy_nrm2");
+    const int warp = tracer.warp_size();
+    const int warps = tracer.num_warps();
+    std::vector<std::uint64_t> scratch;
+    // Streaming update sweep that also accumulates the squared norm of the
+    // value it writes -- the written element is still in registers, so the
+    // norm costs no extra memory traffic.
+    for (index_type i0 = 0; i0 < n; i0 += warp) {
+        tracer.set_warp(static_cast<int>((i0 / warp) % warps));
+        const int active =
+            static_cast<int>(std::min<index_type>(warp, n - i0));
+        for (const auto base : read_bases) {
+            vec_read(tracer, base, i0, active, scratch);
+        }
+        tracer.flop(active, 2);  // the update
+        vec_write(tracer, out_base, i0, active, scratch);
+        tracer.flop(active, 2);  // norm accumulation of the written value
     }
-    tracer.load_shared(scratch, sizeof(real_type));
-    warp_reduce(tracer, warps);
-    one[0] = scratch_base;
-    tracer.store_shared(one, sizeof(real_type));
-    tracer.barrier();  // result must be visible to every warp
-    // Every thread reads the result back: a full-warp broadcast load of
-    // scratch[0] (LDS broadcasts same-address lanes in one cycle).
-    scratch.assign(static_cast<std::size_t>(warp), scratch_base);
-    for (int w = 0; w < warps; ++w) {
-        tracer.set_warp(w);
-        tracer.load_shared(scratch, sizeof(real_type));
-    }
-    tracer.barrier();  // scratch may be reused after this point
+    warp_reduce(tracer, warp);
+    cross_warp_combine(tracer, scratch_base, 1);
 }
 
 void trace_axpy(BlockTracer& tracer, index_type n,
@@ -484,31 +571,33 @@ void trace_bicgstab(BlockTracer& tracer, const AddressMap& map,
         trace_dot(tracer, rows, a, b, reduce_scratch);
     };
 
-    // Setup: Jacobi generation (diagonal gather + invert), r = b - A x,
-    // r_hat = r, initial norm.
+    // Setup: Jacobi generation (diagonal gather + invert), r = b - A x
+    // with the initial norm fused into the update sweep, r_hat = r.
     if (has_jacobi) {
         trace_axpy(tracer, rows, {map.values}, inv_diag);
     }
     spmv(x, t);
-    trace_axpy(tracer, rows, {map.b, t}, r);
+    trace_axpy_nrm2(tracer, rows, {map.b, t}, r, reduce_scratch);
     trace_axpy(tracer, rows, {r}, r_hat);
-    dot(r, r);
 
+    // Fused iteration: the paper's single-pass update kernels. ||s|| and
+    // ||r|| ride on the s and r update sweeps; t.s and t.t share one
+    // dual-dot sweep.
     for (int it = 0; it < iterations; ++it) {
         dot(r, r_hat);                            // rho
         trace_axpy(tracer, rows, {r, p, v}, p);   // p update
         precond(p, p_hat);
         spmv(p_hat, v);
         dot(r_hat, v);                            // alpha denominator
-        trace_axpy(tracer, rows, {r, v}, s);      // s = r - alpha v
-        dot(s, s);                                // ||s||
+        trace_axpy_nrm2(tracer, rows, {r, v}, s,  // s = r - alpha v, ||s||
+                        reduce_scratch);
         precond(s, s_hat);
         spmv(s_hat, t);
-        dot(t, s);                                // omega numerator
-        dot(t, t);                                // omega denominator
+        trace_dot2(tracer, rows, t, t, s,         // omega num. + denom.
+                   reduce_scratch);
         trace_axpy(tracer, rows, {x, p_hat, s_hat}, x);
-        trace_axpy(tracer, rows, {s, t}, r);
-        dot(r, r);                                // ||r||
+        trace_axpy_nrm2(tracer, rows, {s, t}, r,  // r update, ||r||
+                        reduce_scratch);
     }
 }
 

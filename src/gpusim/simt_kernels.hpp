@@ -67,7 +67,8 @@ struct AddressMap {
 };
 
 /// Shared bytes the traced solver actually touches for `config`: the
-/// configured vectors plus one cross-warp reduction scratch slot per warp.
+/// configured vectors plus TWO cross-warp reduction scratch slots per warp
+/// (the fused dual-dot publishes two partials per warp in one pass).
 /// Pass this to Sanitizer::set_shared_limit for bounds checking.
 size_type traced_shared_bytes(const StorageConfig& config, int num_warps);
 
@@ -114,11 +115,27 @@ void trace_dot(BlockTracer& tracer, index_type n, std::uint64_t a_base,
                std::uint64_t b_base,
                std::uint64_t scratch_base = shared_space);
 
+/// Fused dual reduction: one sweep computes x.y1 and x.y2 (each distinct
+/// operand is read once). Warp w publishes its two partials at scratch
+/// slots 2w and 2w+1 -- the scratch must hold 2 * num_warps reals (see
+/// traced_shared_bytes).
+void trace_dot2(BlockTracer& tracer, index_type n, std::uint64_t x_base,
+                std::uint64_t y1_base, std::uint64_t y2_base,
+                std::uint64_t scratch_base = shared_space);
+
 /// Streaming vector update reading the vectors in `read_bases` and writing
 /// `out_base` (e.g. axpy = 2 reads incl. the output's old value, 1 write).
 void trace_axpy(BlockTracer& tracer, index_type n,
                 const std::vector<std::uint64_t>& read_bases,
                 std::uint64_t out_base);
+
+/// Fused update + norm: the trace_axpy sweep with the squared norm of the
+/// written value accumulated in registers, followed by the cross-warp
+/// reduction combine. One sweep of traffic instead of two.
+void trace_axpy_nrm2(BlockTracer& tracer, index_type n,
+                     const std::vector<std::uint64_t>& read_bases,
+                     std::uint64_t out_base,
+                     std::uint64_t scratch_base = shared_space);
 
 /// Which SpMV kernel a traced solve uses.
 enum class TracedFormat { csr, ell };

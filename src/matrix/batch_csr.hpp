@@ -7,6 +7,7 @@
 //   + (rows + 1) * sizeof(index) + nnz * sizeof(index)
 #pragma once
 
+#include <algorithm>
 #include <vector>
 
 #include "blas/batch_vector.hpp"
@@ -48,6 +49,8 @@ public:
         for (index_type r = 0; r < rows; ++r) {
             BSIS_ENSURE_DIMS(row_ptrs_[r] <= row_ptrs_[r + 1],
                              "row_ptrs must be non-decreasing");
+            max_nnz_per_row_ = std::max(max_nnz_per_row_,
+                                        row_ptrs_[r + 1] - row_ptrs_[r]);
         }
         BSIS_ENSURE_DIMS(static_cast<index_type>(col_idxs_.size()) ==
                              row_ptrs_.back(),
@@ -59,6 +62,11 @@ public:
     size_type num_batch() const { return num_batch_; }
     index_type rows() const { return rows_; }
     index_type nnz_per_entry() const { return row_ptrs_.back(); }
+
+    /// Longest row of the shared pattern (the ELL width the batch would
+    /// convert to). Computed once at construction -- the executors consult
+    /// it per solve, so it must not rescan row_ptrs.
+    index_type max_nnz_per_row() const { return max_nnz_per_row_; }
 
     const std::vector<index_type>& row_ptrs() const { return row_ptrs_; }
     const std::vector<index_type>& col_idxs() const { return col_idxs_; }
@@ -97,6 +105,7 @@ public:
 private:
     size_type num_batch_ = 0;
     index_type rows_ = 0;
+    index_type max_nnz_per_row_ = 0;
     std::vector<index_type> row_ptrs_;
     std::vector<index_type> col_idxs_;
     std::vector<T> values_;

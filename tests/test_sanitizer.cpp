@@ -341,9 +341,11 @@ TEST_P(CleanKernels, StandaloneKernelsClean)
     auto mem = test_mem();
     BlockTracer tracer(block_threads(), warp_size(), &mem);
     Sanitizer sanitizer;
+    // Two reduction scratch slots per warp: the fused dual-dot publishes
+    // two partials per warp.
     sanitizer.set_shared_limit(
         static_cast<size_type>(3 * vec_bytes) +
-        tracer.num_warps() * static_cast<size_type>(sizeof(real_type)));
+        tracer.num_warps() * 2 * static_cast<size_type>(sizeof(real_type)));
     register_map_buffers(sanitizer, map, rows, nnz, true, 2);
     tracer.attach_sanitizer(&sanitizer);
 
@@ -356,7 +358,11 @@ TEST_P(CleanKernels, StandaloneKernelsClean)
                          ell_.col_idxs(), 4, x, y);
     trace_dot(tracer, rows, x, y, scratch);
     trace_dot(tracer, rows, z, z, scratch);  // norm; scratch reuse is clean
+    trace_dot2(tracer, rows, x, x, y, scratch);  // dual-dot, 2 slots/warp
     trace_axpy(tracer, rows, {x, y}, z);
+    trace_axpy_nrm2(tracer, rows, {x, y}, z, scratch);
+    trace_axpy_nrm2(tracer, rows, {map.b, map.spill_vec(0)},
+                    map.spill_vec(1), scratch);  // spilled operands
     trace_axpy(tracer, rows, {map.b, map.spill_vec(0)}, map.spill_vec(1));
     EXPECT_TRUE(sanitizer.report().clean())
         << sanitizer.report().summary();
