@@ -1,11 +1,14 @@
 // Fig. 3 of the paper: storage cost of BatchDense vs BatchCsr vs BatchEll
-// as a function of batch size, for the XGC matrix shape (992 rows, 9-point
-// stencil). Both the analytic formulas and the bytes actually allocated by
-// the format classes are reported (they must agree; the test suite checks
-// this too).
+// vs BatchSellp as a function of batch size, for the XGC matrix shape
+// (992 rows, 9-point stencil). Both the analytic formulas and the bytes
+// actually allocated by the format classes are reported (they must agree;
+// the test suite checks this too). For the uniform stencil pattern SELL-P
+// degenerates to ELL plus the slice-set prefix array, which the table
+// makes visible.
 #include <iostream>
 
 #include "common.hpp"
+#include "matrix/conversions.hpp"
 #include "matrix/stats.hpp"
 #include "matrix/stencil.hpp"
 
@@ -18,7 +21,7 @@ int main()
     const index_type nnz = pattern.row_ptrs[pattern.rows()];
 
     Table table({"num_matrices", "dense_MiB", "csr_MiB", "ell_MiB",
-                 "csr_over_ell"});
+                 "sellp_MiB", "csr_over_ell"});
     const double mib = 1024.0 * 1024.0;
     for (size_type nb : {1, 10, 100, 1000, 10000}) {
         const auto cost = storage_cost(pattern.rows(), nnz, 9, nb);
@@ -27,6 +30,7 @@ int main()
             .add(static_cast<double>(cost.dense_bytes) / mib, 4)
             .add(static_cast<double>(cost.csr_bytes) / mib, 4)
             .add(static_cast<double>(cost.ell_bytes) / mib, 4)
+            .add(static_cast<double>(cost.sellp_bytes) / mib, 4)
             .add(static_cast<double>(cost.csr_bytes) /
                      static_cast<double>(cost.ell_bytes),
                  3);
@@ -34,6 +38,23 @@ int main()
     bench::emit("fig3_storage",
                 "Fig. 3: batch matrix storage cost (992 rows, 9-pt stencil)",
                 table);
+
+    // Allocated-bytes cross-check of the analytic SELL-P model: convert an
+    // actual CSR batch and compare against the formula. The model pads
+    // every slice to the global max row length, so it bounds the actual
+    // allocation from above; slices of short boundary rows come in under.
+    const size_type check_nb = 4;
+    BatchCsr<real_type> csr(check_nb, pattern.rows(), pattern.row_ptrs,
+                            pattern.col_idxs);
+    const auto sellp = to_sellp(csr, 32);
+    const auto model = storage_cost(pattern.rows(), nnz, 9, check_nb);
+    std::cout << "\nsellp allocated bytes: " << sellp.storage_bytes()
+              << "  (uniform-pattern model bound: " << model.sellp_bytes
+              << ")\n";
+    if (sellp.storage_bytes() > model.sellp_bytes) {
+        std::cerr << "FAIL: allocated SELL-P bytes exceed the model bound\n";
+        return 1;
+    }
 
     std::cout << "\nShape check (paper: sparse formats amortize the shared "
                  "pattern; dense is ~100x larger)\n";

@@ -11,6 +11,7 @@
 //   --out      output path for the JSON (default: BENCH_solvers.json)
 // BSIS_QUICK=1 is honored like --smoke.
 #include <algorithm>
+#include <cmath>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -62,12 +63,14 @@ struct DeviceCase {
 
 template <typename BatchMatrix>
 HostCase time_host(const char* format, bool fused, const BatchMatrix& a,
-                   const BatchVector<real_type>& b, int reps)
+                   const BatchVector<real_type>& b, int reps,
+                   int lockstep_width = 0)
 {
     SolverSettings settings;
     settings.solver = SolverType::bicgstab;
     settings.precond = PrecondType::jacobi;
     settings.fused_kernels = fused;
+    settings.lockstep_width = lockstep_width;
     BatchVector<real_type> x(a.num_batch(), a.rows());
     std::vector<double> walls;
     BatchSolveResult last;
@@ -80,11 +83,57 @@ HostCase time_host(const char* format, bool fused, const BatchMatrix& a,
     }
     HostCase c;
     c.format = format;
-    c.variant = fused ? "fused" : "unfused";
+    c.variant = lockstep_width > 0
+                    ? "lockstep" + std::to_string(lockstep_width)
+                    : (fused ? "fused" : "unfused");
     c.median_wall_seconds = median(std::move(walls));
     c.mean_iterations = mean_iterations(last.log);
     c.all_converged = last.log.all_converged();
     return c;
+}
+
+/// Per-entry equivalence check of the lockstep path against the scalar
+/// fused path: identical converged flags, iteration counts within one,
+/// and (at equal counts) residual norms within a small relative tolerance.
+template <typename BatchMatrix>
+bool lockstep_matches_scalar(const BatchMatrix& a,
+                             const BatchVector<real_type>& b, int width)
+{
+    SolverSettings settings;
+    settings.solver = SolverType::bicgstab;
+    settings.precond = PrecondType::jacobi;
+    BatchVector<real_type> x_scalar(a.num_batch(), a.rows());
+    BatchVector<real_type> x_lock(a.num_batch(), a.rows());
+    const auto scalar = solve_batch(a, b, x_scalar, settings);
+    settings.lockstep_width = width;
+    const auto lock = solve_batch(a, b, x_lock, settings);
+    for (size_type i = 0; i < a.num_batch(); ++i) {
+        if (scalar.log.converged(i) != lock.log.converged(i)) {
+            std::cerr << "lockstep mismatch: system " << i
+                      << " converged flags differ\n";
+            return false;
+        }
+        const int di =
+            std::abs(scalar.log.iterations(i) - lock.log.iterations(i));
+        if (di > 1) {
+            std::cerr << "lockstep mismatch: system " << i << " iterations "
+                      << scalar.log.iterations(i) << " vs "
+                      << lock.log.iterations(i) << "\n";
+            return false;
+        }
+        if (di == 0) {
+            const double rs = scalar.log.residual_norm(i);
+            const double rl = lock.log.residual_norm(i);
+            const double scale = std::max({std::abs(rs), std::abs(rl),
+                                           1e-300});
+            if (std::abs(rs - rl) > 1e-6 * scale) {
+                std::cerr << "lockstep mismatch: system " << i
+                          << " residual " << rs << " vs " << rl << "\n";
+                return false;
+            }
+        }
+    }
+    return true;
 }
 
 void write_json(const std::string& path, bool smoke, size_type num_systems,
@@ -155,6 +204,7 @@ int main(int argc, char** argv)
     bench::XgcBatch batch(num_systems);
     const auto& csr = batch.a;
     const auto ell = to_ell(csr);
+    const auto sellp = to_sellp(csr);
     const auto& b = batch.rhs();
     const index_type rows = csr.rows();
     const index_type width = ell.nnz_per_row();
@@ -168,6 +218,13 @@ int main(int argc, char** argv)
     host.push_back(time_host("csr", false, csr, b, reps));
     host.push_back(time_host("ell", true, ell, b, reps));
     host.push_back(time_host("ell", false, ell, b, reps));
+    host.push_back(time_host("sellp", true, sellp, b, reps));
+    // SIMD batch-lockstep rows: W systems per thread over interleaved
+    // layouts, against the scalar fused rows above.
+    host.push_back(time_host("csr", true, csr, b, reps, 4));
+    host.push_back(time_host("csr", true, csr, b, reps, 8));
+    host.push_back(time_host("ell", true, ell, b, reps, 8));
+    host.push_back(time_host("sellp", true, sellp, b, reps, 8));
 
     Table table({"format", "variant", "median_wall_s", "mean_iters",
                  "converged"});
@@ -231,6 +288,35 @@ int main(int argc, char** argv)
                       << "/" << c.variant << "\n";
             return 1;
         }
+    }
+    // Lockstep results must match the scalar path per entry (identical
+    // converged flags, iterations within one, residuals to rounding).
+    if (!lockstep_matches_scalar(csr, b, 8) ||
+        !lockstep_matches_scalar(ell, b, 4)) {
+        std::cerr << "regression bench: lockstep/scalar mismatch\n";
+        return 1;
+    }
+    // And the point of the lockstep path is to beat the scalar fused path
+    // on the full-size batch (smoke batches are too small/noisy to gate).
+    const auto find_case = [&](const char* fmt, const char* variant) {
+        for (const auto& c : host) {
+            if (c.format == fmt && c.variant == variant) {
+                return c.median_wall_seconds;
+            }
+        }
+        return 0.0;
+    };
+    const double scalar_fused = find_case("csr", "fused");
+    const double lockstep_best = std::min(find_case("csr", "lockstep4"),
+                                          find_case("csr", "lockstep8"));
+    std::cout << "\nlockstep best (csr, W>=4) " << lockstep_best
+              << " s vs scalar fused " << scalar_fused << " s  ("
+              << (scalar_fused > 0 ? scalar_fused / lockstep_best : 0.0)
+              << "x)\n";
+    if (!smoke && !(lockstep_best < scalar_fused)) {
+        std::cerr << "regression bench: lockstep (W>=4) is not faster than "
+                     "the scalar fused path\n";
+        return 1;
     }
     return 0;
 }

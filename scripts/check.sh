@@ -16,6 +16,10 @@ cmake --build "$BUILD_DIR" -j "$(nproc)"
 echo "== sanitizer test tier =="
 ctest --test-dir "$BUILD_DIR" -L sanitizer --output-on-failure
 
+# The perf smoke run also covers the SIMD batch-lockstep rows
+# (lockstep4/lockstep8) and cross-checks them against the scalar path
+# per entry; the full-size lockstep-vs-scalar speedup gate only runs in
+# the non-smoke bench_regression.
 echo "== perf regression tier (smoke) =="
 ctest --test-dir "$BUILD_DIR" -L perf --output-on-failure
 

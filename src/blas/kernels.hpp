@@ -217,6 +217,158 @@ inline void axpby2(T alpha, ConstVecView<T> x1, ConstVecView<T> x2, T beta,
     }
 }
 
+// ---- batch-lockstep kernels ---------------------------------------------
+//
+// Width-W lane-group variants of the fused kernels above: one call
+// advances W batch entries through the same sweep simultaneously over
+// batch-interleaved storage (element i of lane l at data[i*W + l]), so the
+// inner lane loop is one contiguous width-W vector operation -- the CPU
+// SIMD analogue of the paper's warp lanes sweeping a system's rows in
+// lockstep. All scalars are per-lane arrays; per-lane masking is done by
+// COEFFICIENTS, not branches: an inactive lane passes (0, ..., 1) so its
+// column is left untouched (z = 0*x + 0*y + 1*z) and the loop body stays
+// branch-free. Lane columns never mix, so a stale or non-finite value in a
+// parked lane cannot leak into its neighbours. Reductions accumulate
+// per-lane in ascending element order -- the same order as the scalar
+// fused kernels -- so a lockstep lane reproduces the scalar solve's
+// rounding behaviour.
+//
+// W is a compile-time parameter: the lane loop has constant trip count, so
+// `#pragma omp simd` turns it into straight vector code.
+
+/// x(:, l) := alpha[l] for all lanes.
+template <int W, typename T>
+inline void fill_lanes(T* x, index_type n, const T* alpha)
+{
+    for (index_type i = 0; i < n; ++i) {
+#pragma omp simd
+        for (int l = 0; l < W; ++l) {
+            x[i * W + l] = alpha[l];
+        }
+    }
+}
+
+/// z(:, l) := alpha[l] * x(:, l) + beta[l] * y(:, l) + gamma[l] * z(:, l).
+template <int W, typename T>
+inline void axpbypcz_lanes(const T* alpha, const T* x, const T* beta,
+                           const T* y, const T* gamma, T* z, index_type n)
+{
+    for (index_type i = 0; i < n; ++i) {
+#pragma omp simd
+        for (int l = 0; l < W; ++l) {
+            z[i * W + l] = alpha[l] * x[i * W + l] + beta[l] * y[i * W + l] +
+                           gamma[l] * z[i * W + l];
+        }
+    }
+}
+
+/// z(:, l) := alpha[l] * x(:, l) + beta[l] * y(:, l), and
+/// norm[l] := ||z(:, l)||_2, in one sweep.
+template <int W, typename T>
+inline void zaxpby_nrm2_lanes(const T* alpha, const T* x, const T* beta,
+                              const T* y, T* z, index_type n, T* norm)
+{
+    T sum[W] = {};
+    for (index_type i = 0; i < n; ++i) {
+#pragma omp simd
+        for (int l = 0; l < W; ++l) {
+            const T zi = alpha[l] * x[i * W + l] + beta[l] * y[i * W + l];
+            z[i * W + l] = zi;
+            sum[l] += zi * zi;
+        }
+    }
+    for (int l = 0; l < W; ++l) {
+        norm[l] = std::sqrt(sum[l]);
+    }
+}
+
+/// y(:, l) := alpha[l] * x(:, l) + gamma[l] * y(:, l), and
+/// norm[l] := ||y(:, l)||_2, in one sweep (lockstep CG residual update;
+/// gamma masks parked lanes).
+template <int W, typename T>
+inline void axpy_nrm2_lanes(const T* alpha, const T* x, const T* gamma,
+                            T* y, index_type n, T* norm)
+{
+    T sum[W] = {};
+    for (index_type i = 0; i < n; ++i) {
+#pragma omp simd
+        for (int l = 0; l < W; ++l) {
+            const T yi = gamma[l] * y[i * W + l] + alpha[l] * x[i * W + l];
+            y[i * W + l] = yi;
+            sum[l] += yi * yi;
+        }
+    }
+    for (int l = 0; l < W; ++l) {
+        norm[l] = std::sqrt(sum[l]);
+    }
+}
+
+/// d[l] := x(:, l) . y(:, l) for all lanes.
+template <int W, typename T>
+inline void dot_lanes(const T* x, const T* y, index_type n, T* d)
+{
+    T sum[W] = {};
+    for (index_type i = 0; i < n; ++i) {
+#pragma omp simd
+        for (int l = 0; l < W; ++l) {
+            sum[l] += x[i * W + l] * y[i * W + l];
+        }
+    }
+    for (int l = 0; l < W; ++l) {
+        d[l] = sum[l];
+    }
+}
+
+/// d1[l] := x(:, l) . y1(:, l) and d2[l] := x(:, l) . y2(:, l) in one
+/// sweep over x (the lockstep dual reduction t.t / t.s).
+template <int W, typename T>
+inline void dot2_lanes(const T* x, const T* y1, const T* y2, index_type n,
+                       T* d1, T* d2)
+{
+    T sum1[W] = {};
+    T sum2[W] = {};
+    for (index_type i = 0; i < n; ++i) {
+#pragma omp simd
+        for (int l = 0; l < W; ++l) {
+            sum1[l] += x[i * W + l] * y1[i * W + l];
+            sum2[l] += x[i * W + l] * y2[i * W + l];
+        }
+    }
+    for (int l = 0; l < W; ++l) {
+        d1[l] = sum1[l];
+        d2[l] = sum2[l];
+    }
+}
+
+/// z(:, l) := diag(:, l) .* x(:, l) for lanes with mask[l] != 0 (the
+/// lockstep scalar-Jacobi apply; masking keeps a parked lane's stale
+/// scratch from being recomputed into NaN via 0 * inf).
+template <int W, typename T>
+inline void mul_elementwise_lanes(const T* diag, const T* x, const T* mask,
+                                  T* z, index_type n)
+{
+    for (index_type i = 0; i < n; ++i) {
+#pragma omp simd
+        for (int l = 0; l < W; ++l) {
+            z[i * W + l] = mask[l] != T{0} ? diag[i * W + l] * x[i * W + l]
+                                           : z[i * W + l];
+        }
+    }
+}
+
+/// z(:, l) := x(:, l) for lanes with mask[l] != 0 (lockstep identity-
+/// preconditioner apply).
+template <int W, typename T>
+inline void copy_lanes(const T* x, const T* mask, T* z, index_type n)
+{
+    for (index_type i = 0; i < n; ++i) {
+#pragma omp simd
+        for (int l = 0; l < W; ++l) {
+            z[i * W + l] = mask[l] != T{0} ? x[i * W + l] : z[i * W + l];
+        }
+    }
+}
+
 /// Dense matrix-vector product y := A x for a row-major n x n block.
 template <typename T>
 inline void gemv(index_type n, const T* a, ConstVecView<T> x, VecView<T> y)

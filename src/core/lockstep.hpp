@@ -1,0 +1,628 @@
+// Batch-lockstep solver drivers: W systems per thread, advanced in SIMD.
+//
+// The scalar host path assigns one batch entry per OpenMP thread at a
+// time -- the CPU image of the paper's one-thread-block-per-system
+// mapping, with the warp lanes' row-sweep serialized into the kernel
+// loops. The lockstep path recovers that lost lane parallelism on the
+// OTHER axis: each thread advances a GROUP of W batch entries through the
+// same solver iteration simultaneously, with every BLAS-1 sweep, Jacobi
+// apply, and SpMV running over batch-interleaved storage (element i of
+// lane l at data[i*W + l]) so the inner loop body is one contiguous
+// width-W vector operation that `#pragma omp simd` turns into straight
+// vector code. Where a GPU warp's 32 lanes sweep the rows of one system,
+// the CPU's SIMD lanes here sweep W systems at one row -- same lockstep,
+// transposed mapping (see DESIGN.md).
+//
+// Divergence handling mirrors the GPU's predication: per-lane state is
+// masked by COEFFICIENTS, not branches. A lane whose system has converged
+// (or broken down) passes (0, ..., 1) into the fused updates so its
+// column is left untouched, and is refilled with the next unsolved system
+// from a shared atomic counter at the top of the iteration loop -- the
+// CPU version of persistent thread blocks draining a work queue. Each
+// lane reproduces the scalar fused kernel's operation order exactly
+// (same sweeps, same ascending-order reductions, same breakdown checks),
+// so a lockstep solve returns the same per-system iteration counts and
+// residual norms as the scalar path up to rounding.
+#pragma once
+
+#include <atomic>
+#include <cmath>
+#include <exception>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include "blas/batch_vector.hpp"
+#include "blas/kernels.hpp"
+#include "core/logger.hpp"
+#include "core/workspace.hpp"
+#include "matrix/ell_slab.hpp"
+#include "util/error.hpp"
+#include "util/types.hpp"
+
+namespace bsis {
+
+/// Workspace slots of the lockstep BiCGStab group, each of length
+/// rows * W: r, r_hat, p, p_hat, v, s, s_hat, t, x, b, inv_diag. The
+/// matrix slab occupies `nnz_per_row` further slots as one contiguous
+/// strip.
+inline constexpr int lockstep_bicgstab_base_slots = 11;
+
+/// Lockstep CG group slots: r, z, p, q, x, b, inv_diag (+ slab strip).
+inline constexpr int lockstep_cg_base_slots = 7;
+
+namespace lockstep {
+
+inline int this_thread()
+{
+#ifdef _OPENMP
+    return omp_get_thread_num();
+#else
+    return 0;
+#endif
+}
+
+inline int max_threads()
+{
+#ifdef _OPENMP
+    return omp_get_max_threads();
+#else
+    return 1;
+#endif
+}
+
+template <typename T>
+inline T diag_at(const CsrView<T>& a, index_type r)
+{
+    for (index_type k = a.row_ptrs[r]; k < a.row_ptrs[r + 1]; ++k) {
+        if (a.col_idxs[k] == r) {
+            return a.values[k];
+        }
+    }
+    return T{};
+}
+
+template <typename T>
+inline T diag_at(const EllView<T>& a, index_type r)
+{
+    for (index_type k = 0; k < a.nnz_per_row; ++k) {
+        if (a.col_idxs[a.at(r, k)] == r) {
+            return a.values[a.at(r, k)];
+        }
+    }
+    return T{};
+}
+
+template <typename T>
+inline T diag_at(const SellpView<T>& a, index_type r)
+{
+    const index_type slice = r / a.slice_size;
+    const index_type width = a.slice_sets[slice + 1] - a.slice_sets[slice];
+    for (index_type k = 0; k < width; ++k) {
+        if (a.col_idxs[a.at(r, k)] == r) {
+            return a.values[a.at(r, k)];
+        }
+    }
+    return T{};
+}
+
+/// Scalar-Jacobi setup for one lane: inv_diag(:, lane) := 1 / diag(A_i).
+/// Extracts from the SOURCE format view, never from the slab pattern
+/// (whose padding slots alias column 0). Matches JacobiPrec::generate's
+/// zero-diagonal breakdown behaviour.
+template <typename MatrixView>
+inline void pack_inv_diag_lane(const MatrixView& a, index_type rows,
+                               real_type* inv_diag, int width, int lane)
+{
+    for (index_type r = 0; r < rows; ++r) {
+        const real_type d = diag_at(a, r);
+        if (d == real_type{0}) {
+            throw NumericalBreakdown("JacobiPrec", "zero diagonal entry");
+        }
+        inv_diag[static_cast<std::size_t>(r) * width + lane] =
+            real_type{1} / d;
+    }
+}
+
+/// ||v(:, lane)||_2 accumulated in ascending element order (the order of
+/// the scalar blas::nrm2).
+inline real_type lane_nrm2(const real_type* v, index_type n, int width,
+                           int lane)
+{
+    real_type sum{};
+    for (index_type i = 0; i < n; ++i) {
+        const real_type vi = v[static_cast<std::size_t>(i) * width + lane];
+        sum += vi * vi;
+    }
+    return std::sqrt(sum);
+}
+
+/// v(:, lane) . w(:, lane) in ascending element order.
+inline real_type lane_dot(const real_type* v, const real_type* w,
+                          index_type n, int width, int lane)
+{
+    real_type sum{};
+    for (index_type i = 0; i < n; ++i) {
+        sum += v[static_cast<std::size_t>(i) * width + lane] *
+               w[static_cast<std::size_t>(i) * width + lane];
+    }
+    return sum;
+}
+
+}  // namespace lockstep
+
+/// Runs one thread's lockstep BiCGStab group to queue exhaustion: W lanes
+/// advance through the fused iteration together; a finished lane is
+/// refilled from `next_system` at the top of the loop. Lane semantics
+/// (operation order, breakdown checks, iteration counts) match
+/// `bicgstab_kernel` exactly -- see the per-step notes.
+template <int W, bool UseJacobi, typename SourceBatch, typename Stop>
+void bicgstab_lockstep(const SourceBatch& a, const EllSlabPattern& pattern,
+                       const BatchVector<real_type>& b,
+                       BatchVector<real_type>& x, bool zero_guess,
+                       const Stop& stop, int max_iters, Workspace& ws,
+                       std::atomic<size_type>& next_system,
+                       BatchLogStage& stage, int thread)
+{
+    const index_type n = pattern.rows;
+    const size_type nbatch = a.num_batch();
+
+    real_type* r = ws.slot(0).data;
+    real_type* r_hat = ws.slot(1).data;
+    real_type* p = ws.slot(2).data;
+    real_type* p_hat = ws.slot(3).data;
+    real_type* v = ws.slot(4).data;
+    real_type* s = ws.slot(5).data;
+    real_type* s_hat = ws.slot(6).data;
+    real_type* t = ws.slot(7).data;
+    real_type* xg = ws.slot(8).data;
+    real_type* bg = ws.slot(9).data;
+    real_type* inv_diag = ws.slot(10).data;
+    // The slab strip is `nnz_per_row` consecutive slots; workspace slots
+    // are contiguous in one allocation, so the strip is one flat array.
+    real_type* slab = ws.slot(lockstep_bicgstab_base_slots).data;
+    const EllSlabView<real_type> av{n, pattern.nnz_per_row,
+                                    pattern.col_idxs.data(), slab, W};
+
+    size_type sys[W] = {};
+    int iter[W] = {};
+    bool active[W] = {};
+    real_type act[W] = {};  // 1.0 active, 0.0 parked: the coefficient mask
+    real_type b_norm[W] = {};
+    real_type r_norm[W] = {};
+    real_type rho_old[W] = {};
+    real_type alpha[W] = {};
+    real_type omega[W] = {};
+
+    // Record the lane's outcome and write its solution column back to the
+    // caller's entry-major x (the scalar path writes x in place; here the
+    // column is the working copy).
+    auto finish = [&](int l, int iters, real_type rn, bool conv) {
+        stage.record(thread, sys[l], iters, rn, conv);
+        unpack_lane(ConstLaneGroupView<real_type>(xg, n, W), l,
+                    x.entry(sys[l]));
+        active[l] = false;
+        act[l] = real_type{0};
+    };
+
+    // Load the next unsolved system into lane l. The setup is the scalar
+    // kernel's preamble run on one lane's column: pack values / b / x,
+    // r = b - A x fused with ||r||, r_hat = r, p = v = 0.
+    auto refill = [&](int l) -> bool {
+        const size_type i = next_system.fetch_add(1);
+        if (i >= nbatch) {
+            return false;
+        }
+        sys[l] = i;
+        const auto src = a.entry(i);
+        pack_slab_lane(src, pattern, slab, W, l);
+        if constexpr (UseJacobi) {
+            lockstep::pack_inv_diag_lane(src, n, inv_diag, W, l);
+        }
+        pack_lane(b.entry(i), LaneGroupView<real_type>{bg, n, W}, l);
+        b_norm[l] = lockstep::lane_nrm2(bg, n, W, l);
+        if (zero_guess) {
+            zero_lane(LaneGroupView<real_type>{xg, n, W}, l);
+        } else {
+            pack_lane(ConstVecView<real_type>(x.entry(i)),
+                      LaneGroupView<real_type>{xg, n, W}, l);
+        }
+        spmv_slab_lane(av, l, xg, r);
+        real_type sum{};
+        for (index_type j = 0; j < n; ++j) {
+            const std::size_t idx = static_cast<std::size_t>(j) * W + l;
+            const real_type rj = bg[idx] - r[idx];
+            r[idx] = rj;
+            sum += rj * rj;
+            r_hat[idx] = rj;
+            p[idx] = real_type{0};
+            v[idx] = real_type{0};
+        }
+        r_norm[l] = std::sqrt(sum);
+        rho_old[l] = real_type{1};
+        alpha[l] = real_type{1};
+        omega[l] = real_type{1};
+        iter[l] = 0;
+        active[l] = true;
+        act[l] = real_type{1};
+        return true;
+    };
+
+    while (true) {
+        // Top of the lockstep iteration: park converged / exhausted lanes
+        // and refill them until each lane either has work or the queue is
+        // dry. A freshly refilled system may converge immediately (zero
+        // right-hand side with a zero guess), so the checks loop.
+        for (int l = 0; l < W; ++l) {
+            for (;;) {
+                if (!active[l]) {
+                    if (!refill(l)) {
+                        break;
+                    }
+                }
+                if (stop.done(r_norm[l], b_norm[l])) {
+                    finish(l, iter[l], r_norm[l], true);
+                    continue;
+                }
+                if (iter[l] >= max_iters) {
+                    finish(l, max_iters, r_norm[l], false);
+                    continue;
+                }
+                break;
+            }
+        }
+        bool any_active = false;
+        for (int l = 0; l < W; ++l) {
+            any_active = any_active || active[l];
+        }
+        if (!any_active) {
+            break;
+        }
+
+        real_type ca[W];
+        real_type cb[W];
+        real_type cc[W];
+
+        // rho = r . r_hat; serious breakdown parks the lane with the
+        // scalar kernel's exact result (iter, r_norm, false).
+        real_type rho[W];
+        blas::dot_lanes<W>(r, r_hat, n, rho);
+        real_type beta[W] = {};
+        for (int l = 0; l < W; ++l) {
+            if (active[l]) {
+                if (rho[l] == real_type{0} || omega[l] == real_type{0}) {
+                    finish(l, iter[l], r_norm[l], false);
+                } else {
+                    beta[l] = (rho[l] / rho_old[l]) * (alpha[l] / omega[l]);
+                }
+            }
+        }
+        // p = r + beta * (p - omega * v); parked lanes pass (0, 0, 1).
+        for (int l = 0; l < W; ++l) {
+            ca[l] = act[l];
+            cb[l] = active[l] ? -beta[l] * omega[l] : real_type{0};
+            cc[l] = active[l] ? beta[l] : real_type{1};
+        }
+        blas::axpbypcz_lanes<W>(ca, r, cb, v, cc, p, n);
+        // p_hat = M^-1 p (mask-selected so parked columns keep their
+        // values rather than being recomputed from stale operands).
+        if constexpr (UseJacobi) {
+            blas::mul_elementwise_lanes<W>(inv_diag, p, act, p_hat, n);
+        } else {
+            blas::copy_lanes<W>(p, act, p_hat, n);
+        }
+        // v = A p_hat for all lanes; a parked lane's column receives
+        // garbage that never escapes the lane (refill rewrites it).
+        spmv_lanes<W>(av, p_hat, v);
+        real_type r_hat_v[W];
+        blas::dot_lanes<W>(r_hat, v, n, r_hat_v);
+        for (int l = 0; l < W; ++l) {
+            if (active[l]) {
+                if (r_hat_v[l] == real_type{0}) {
+                    finish(l, iter[l], r_norm[l], false);
+                } else {
+                    alpha[l] = rho[l] / r_hat_v[l];
+                }
+            }
+        }
+        // s = r - alpha * v fused with ||s||.
+        real_type s_norm[W];
+        for (int l = 0; l < W; ++l) {
+            ca[l] = act[l];
+            cb[l] = active[l] ? -alpha[l] : real_type{0};
+        }
+        blas::zaxpby_nrm2_lanes<W>(ca, r, cb, v, s, n, s_norm);
+        // Early exit on ||s||: the scalar kernel applies x += alpha*p_hat
+        // and returns {iter+1, s_norm, true}. Here the lane rides the
+        // remaining sweeps with its omega coefficient zeroed (so the fused
+        // x-update applies exactly alpha * p_hat) and parks at the bottom.
+        bool early[W] = {};
+        for (int l = 0; l < W; ++l) {
+            if (active[l]) {
+                early[l] = stop.done(s_norm[l], b_norm[l]);
+            }
+        }
+        if constexpr (UseJacobi) {
+            blas::mul_elementwise_lanes<W>(inv_diag, s, act, s_hat, n);
+        } else {
+            blas::copy_lanes<W>(s, act, s_hat, n);
+        }
+        spmv_lanes<W>(av, s_hat, t);
+        real_type t_t[W];
+        real_type t_s[W];
+        blas::dot2_lanes<W>(t, t, s, n, t_t, t_s);
+        bool tt0[W] = {};
+        for (int l = 0; l < W; ++l) {
+            if (active[l] && !early[l]) {
+                if (t_t[l] == real_type{0}) {
+                    tt0[l] = true;
+                } else {
+                    omega[l] = t_s[l] / t_t[l];
+                }
+            }
+        }
+        // x += alpha * p_hat + omega * s_hat (omega coefficient zeroed for
+        // early-exit and t.t-breakdown lanes, matching the scalar axpy).
+        for (int l = 0; l < W; ++l) {
+            ca[l] = active[l] ? alpha[l] : real_type{0};
+            cb[l] = active[l] && !early[l] && !tt0[l] ? omega[l]
+                                                      : real_type{0};
+            cc[l] = real_type{1};
+        }
+        blas::axpbypcz_lanes<W>(ca, p_hat, cb, s_hat, cc, xg, n);
+        // r = s - omega * t fused with ||r|| for continuing lanes.
+        real_type rn_new[W];
+        for (int l = 0; l < W; ++l) {
+            const bool cont = active[l] && !early[l] && !tt0[l];
+            ca[l] = cont ? real_type{1} : real_type{0};
+            cb[l] = cont ? -omega[l] : real_type{0};
+        }
+        blas::zaxpby_nrm2_lanes<W>(ca, s, cb, t, r, n, rn_new);
+        for (int l = 0; l < W; ++l) {
+            if (!active[l]) {
+                continue;
+            }
+            if (early[l]) {
+                finish(l, iter[l] + 1, s_norm[l], true);
+            } else if (tt0[l]) {
+                // t.t == 0 after a failed ||s|| check: the scalar kernel
+                // returns {iter+1, s_norm, stop.done(s_norm, b_norm)},
+                // and the stop check just failed.
+                finish(l, iter[l] + 1, s_norm[l], false);
+            } else {
+                r_norm[l] = rn_new[l];
+                rho_old[l] = rho[l];
+                ++iter[l];
+            }
+        }
+    }
+}
+
+/// Runs one thread's lockstep CG group to queue exhaustion (same lane
+/// protocol as `bicgstab_lockstep`; lane semantics match `cg_kernel`).
+template <int W, bool UseJacobi, typename SourceBatch, typename Stop>
+void cg_lockstep(const SourceBatch& a, const EllSlabPattern& pattern,
+                 const BatchVector<real_type>& b, BatchVector<real_type>& x,
+                 bool zero_guess, const Stop& stop, int max_iters,
+                 Workspace& ws, std::atomic<size_type>& next_system,
+                 BatchLogStage& stage, int thread)
+{
+    const index_type n = pattern.rows;
+    const size_type nbatch = a.num_batch();
+
+    real_type* r = ws.slot(0).data;
+    real_type* z = ws.slot(1).data;
+    real_type* p = ws.slot(2).data;
+    real_type* q = ws.slot(3).data;
+    real_type* xg = ws.slot(4).data;
+    real_type* bg = ws.slot(5).data;
+    real_type* inv_diag = ws.slot(6).data;
+    real_type* slab = ws.slot(lockstep_cg_base_slots).data;
+    const EllSlabView<real_type> av{n, pattern.nnz_per_row,
+                                    pattern.col_idxs.data(), slab, W};
+
+    size_type sys[W] = {};
+    int iter[W] = {};
+    bool active[W] = {};
+    real_type act[W] = {};
+    real_type b_norm[W] = {};
+    real_type r_norm[W] = {};
+    real_type rz[W] = {};
+
+    auto finish = [&](int l, int iters, real_type rn, bool conv) {
+        stage.record(thread, sys[l], iters, rn, conv);
+        unpack_lane(ConstLaneGroupView<real_type>(xg, n, W), l,
+                    x.entry(sys[l]));
+        active[l] = false;
+        act[l] = real_type{0};
+    };
+
+    auto refill = [&](int l) -> bool {
+        const size_type i = next_system.fetch_add(1);
+        if (i >= nbatch) {
+            return false;
+        }
+        sys[l] = i;
+        const auto src = a.entry(i);
+        pack_slab_lane(src, pattern, slab, W, l);
+        if constexpr (UseJacobi) {
+            lockstep::pack_inv_diag_lane(src, n, inv_diag, W, l);
+        }
+        pack_lane(b.entry(i), LaneGroupView<real_type>{bg, n, W}, l);
+        b_norm[l] = lockstep::lane_nrm2(bg, n, W, l);
+        if (zero_guess) {
+            zero_lane(LaneGroupView<real_type>{xg, n, W}, l);
+        } else {
+            pack_lane(ConstVecView<real_type>(x.entry(i)),
+                      LaneGroupView<real_type>{xg, n, W}, l);
+        }
+        // r = b - A x; z = M^-1 r; p = z; rz = r . z.
+        spmv_slab_lane(av, l, xg, r);
+        real_type sum{};
+        for (index_type j = 0; j < n; ++j) {
+            const std::size_t idx = static_cast<std::size_t>(j) * W + l;
+            const real_type rj = bg[idx] - r[idx];
+            r[idx] = rj;
+            sum += rj * rj;
+            const real_type zj =
+                UseJacobi ? inv_diag[idx] * rj : rj;
+            z[idx] = zj;
+            p[idx] = zj;
+        }
+        r_norm[l] = std::sqrt(sum);
+        rz[l] = lockstep::lane_dot(r, z, n, W, l);
+        iter[l] = 0;
+        active[l] = true;
+        act[l] = real_type{1};
+        return true;
+    };
+
+    while (true) {
+        for (int l = 0; l < W; ++l) {
+            for (;;) {
+                if (!active[l]) {
+                    if (!refill(l)) {
+                        break;
+                    }
+                }
+                if (stop.done(r_norm[l], b_norm[l])) {
+                    finish(l, iter[l], r_norm[l], true);
+                    continue;
+                }
+                if (iter[l] >= max_iters) {
+                    finish(l, max_iters, r_norm[l], false);
+                    continue;
+                }
+                if (rz[l] == real_type{0}) {
+                    finish(l, iter[l], r_norm[l], false);
+                    continue;
+                }
+                break;
+            }
+        }
+        bool any_active = false;
+        for (int l = 0; l < W; ++l) {
+            any_active = any_active || active[l];
+        }
+        if (!any_active) {
+            break;
+        }
+
+        real_type ca[W];
+        real_type cb[W];
+        real_type cc[W];
+        real_type alpha[W] = {};
+
+        // q = A p; pq = p . q; pq <= 0 means CG is not applicable.
+        spmv_lanes<W>(av, p, q);
+        real_type pq[W];
+        blas::dot_lanes<W>(p, q, n, pq);
+        for (int l = 0; l < W; ++l) {
+            if (active[l]) {
+                if (pq[l] <= real_type{0}) {
+                    finish(l, iter[l], r_norm[l], false);
+                } else {
+                    alpha[l] = rz[l] / pq[l];
+                }
+            }
+        }
+        // x += alpha * p.
+        for (int l = 0; l < W; ++l) {
+            ca[l] = active[l] ? alpha[l] : real_type{0};
+            cb[l] = real_type{0};
+            cc[l] = real_type{1};
+        }
+        blas::axpbypcz_lanes<W>(ca, p, cb, p, cc, xg, n);
+        // r -= alpha * q fused with ||r||.
+        real_type rn_new[W];
+        for (int l = 0; l < W; ++l) {
+            ca[l] = active[l] ? -alpha[l] : real_type{0};
+            cb[l] = real_type{1};
+        }
+        blas::axpy_nrm2_lanes<W>(ca, q, cb, r, n, rn_new);
+        for (int l = 0; l < W; ++l) {
+            if (active[l]) {
+                r_norm[l] = rn_new[l];
+            }
+        }
+        // z = M^-1 r; beta = (r . z)_new / rz; p = z + beta * p.
+        if constexpr (UseJacobi) {
+            blas::mul_elementwise_lanes<W>(inv_diag, r, act, z, n);
+        } else {
+            blas::copy_lanes<W>(r, act, z, n);
+        }
+        real_type rz_new[W];
+        blas::dot_lanes<W>(r, z, n, rz_new);
+        real_type beta[W] = {};
+        for (int l = 0; l < W; ++l) {
+            if (active[l]) {
+                beta[l] = rz_new[l] / rz[l];
+            }
+        }
+        for (int l = 0; l < W; ++l) {
+            ca[l] = act[l];
+            cb[l] = real_type{0};
+            cc[l] = active[l] ? beta[l] : real_type{1};
+        }
+        blas::axpbypcz_lanes<W>(ca, z, cb, z, cc, p, n);
+        for (int l = 0; l < W; ++l) {
+            if (active[l]) {
+                rz[l] = rz_new[l];
+                ++iter[l];
+            }
+        }
+    }
+}
+
+/// Batch driver for the lockstep path: builds the shared slab pattern,
+/// sizes the (separate, rows*W-length) workspace pool, and runs one
+/// lockstep group per OpenMP thread against a shared work queue. Per-entry
+/// results are staged per thread and merged into the log afterwards.
+template <int W, bool UseJacobi, bool UseCg, typename SourceBatch,
+          typename Stop>
+void run_batch_lockstep(const SourceBatch& a, const BatchVector<real_type>& b,
+                        BatchVector<real_type>& x, bool zero_guess,
+                        const Stop& stop, int max_iters, WorkspacePool& pool,
+                        BatchLog& log)
+{
+    const EllSlabPattern pattern = make_slab_pattern(a);
+    const int nthreads = lockstep::max_threads();
+    const int base_slots =
+        UseCg ? lockstep_cg_base_slots : lockstep_bicgstab_base_slots;
+    pool.require(nthreads, pattern.rows * W,
+                 base_slots + pattern.nnz_per_row);
+
+    BatchLogStage stage(nthreads);
+    std::atomic<size_type> next_system{0};
+    std::exception_ptr failure;
+#pragma omp parallel
+    {
+        try {
+            const int thread = lockstep::this_thread();
+            auto& ws = pool.at(thread);
+            if constexpr (UseCg) {
+                cg_lockstep<W, UseJacobi>(a, pattern, b, x, zero_guess,
+                                          stop, max_iters, ws, next_system,
+                                          stage, thread);
+            } else {
+                bicgstab_lockstep<W, UseJacobi>(a, pattern, b, x, zero_guess,
+                                                stop, max_iters, ws,
+                                                next_system, stage, thread);
+            }
+        } catch (...) {
+#pragma omp critical(bsis_lockstep_failure)
+            {
+                if (!failure) {
+                    failure = std::current_exception();
+                }
+            }
+        }
+    }
+    stage.merge_into(log);
+    if (failure) {
+        std::rethrow_exception(failure);
+    }
+}
+
+}  // namespace bsis

@@ -94,4 +94,49 @@ private:
     std::vector<char> converged_;
 };
 
+/// Per-thread staging buffer for BatchLog writes.
+///
+/// BatchLog::record(i, ...) writes three arrays at index i; adjacent batch
+/// entries recorded by different OpenMP threads land on the same cache
+/// line (16 int iteration counts per 64 B line), so the batch drivers'
+/// per-entry `record` calls ping-pong lines between cores. Each thread
+/// instead appends to its own cache-line-aligned buffer, and one
+/// single-threaded merge pass writes the log after the parallel region.
+class BatchLogStage {
+public:
+    explicit BatchLogStage(int num_threads)
+        : buffers_(static_cast<std::size_t>(num_threads))
+    {}
+
+    void record(int thread, size_type system, int iterations,
+                real_type res_norm, bool converged)
+    {
+        buffers_[static_cast<std::size_t>(thread)].entries.push_back(
+            {system, iterations, res_norm, converged});
+    }
+
+    void merge_into(BatchLog& log) const
+    {
+        for (const auto& buf : buffers_) {
+            for (const auto& e : buf.entries) {
+                log.record(e.system, e.iterations, e.res_norm, e.converged);
+            }
+        }
+    }
+
+private:
+    struct Entry {
+        size_type system;
+        int iterations;
+        real_type res_norm;
+        bool converged;
+    };
+    /// Aligned so neighbouring threads' vector headers (the end pointer
+    /// bumped on every push_back) do not share a cache line either.
+    struct alignas(64) ThreadBuffer {
+        std::vector<Entry> entries;
+    };
+    std::vector<ThreadBuffer> buffers_;
+};
+
 }  // namespace bsis

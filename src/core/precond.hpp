@@ -15,6 +15,7 @@
 #include "lapack/dense.hpp"
 #include "matrix/batch_csr.hpp"
 #include "matrix/batch_ell.hpp"
+#include "matrix/batch_sellp.hpp"
 #include "util/error.hpp"
 #include "util/types.hpp"
 
@@ -172,6 +173,20 @@ private:
                               index_type c)
     {
         for (index_type k = 0; k < a.nnz_per_row; ++k) {
+            if (a.col_idxs[a.at(r, k)] == c) {
+                return a.values[a.at(r, k)];
+            }
+        }
+        return real_type{0};
+    }
+
+    static real_type value_at(const SellpView<real_type>& a, index_type r,
+                              index_type c)
+    {
+        const index_type slice = r / a.slice_size;
+        const index_type width =
+            a.slice_sets[slice + 1] - a.slice_sets[slice];
+        for (index_type k = 0; k < width; ++k) {
             if (a.col_idxs[a.at(r, k)] == c) {
                 return a.values[a.at(r, k)];
             }

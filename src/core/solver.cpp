@@ -12,6 +12,7 @@
 #include "core/cg.hpp"
 #include "core/cgs.hpp"
 #include "core/gmres.hpp"
+#include "core/lockstep.hpp"
 #include "core/richardson.hpp"
 #include "core/workspace.hpp"
 #include "util/error.hpp"
@@ -71,6 +72,10 @@ int workspace_slots(const SolverSettings& s)
 /// call's parallel region index into their caller's pool.
 struct SolveScratch {
     WorkspacePool workspaces;
+    /// Separate pool for the lockstep path: its slots are rows * W long,
+    /// and growing the scalar pool's slot length would trip the scalar
+    /// kernels' slot-length asserts.
+    WorkspacePool lockstep_workspaces;
     std::vector<GmresScratch> gmres;
 };
 
@@ -80,6 +85,93 @@ SolveScratch& solve_scratch()
     return scratch;
 }
 
+/// Formats the lockstep path can ELL-ize into the interleaved slab
+/// (shared-pattern sparse formats; BatchDense has no shared pattern).
+template <typename BatchMatrix>
+inline constexpr bool lockstep_supported_format =
+    std::is_same_v<BatchMatrix, BatchCsr<real_type>> ||
+    std::is_same_v<BatchMatrix, BatchEll<real_type>> ||
+    std::is_same_v<BatchMatrix, BatchSellp<real_type>>;
+
+/// Rounds a requested lockstep width down to a supported power of two
+/// (the instantiated kernel widths); < 2 selects the scalar path.
+int effective_lockstep_width(int requested)
+{
+    for (const int w : {16, 8, 4, 2}) {
+        if (requested >= w) {
+            return w;
+        }
+    }
+    return 0;
+}
+
+/// Dispatches the runtime solver choice to the compile-time lockstep
+/// kernel for one width.
+template <int W, bool UseJacobi, typename BatchMatrix, typename Stop>
+void run_lockstep_width(const BatchMatrix& a, const BatchVector<real_type>& b,
+                        BatchVector<real_type>& x,
+                        const SolverSettings& settings, const Stop& stop,
+                        BatchLog& log, WorkspacePool& pool)
+{
+    if (settings.solver == SolverType::cg) {
+        run_batch_lockstep<W, UseJacobi, true>(
+            a, b, x, !settings.use_initial_guess, stop,
+            settings.max_iterations, pool, log);
+    } else {
+        run_batch_lockstep<W, UseJacobi, false>(
+            a, b, x, !settings.use_initial_guess, stop,
+            settings.max_iterations, pool, log);
+    }
+}
+
+/// Runs the batch on the SIMD lockstep path when the composition supports
+/// it; returns false (without touching x or the log) when the scalar path
+/// must be used instead.
+template <typename BatchMatrix, typename Prec, typename Stop>
+bool try_run_lockstep(const BatchMatrix& a, const BatchVector<real_type>& b,
+                      BatchVector<real_type>& x,
+                      const SolverSettings& settings, const Stop& stop,
+                      BatchLog& log)
+{
+    if constexpr (!lockstep_supported_format<BatchMatrix> ||
+                  std::is_same_v<Prec, BlockJacobiPrec>) {
+        return false;
+    } else {
+        if (settings.solver != SolverType::bicgstab &&
+            settings.solver != SolverType::cg) {
+            return false;
+        }
+        if (!settings.fused_kernels) {
+            return false;
+        }
+        const int w = effective_lockstep_width(settings.lockstep_width);
+        if (w == 0) {
+            return false;
+        }
+        constexpr bool use_jacobi = std::is_same_v<Prec, JacobiPrec>;
+        auto& pool = solve_scratch().lockstep_workspaces;
+        switch (w) {
+        case 2:
+            run_lockstep_width<2, use_jacobi>(a, b, x, settings, stop, log,
+                                              pool);
+            break;
+        case 4:
+            run_lockstep_width<4, use_jacobi>(a, b, x, settings, stop, log,
+                                              pool);
+            break;
+        case 8:
+            run_lockstep_width<8, use_jacobi>(a, b, x, settings, stop, log,
+                                              pool);
+            break;
+        default:
+            run_lockstep_width<16, use_jacobi>(a, b, x, settings, stop, log,
+                                               pool);
+            break;
+        }
+        return true;
+    }
+}
+
 /// Runs the fully composed kernel over the batch. Prec and Stop are
 /// compile-time parameters here, exactly as in the paper's fused kernel.
 template <typename BatchMatrix, typename Prec, typename Stop>
@@ -87,6 +179,9 @@ void run_batch(const BatchMatrix& a, const BatchVector<real_type>& b,
                BatchVector<real_type>& x, const SolverSettings& settings,
                const Stop& stop, BatchLog& log)
 {
+    if (try_run_lockstep<BatchMatrix, Prec>(a, b, x, settings, stop, log)) {
+        return;
+    }
     const size_type nbatch = a.num_batch();
     const index_type n = x.len();
     const int solver_slots = workspace_slots(settings);
@@ -103,7 +198,13 @@ void run_batch(const BatchMatrix& a, const BatchVector<real_type>& b,
     // Exceptions cannot unwind through an OpenMP region: capture the
     // first one and rethrow it after the loop.
     std::exception_ptr failure;
-#pragma omp parallel for schedule(dynamic)
+    // Per-thread result staging (merged below): recording directly into
+    // the shared log from inside the loop makes adjacent entries' writes
+    // false-share cache lines across threads. Chunked dynamic scheduling
+    // amortizes the per-entry scheduler handshake over 8 entries while
+    // keeping the load balancing that varying iteration counts need.
+    BatchLogStage stage(nthreads);
+#pragma omp parallel for schedule(dynamic, 8)
     for (size_type i = 0; i < nbatch; ++i) {
         try {
         auto& ws = workspaces.at(this_thread());
@@ -178,8 +279,8 @@ void run_batch(const BatchMatrix& a, const BatchVector<real_type>& b,
             break;
         }
         }
-        log.record(i, result.iterations, result.residual_norm,
-                   result.converged);
+        stage.record(this_thread(), i, result.iterations,
+                     result.residual_norm, result.converged);
         } catch (...) {
 #pragma omp critical(bsis_solver_failure)
             {
@@ -189,6 +290,7 @@ void run_batch(const BatchMatrix& a, const BatchVector<real_type>& b,
             }
         }
     }
+    stage.merge_into(log);
     if (failure) {
         std::rethrow_exception(failure);
     }
@@ -236,6 +338,17 @@ BatchSolveResult solve_batch(const BatchMatrix& a,
                                settings.gmres_restart,
                                settings.block_jacobi_size,
                                settings.fused_kernels);
+    // Price the SIMD lanes the lockstep path will actually use (the same
+    // eligibility checks as try_run_lockstep, evaluated up front so the
+    // cost model sees the width even before the solve runs).
+    if (lockstep_supported_format<BatchMatrix> &&
+        (settings.solver == SolverType::bicgstab ||
+         settings.solver == SolverType::cg) &&
+        settings.precond != PrecondType::block_jacobi &&
+        settings.fused_kernels) {
+        const int w = effective_lockstep_width(settings.lockstep_width);
+        result.work.simd_lanes = w > 0 ? w : 1;
+    }
     Timer timer;
     switch (settings.precond) {
     case PrecondType::identity:
@@ -260,6 +373,9 @@ template BatchSolveResult solve_batch<BatchCsr<real_type>>(
     BatchVector<real_type>&, const SolverSettings&);
 template BatchSolveResult solve_batch<BatchEll<real_type>>(
     const BatchEll<real_type>&, const BatchVector<real_type>&,
+    BatchVector<real_type>&, const SolverSettings&);
+template BatchSolveResult solve_batch<BatchSellp<real_type>>(
+    const BatchSellp<real_type>&, const BatchVector<real_type>&,
     BatchVector<real_type>&, const SolverSettings&);
 template BatchSolveResult solve_batch<BatchDense<real_type>>(
     const BatchDense<real_type>&, const BatchVector<real_type>&,

@@ -15,6 +15,7 @@
 #include "matrix/batch_csr.hpp"
 #include "matrix/batch_dense.hpp"
 #include "matrix/batch_ell.hpp"
+#include "matrix/batch_sellp.hpp"
 #include "util/types.hpp"
 
 namespace bsis {
@@ -40,6 +41,16 @@ struct SolverSettings {
     /// composition instead of the fused single-pass kernels. Only the
     /// fusion A/B benches and tests flip this; results agree to rounding.
     bool fused_kernels = true;
+    /// SIMD batch-lockstep width: each OpenMP thread advances this many
+    /// batch entries through the fused iteration in lockstep over
+    /// batch-interleaved storage. 0 (the default) keeps the scalar
+    /// one-entry-at-a-time path; requested widths are rounded down to the
+    /// supported {2, 4, 8, 16}. The lockstep path covers BiCGStab and CG
+    /// with identity or scalar-Jacobi preconditioning on the sparse
+    /// formats (CSR / ELL / SELL-P) with fused kernels; any other
+    /// composition silently falls back to the scalar path, and results
+    /// match the scalar path per entry up to rounding.
+    int lockstep_width = 0;
 };
 
 /// Outcome of a batched solve.
@@ -50,8 +61,8 @@ struct BatchSolveResult {
 };
 
 /// Solves every system of the batch: a.entry(i) * x.entry(i) = b.entry(i).
-/// Supported BatchMatrix types: BatchCsr, BatchEll, BatchDense (explicitly
-/// instantiated in solver.cpp).
+/// Supported BatchMatrix types: BatchCsr, BatchEll, BatchSellp, BatchDense
+/// (explicitly instantiated in solver.cpp).
 template <typename BatchMatrix>
 BatchSolveResult solve_batch(const BatchMatrix& a,
                              const BatchVector<real_type>& b,

@@ -50,6 +50,12 @@ struct SolverWorkProfile {
                                   ///< piggybacked on an existing sweep
                                   ///< (e.g. the dual-dot's second result)
 
+    /// SIMD lanes of the host batch-lockstep path: the number of batch
+    /// entries one CPU thread advances per iteration over interleaved
+    /// layouts. 1 = scalar one-entry-at-a-time path (the GPU model is
+    /// unaffected; lanes only rescale the CPU-node throughput).
+    int simd_lanes = 1;
+
     bool has_fused_shape() const
     {
         return fused_update_sweeps + fused_norm_update_sweeps +

@@ -329,13 +329,18 @@ CpuSolveReport CpuExecutor::iterative(const BatchCsr<real_type>& a,
         (work.precond_per_iter + work.dots_per_iter +
          work.axpys_per_iter) *
             2.0 * n;
+    // Batch-lockstep SIMD lanes multiply a core's effective throughput:
+    // W lanes retire W systems per sweep, derated by the per-lane
+    // efficiency (1 lane = scalar path, multiplier 1).
+    const double lane_mult =
+        1.0 + (work.simd_lanes - 1) * cpu_.simd_lane_efficiency;
     std::vector<double> durations;
     durations.reserve(static_cast<std::size_t>(a.num_batch()));
     double mean = 0;
     for (size_type i = 0; i < a.num_batch(); ++i) {
         const double flops =
             flops_per_iter * (result.log.iterations(i) + 2.0);
-        durations.push_back(flops / core_rate);
+        durations.push_back(flops / (core_rate * lane_mult));
         mean += durations.back();
     }
     report.per_system_seconds =

@@ -99,6 +99,12 @@ struct CpuSpec {
     /// Fraction of per-core peak the (unblocked) banded LU achieves.
     double banded_lu_efficiency = 0.011;
     double mem_bw_gbps = 256.0;  ///< two sockets of Table I's 128 GB/s
+    /// Fraction of the ideal W-fold speedup one extra batch-lockstep SIMD
+    /// lane contributes on the iterative path (vector-width limits,
+    /// gather-free but wider working set; calibrated against the host
+    /// lockstep bench). Effective multiplier for W lanes is
+    /// 1 + (W - 1) * simd_lane_efficiency.
+    double simd_lane_efficiency = 0.35;
 };
 
 const CpuSpec& skylake_node();

@@ -152,6 +152,28 @@ inline void spmv(SellpView<T> a, ConstVecView<T> x, VecView<T> y)
     }
 }
 
+/// y := A^T x for one SELL-P entry (scatter traversal, as in the CSR and
+/// ELL transpose kernels; needed by the BiCG shadow recurrence).
+template <typename T>
+inline void spmv_transpose(SellpView<T> a, ConstVecView<T> x, VecView<T> y)
+{
+    BSIS_ASSERT(x.len == a.rows);
+    for (index_type c = 0; c < y.len; ++c) {
+        y[c] = T{};
+    }
+    for (index_type r = 0; r < a.rows; ++r) {
+        const index_type slice = r / a.slice_size;
+        const index_type width =
+            a.slice_sets[slice + 1] - a.slice_sets[slice];
+        for (index_type k = 0; k < width; ++k) {
+            const index_type c = a.col_idxs[a.at(r, k)];
+            if (c != ell_padding) {
+                y[c] += a.values[a.at(r, k)] * x[r];
+            }
+        }
+    }
+}
+
 /// Extracts the diagonal of one SELL-P entry (scalar-Jacobi setup).
 template <typename T>
 inline void extract_diagonal(SellpView<T> a, VecView<T> diag)

@@ -98,7 +98,8 @@ MatrixStats compute_stats(const BatchCsr<real_type>& batch)
 
 StorageCost storage_cost(index_type rows, index_type nnz,
                          index_type max_nnz_per_row, size_type num_batch,
-                         size_type value_bytes, size_type index_bytes)
+                         size_type value_bytes, size_type index_bytes,
+                         index_type slice_size)
 {
     StorageCost cost;
     cost.dense_bytes = num_batch * static_cast<size_type>(rows) * rows *
@@ -110,6 +111,16 @@ StorageCost storage_cost(index_type rows, index_type nnz,
         static_cast<size_type>(rows) * max_nnz_per_row;
     cost.ell_bytes =
         num_batch * stored * value_bytes + stored * index_bytes;
+    // SELL-P, uniform-pattern model: every slice is padded to the global
+    // max row length (exact for the XGC stencils), including the partial
+    // last slice, plus the shared slice-set prefix array.
+    const size_type num_slices =
+        (static_cast<size_type>(rows) + slice_size - 1) / slice_size;
+    const size_type sellp_stored =
+        num_slices * slice_size * max_nnz_per_row;
+    cost.sellp_bytes = num_batch * sellp_stored * value_bytes +
+                       sellp_stored * index_bytes +
+                       (num_slices + 1) * index_bytes;
     return cost;
 }
 

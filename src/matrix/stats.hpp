@@ -29,17 +29,23 @@ struct MatrixStats {
 MatrixStats compute_stats(const BatchCsr<real_type>& batch);
 
 /// Storage-cost model of Fig. 3: bytes needed to store `num_batch` matrices
-/// of the given shared pattern in each format.
+/// of the given shared pattern in each format. The SELL-P figure uses the
+/// uniform-pattern model (every slice padded to `max_nnz_per_row`), an
+/// upper bound on the actual per-slice-padded allocation; slices made
+/// entirely of short boundary rows come in under it
+/// (bench_fig3_storage cross-checks the bound against `to_sellp`).
 struct StorageCost {
     size_type dense_bytes = 0;
     size_type csr_bytes = 0;
     size_type ell_bytes = 0;
+    size_type sellp_bytes = 0;
 };
 
 StorageCost storage_cost(index_type rows, index_type nnz,
                          index_type max_nnz_per_row, size_type num_batch,
                          size_type value_bytes = sizeof(real_type),
-                         size_type index_bytes = sizeof(index_type));
+                         size_type index_bytes = sizeof(index_type),
+                         index_type slice_size = 32);
 
 /// Prints an ASCII rendering of the sparsity pattern (for small matrices),
 /// the textual stand-in for the paper's Fig. 4 spy plot.

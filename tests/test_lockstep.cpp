@@ -1,0 +1,339 @@
+// Tests for the SIMD batch-lockstep execution path: per-entry equivalence
+// with the scalar path across widths and formats, degenerate batch shapes
+// (fewer systems than lanes, ragged tails, empty batches, instantly
+// converged lanes beside iterating lane-mates), warm starts, relative
+// stopping, and the fallback rules for unsupported compositions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/solver.hpp"
+#include "matrix/conversions.hpp"
+#include "matrix/stencil.hpp"
+#include "util/rng.hpp"
+
+namespace bsis {
+namespace {
+
+struct Problem {
+    BatchCsr<real_type> a;
+    BatchVector<real_type> b;
+
+    static Problem make(size_type nbatch, index_type nx = 8,
+                        index_type ny = 7, bool spd = false,
+                        unsigned rhs_seed = 55)
+    {
+        SyntheticStencilParams params;
+        params.seed = 1234;
+        if (spd) {
+            params.advection = 0.0;
+            params.perturbation = 0.0;
+        }
+        Problem p{make_synthetic_batch(nx, ny, StencilKind::nine_point,
+                                       nbatch, params),
+                  BatchVector<real_type>(nbatch, nx * ny)};
+        Rng rng(rhs_seed);
+        for (size_type i = 0; i < nbatch; ++i) {
+            auto bv = p.b.entry(i);
+            for (index_type k = 0; k < bv.len; ++k) {
+                bv[k] = rng.uniform(-1.0, 1.0);
+            }
+        }
+        return p;
+    }
+};
+
+real_type residual_norm(const BatchCsr<real_type>& a, size_type entry,
+                        ConstVecView<real_type> x, ConstVecView<real_type> b)
+{
+    std::vector<real_type> r(static_cast<std::size_t>(b.len));
+    spmv(a.entry(entry), x, VecView<real_type>{r.data(), b.len});
+    real_type sum = 0;
+    for (index_type i = 0; i < b.len; ++i) {
+        const real_type d = r[static_cast<std::size_t>(i)] - b[i];
+        sum += d * d;
+    }
+    return std::sqrt(sum);
+}
+
+/// Solves the same batch on the scalar and lockstep paths and checks the
+/// per-entry results agree: identical converged flags, iteration counts
+/// within one, residual norms to rounding at equal counts, and a truly
+/// small residual of the lockstep solution for converged entries.
+template <typename BatchMatrix>
+void expect_lockstep_matches_scalar(const BatchCsr<real_type>& csr,
+                                    const BatchMatrix& a,
+                                    const BatchVector<real_type>& b,
+                                    SolverSettings settings, int width)
+{
+    const size_type nbatch = a.num_batch();
+    BatchVector<real_type> x_scalar(nbatch, a.rows());
+    BatchVector<real_type> x_lock(nbatch, a.rows());
+    settings.lockstep_width = 0;
+    const auto scalar = solve_batch(a, b, x_scalar, settings);
+    settings.lockstep_width = width;
+    const auto lock = solve_batch(a, b, x_lock, settings);
+    ASSERT_EQ(lock.log.num_batch(), nbatch);
+    for (size_type i = 0; i < nbatch; ++i) {
+        EXPECT_EQ(scalar.log.converged(i), lock.log.converged(i))
+            << "system " << i;
+        EXPECT_NEAR(scalar.log.iterations(i), lock.log.iterations(i), 1)
+            << "system " << i;
+        if (scalar.log.iterations(i) == lock.log.iterations(i)) {
+            const real_type rs = scalar.log.residual_norm(i);
+            const real_type rl = lock.log.residual_norm(i);
+            EXPECT_NEAR(rs, rl,
+                        1e-6 * std::max({std::abs(rs), std::abs(rl),
+                                         real_type{1e-30}}))
+                << "system " << i;
+        }
+        if (lock.log.converged(i) &&
+            settings.stop == StopType::abs_residual) {
+            EXPECT_LT(residual_norm(csr, i, x_lock.entry(i), b.entry(i)),
+                      10 * settings.tolerance)
+                << "system " << i;
+        }
+    }
+}
+
+SolverSettings bicgstab_jacobi()
+{
+    SolverSettings s;
+    s.solver = SolverType::bicgstab;
+    s.precond = PrecondType::jacobi;
+    s.tolerance = 1e-10;
+    return s;
+}
+
+class LockstepWidth : public ::testing::TestWithParam<int> {};
+
+TEST_P(LockstepWidth, CsrMatchesScalar)
+{
+    auto p = Problem::make(13);
+    expect_lockstep_matches_scalar(p.a, p.a, p.b, bicgstab_jacobi(),
+                                   GetParam());
+}
+
+TEST_P(LockstepWidth, EllMatchesScalar)
+{
+    auto p = Problem::make(13);
+    const auto ell = to_ell(p.a);
+    expect_lockstep_matches_scalar(p.a, ell, p.b, bicgstab_jacobi(),
+                                   GetParam());
+}
+
+TEST_P(LockstepWidth, SellpMatchesScalar)
+{
+    auto p = Problem::make(13);
+    const auto sellp = to_sellp(p.a, 16);
+    expect_lockstep_matches_scalar(p.a, sellp, p.b, bicgstab_jacobi(),
+                                   GetParam());
+}
+
+TEST_P(LockstepWidth, IdentityPrecondMatchesScalar)
+{
+    auto p = Problem::make(9);
+    auto s = bicgstab_jacobi();
+    s.precond = PrecondType::identity;
+    s.max_iterations = 2000;
+    expect_lockstep_matches_scalar(p.a, p.a, p.b, s, GetParam());
+}
+
+TEST_P(LockstepWidth, CgOnSpdBatchMatchesScalar)
+{
+    auto p = Problem::make(11, 8, 7, /*spd=*/true);
+    auto s = bicgstab_jacobi();
+    s.solver = SolverType::cg;
+    expect_lockstep_matches_scalar(p.a, p.a, p.b, s, GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, LockstepWidth, ::testing::Values(2, 4, 8));
+
+TEST(Lockstep, BatchSmallerThanWidth)
+{
+    // 3 systems through width-8 groups: most lanes never get work.
+    auto p = Problem::make(3);
+    expect_lockstep_matches_scalar(p.a, p.a, p.b, bicgstab_jacobi(), 8);
+}
+
+TEST(Lockstep, RaggedTail)
+{
+    // 10 % 4 != 0: the last refill round fills only part of a group.
+    auto p = Problem::make(10);
+    expect_lockstep_matches_scalar(p.a, p.a, p.b, bicgstab_jacobi(), 4);
+}
+
+TEST(Lockstep, EmptyBatch)
+{
+    auto p = Problem::make(1);
+    BatchCsr<real_type> empty(0, p.a.rows(), p.a.row_ptrs(),
+                              p.a.col_idxs());
+    BatchVector<real_type> b(0, p.a.rows());
+    BatchVector<real_type> x(0, p.a.rows());
+    auto s = bicgstab_jacobi();
+    s.lockstep_width = 4;
+    const auto result = solve_batch(empty, b, x, s);
+    EXPECT_EQ(result.log.num_batch(), 0);
+}
+
+TEST(Lockstep, ZeroRhsLanesConvergeInstantlyBesideIteratingLaneMates)
+{
+    // Zero right-hand sides converge at iteration 0 with a zero solution
+    // while their lane-mates keep iterating; the lanes must be refilled
+    // and the neighbours' results unaffected.
+    auto p = Problem::make(12);
+    for (size_type i : {size_type{0}, size_type{3}, size_type{7}}) {
+        auto bv = p.b.entry(i);
+        for (index_type k = 0; k < bv.len; ++k) {
+            bv[k] = 0.0;
+        }
+    }
+    auto s = bicgstab_jacobi();
+    s.lockstep_width = 4;
+    BatchVector<real_type> x(12, p.a.rows());
+    const auto result = solve_batch(p.a, p.b, x, s);
+    EXPECT_TRUE(result.log.all_converged());
+    for (size_type i : {size_type{0}, size_type{3}, size_type{7}}) {
+        EXPECT_EQ(result.log.iterations(i), 0);
+        EXPECT_EQ(result.log.residual_norm(i), 0.0);
+        for (index_type k = 0; k < p.a.rows(); ++k) {
+            EXPECT_EQ(x.entry(i)[k], 0.0);
+        }
+    }
+    for (size_type i : {size_type{1}, size_type{2}, size_type{4}}) {
+        EXPECT_GT(result.log.iterations(i), 0);
+        EXPECT_LT(residual_norm(p.a, i, x.entry(i), p.b.entry(i)), 1e-9);
+    }
+    // The whole batch must also match the scalar path.
+    expect_lockstep_matches_scalar(p.a, p.a, p.b, bicgstab_jacobi(), 4);
+}
+
+TEST(Lockstep, WarmStartMatchesScalar)
+{
+    auto p = Problem::make(7);
+    auto s = bicgstab_jacobi();
+    s.use_initial_guess = true;
+    // Both paths start from the same nonzero guess.
+    BatchVector<real_type> x_scalar(7, p.a.rows());
+    BatchVector<real_type> x_lock(7, p.a.rows());
+    Rng rng(99);
+    for (size_type i = 0; i < 7; ++i) {
+        for (index_type k = 0; k < p.a.rows(); ++k) {
+            const real_type g = rng.uniform(-0.1, 0.1);
+            x_scalar.entry(i)[k] = g;
+            x_lock.entry(i)[k] = g;
+        }
+    }
+    const auto scalar = solve_batch(p.a, p.b, x_scalar, s);
+    s.lockstep_width = 4;
+    const auto lock = solve_batch(p.a, p.b, x_lock, s);
+    for (size_type i = 0; i < 7; ++i) {
+        EXPECT_EQ(scalar.log.converged(i), lock.log.converged(i));
+        EXPECT_NEAR(scalar.log.iterations(i), lock.log.iterations(i), 1);
+        EXPECT_LT(residual_norm(p.a, i, x_lock.entry(i), p.b.entry(i)),
+                  1e-9);
+    }
+}
+
+TEST(Lockstep, RelativeResidualStopMatchesScalar)
+{
+    auto p = Problem::make(9);
+    auto s = bicgstab_jacobi();
+    s.stop = StopType::rel_residual;
+    s.tolerance = 1e-8;
+    expect_lockstep_matches_scalar(p.a, p.a, p.b, s, 4);
+}
+
+TEST(Lockstep, OddWidthRoundsDownToSupported)
+{
+    auto p = Problem::make(6);
+    // Width 3 rounds down to 2; width 100 rounds down to 16. Both must
+    // still match the scalar path, and the work profile must report the
+    // effective lane count.
+    for (int requested : {3, 100}) {
+        auto s = bicgstab_jacobi();
+        s.lockstep_width = requested;
+        BatchVector<real_type> x(6, p.a.rows());
+        const auto result = solve_batch(p.a, p.b, x, s);
+        EXPECT_TRUE(result.log.all_converged());
+        EXPECT_EQ(result.work.simd_lanes, requested == 3 ? 2 : 16);
+    }
+    expect_lockstep_matches_scalar(p.a, p.a, p.b, bicgstab_jacobi(), 3);
+}
+
+TEST(Lockstep, UnsupportedCompositionsFallBackToScalarPath)
+{
+    auto p = Problem::make(5);
+    BatchVector<real_type> x(5, p.a.rows());
+
+    // Block-Jacobi preconditioning has no lockstep kernel.
+    auto s = bicgstab_jacobi();
+    s.precond = PrecondType::block_jacobi;
+    s.lockstep_width = 8;
+    auto result = solve_batch(p.a, p.b, x, s);
+    EXPECT_TRUE(result.log.all_converged());
+    EXPECT_EQ(result.work.simd_lanes, 1);
+
+    // Unfused kernels keep the scalar reference composition.
+    s = bicgstab_jacobi();
+    s.fused_kernels = false;
+    s.lockstep_width = 8;
+    result = solve_batch(p.a, p.b, x, s);
+    EXPECT_TRUE(result.log.all_converged());
+    EXPECT_EQ(result.work.simd_lanes, 1);
+
+    // Solvers without a lockstep kernel fall back too.
+    s = bicgstab_jacobi();
+    s.solver = SolverType::gmres;
+    s.lockstep_width = 8;
+    result = solve_batch(p.a, p.b, x, s);
+    EXPECT_TRUE(result.log.all_converged());
+    EXPECT_EQ(result.work.simd_lanes, 1);
+
+    // Width below 2 selects the scalar path.
+    s = bicgstab_jacobi();
+    s.lockstep_width = 1;
+    result = solve_batch(p.a, p.b, x, s);
+    EXPECT_TRUE(result.log.all_converged());
+    EXPECT_EQ(result.work.simd_lanes, 1);
+
+    // BatchDense has no shared sparse pattern to ELL-ize.
+    const auto dense = to_dense(p.a);
+    s = bicgstab_jacobi();
+    s.lockstep_width = 8;
+    result = solve_batch(dense, p.b, x, s);
+    EXPECT_TRUE(result.log.all_converged());
+    EXPECT_EQ(result.work.simd_lanes, 1);
+}
+
+TEST(Lockstep, WorkProfileReportsLanes)
+{
+    auto p = Problem::make(4);
+    BatchVector<real_type> x(4, p.a.rows());
+    auto s = bicgstab_jacobi();
+    s.lockstep_width = 8;
+    const auto result = solve_batch(p.a, p.b, x, s);
+    EXPECT_EQ(result.work.simd_lanes, 8);
+}
+
+TEST(Lockstep, SolveBatchSellpEndToEnd)
+{
+    // The SELL-P instantiation of solve_batch (scalar and lockstep paths).
+    auto p = Problem::make(6);
+    const auto sellp = to_sellp(p.a, 32);
+    BatchVector<real_type> x(6, p.a.rows());
+    auto s = bicgstab_jacobi();
+    auto result = solve_batch(sellp, p.b, x, s);
+    EXPECT_TRUE(result.log.all_converged());
+    for (size_type i = 0; i < 6; ++i) {
+        EXPECT_LT(residual_norm(p.a, i, x.entry(i), p.b.entry(i)), 1e-9);
+    }
+    s.lockstep_width = 8;
+    result = solve_batch(sellp, p.b, x, s);
+    EXPECT_TRUE(result.log.all_converged());
+    EXPECT_EQ(result.work.simd_lanes, 8);
+}
+
+}  // namespace
+}  // namespace bsis
