@@ -6,9 +6,13 @@
 // (kernel seconds at warp 32 and warp 64), and writes the medians to
 // BENCH_solvers.json so successive commits can be compared.
 //
-// Usage: bench_regression [--smoke] [--out <path>]
+// Usage: bench_regression [--smoke] [--out <path>] [--baseline <path>]
 //   --smoke    tiny batch / few repetitions (the `perf`-labeled ctest run)
 //   --out      output path for the JSON (default: BENCH_solvers.json)
+//   --baseline committed BENCH_solvers.json to gate against: the csr/fused
+//              median (telemetry compiled in but disabled) must stay
+//              within 2% of the baseline's. Skipped for smoke runs and
+//              when the workload sizes differ.
 // BSIS_QUICK=1 is honored like --smoke.
 #include <algorithm>
 #include <cmath>
@@ -19,6 +23,7 @@
 #include <vector>
 
 #include "common.hpp"
+#include "obs/telemetry.hpp"
 
 namespace {
 
@@ -136,10 +141,51 @@ bool lockstep_matches_scalar(const BatchMatrix& a,
     return true;
 }
 
+/// Telemetry overhead A/B on the csr/fused configuration.
+struct TelemetryCase {
+    double disabled_median_wall_seconds = 0;  ///< obs switches off
+    double enabled_median_wall_seconds = 0;   ///< metrics + tracing on
+    double enabled_overhead_percent = 0;
+};
+
+/// Extracts the csr/fused median_wall_seconds and num_systems from a
+/// BENCH_solvers.json written by this bench (line-per-case layout).
+bool read_baseline(const std::string& path, double& median_out,
+                   long long& num_systems_out)
+{
+    std::ifstream in(path);
+    if (!in) {
+        return false;
+    }
+    median_out = -1;
+    num_systems_out = -1;
+    std::string line;
+    while (std::getline(in, line)) {
+        const auto num_after = [&](const char* key) {
+            const auto pos = line.find(key);
+            return pos == std::string::npos
+                       ? std::string{}
+                       : line.substr(pos + std::strlen(key));
+        };
+        if (const auto v = num_after("\"num_systems\": "); !v.empty()) {
+            num_systems_out = std::atoll(v.c_str());
+        }
+        if (line.find("\"format\": \"csr\"") != std::string::npos &&
+            line.find("\"variant\": \"fused\"") != std::string::npos) {
+            if (const auto v = num_after("\"median_wall_seconds\": ");
+                !v.empty()) {
+                median_out = std::atof(v.c_str());
+            }
+        }
+    }
+    return median_out > 0 && num_systems_out > 0;
+}
+
 void write_json(const std::string& path, bool smoke, size_type num_systems,
                 index_type rows, index_type nnz_per_row, int reps,
                 const std::vector<HostCase>& host,
-                const std::vector<DeviceCase>& devices)
+                const std::vector<DeviceCase>& devices,
+                const TelemetryCase& telemetry)
 {
     std::ofstream out(path);
     if (!out) {
@@ -176,7 +222,13 @@ void write_json(const std::string& path, bool smoke, size_type num_systems,
             << ", \"per_iteration_us\": " << c.per_iteration_us << "}"
             << (i + 1 < devices.size() ? "," : "") << "\n";
     }
-    out << "  ]\n";
+    out << "  ],\n";
+    out << "  \"telemetry\": {\"disabled_median_wall_seconds\": "
+        << telemetry.disabled_median_wall_seconds
+        << ", \"enabled_median_wall_seconds\": "
+        << telemetry.enabled_median_wall_seconds
+        << ", \"enabled_overhead_percent\": "
+        << telemetry.enabled_overhead_percent << "}\n";
     out << "}\n";
 }
 
@@ -188,13 +240,18 @@ int main(int argc, char** argv)
 
     bool smoke = bench::quick_mode();
     std::string out_path = "BENCH_solvers.json";
+    std::string baseline_path;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--smoke") == 0) {
             smoke = true;
         } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
             out_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--baseline") == 0 &&
+                   i + 1 < argc) {
+            baseline_path = argv[++i];
         } else {
-            std::cerr << "usage: bench_regression [--smoke] [--out <path>]\n";
+            std::cerr << "usage: bench_regression [--smoke] [--out <path>]"
+                         " [--baseline <path>]\n";
             return 1;
         }
     }
@@ -271,14 +328,82 @@ int main(int argc, char** argv)
             .add(c.per_iteration_us, 4);
     }
 
+    // Telemetry A/B on the csr/fused configuration: every host case above
+    // already measures the compiled-in-but-DISABLED cost (the obs switches
+    // default to off); here the same configuration is re-timed with
+    // metrics and tracing live. The trace reservoir is kept small -- the
+    // overhead of interest is the recording fast path, not the memory.
+    TelemetryCase telemetry;
+    {
+        const auto find_host = [&](const char* fmt, const char* variant) {
+            for (const auto& c : host) {
+                if (c.format == fmt && c.variant == variant) {
+                    return c.median_wall_seconds;
+                }
+            }
+            return 0.0;
+        };
+        telemetry.disabled_median_wall_seconds =
+            find_host("csr", "fused");
+        obs::trace().set_shard_capacity(1 << 16);
+        obs::set_metrics_enabled(true);
+        obs::set_trace_enabled(true);
+        telemetry.enabled_median_wall_seconds =
+            time_host("csr", true, csr, b, reps).median_wall_seconds;
+        obs::set_metrics_enabled(false);
+        obs::set_trace_enabled(false);
+        obs::trace().clear();
+        obs::metrics().reset_values();
+        if (telemetry.disabled_median_wall_seconds > 0) {
+            telemetry.enabled_overhead_percent =
+                100.0 * (telemetry.enabled_median_wall_seconds /
+                             telemetry.disabled_median_wall_seconds -
+                         1.0);
+        }
+    }
+
     std::cout << "\n=== host wall time (fused vs unfused kernels)\n\n";
     table.print(std::cout);
     std::cout << "\n=== modeled kernel time (warp 32 / warp 64)\n\n";
     modeled.print(std::cout);
+    std::cout << "\ntelemetry overhead (csr/fused): disabled "
+              << telemetry.disabled_median_wall_seconds << " s, enabled "
+              << telemetry.enabled_median_wall_seconds << " s ("
+              << telemetry.enabled_overhead_percent << "% when live)\n";
 
     write_json(out_path, smoke, num_systems, rows, width, reps, host,
-               devices);
+               devices, telemetry);
     std::cout << "\n[json written to " << out_path << "]\n";
+
+    // Overhead gate against the committed baseline: the csr/fused median
+    // with telemetry compiled in but DISABLED must stay within 2% of the
+    // baseline median. Smoke batches are too small/noisy to gate, and a
+    // baseline of a different workload size is not comparable.
+    if (!baseline_path.empty() && !smoke) {
+        double base_median = 0;
+        long long base_systems = 0;
+        if (!read_baseline(baseline_path, base_median, base_systems)) {
+            std::cerr << "regression bench: cannot read baseline "
+                      << baseline_path << "\n";
+            return 1;
+        }
+        if (base_systems != static_cast<long long>(num_systems)) {
+            std::cout << "baseline gate skipped: baseline has "
+                      << base_systems << " systems, this run "
+                      << num_systems << "\n";
+        } else {
+            const double cur = telemetry.disabled_median_wall_seconds;
+            const double ratio = cur / base_median;
+            std::cout << "baseline gate (csr/fused, telemetry disabled): "
+                      << cur << " s vs baseline " << base_median << " s ("
+                      << 100.0 * (ratio - 1.0) << "%)\n";
+            if (ratio > 1.02) {
+                std::cerr << "regression bench: telemetry-disabled median "
+                             "exceeds baseline by more than 2%\n";
+                return 1;
+            }
+        }
+    }
 
     // Self-check: the regression harness is only useful if the numbers it
     // writes are well-formed.

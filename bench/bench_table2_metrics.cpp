@@ -10,7 +10,7 @@
 #include <iostream>
 
 #include "common.hpp"
-#include "gpusim/simt_kernels.hpp"
+#include "gpusim/profile.hpp"
 
 int main()
 {
@@ -46,47 +46,28 @@ int main()
             bicgstab_slots(1), pattern.rows(), device.warp_size,
             sizeof(real_type),
             static_cast<size_type>(device.max_shared_kib_per_block * 1024));
-        // L1 available to a block = carve-out remainder.
-        const auto l1_bytes = static_cast<std::int64_t>(
-            std::max(16.0 * 1024,
-                     device.l1_shared_kib_per_cu * 1024 -
-                         static_cast<double>(config.shared_bytes)));
-        // The device-wide L2 is shared by every RESIDENT block; each
-        // traced block sees its share (the paper's V100-vs-A100 L2 hit
-        // contrast comes exactly from this partitioning).
-        const auto occ = compute_occupancy(
-            device, ell_block_size(pattern.rows(), device.warp_size),
-            config.shared_bytes);
-        // The SHARED sparsity pattern occupies L2 once for every resident
-        // block (same addresses); the rest of the L2 is split among them.
-        const auto pattern_bytes = static_cast<double>(
-            (ell.col_idxs().size() + pattern.row_ptrs.size() +
-             pattern.col_idxs.size()) *
-            sizeof(index_type));
-        const auto l2_bytes = static_cast<std::int64_t>(
-            pattern_bytes +
-            std::max(0.0, device.l2_mib * 1024 * 1024 - pattern_bytes) /
-                std::max(1, occ.device_slots(device)));
+        // Cache capacities per traced block: shared math with the
+        // executor's live profile (gpusim/profile.hpp). Both formats'
+        // sparsity arrays live in L2 together, and residency follows the
+        // ELL block size (the launch the occupancy analysis targets).
+        const auto sizing = profile_cache_sizing(
+            device, config, ell_block_size(pattern.rows(), device.warp_size),
+            ell.col_idxs().size() + pattern.row_ptrs.size() +
+                pattern.col_idxs.size());
 
         for (const auto format : {TracedFormat::csr, TracedFormat::ell}) {
-            MemoryHierarchy mem(l1_bytes, l2_bytes);
             const int block_threads =
                 format == TracedFormat::ell
                     ? ell_block_size(pattern.rows(), device.warp_size)
                     : csr_block_size(pattern.rows(), device.warp_size);
-            SimtCounters counters;
-            for (int blk = 0; blk < sample_blocks; ++blk) {
-                BlockTracer tracer(block_threads, device.warp_size, &mem);
-                const auto map = AddressMap::for_system(
-                    blk, pattern.rows(), ell.stored_per_entry(),
-                    config.num_global);
-                trace_bicgstab(tracer, map, format, pattern.row_ptrs,
-                               pattern.col_idxs, ell.col_idxs(),
-                               pattern.rows(), 9, iterations, config);
-                counters += tracer.counters();
-                // Next block lands on a different CU in general.
-                mem.invalidate_l1();
-            }
+            const ProfilePattern traced{format, &pattern.row_ptrs,
+                                        &pattern.col_idxs, &ell.col_idxs(),
+                                        9, ell.stored_per_entry()};
+            const std::vector<int> block_iters(
+                static_cast<std::size_t>(sample_blocks), iterations);
+            const auto profile =
+                profile_bicgstab(device, config, block_threads, traced,
+                                 pattern.rows(), block_iters, sizing);
             const char* fmt_name =
                 format == TracedFormat::ell ? "ell" : "csr";
             const PaperRow* ref = nullptr;
@@ -99,9 +80,9 @@ int main()
             table.new_row()
                 .add(device.name)
                 .add(fmt_name)
-                .add(100.0 * counters.warp_utilization(device.warp_size), 4)
-                .add(100.0 * mem.l1_stats().hit_rate(), 4)
-                .add(100.0 * mem.l2_stats().hit_rate(), 4)
+                .add(100.0 * profile.warp_utilization(), 4)
+                .add(100.0 * profile.l1_hit_rate(), 4)
+                .add(100.0 * profile.l2_hit_rate(), 4)
                 .add(ref ? ref->warp : 0.0, 4)
                 .add(ref && ref->l1 >= 0 ? ref->l1 : 0.0, 4)
                 .add(ref ? ref->l2 : 0.0, 4);

@@ -5,17 +5,22 @@
 // of the paper reason about.
 // Pass --sanitize to run every device's solve with the SIMT sanitizer
 // attached; the example fails on any reported violation.
+// Telemetry: --trace=FILE additionally renders each device's modeled
+// block timeline on a device-track of the Chrome trace;
+// --metrics-json=FILE dumps the gpusim counters (see examples/obs_cli.hpp).
 #include <cstring>
 #include <iostream>
 
 #include "exec/executor.hpp"
 #include "matrix/conversions.hpp"
+#include "obs_cli.hpp"
 #include "util/table.hpp"
 #include "xgc/workload.hpp"
 
 int main(int argc, char** argv)
 {
     using namespace bsis;
+    examples::ObsCli obs_cli(argc, argv);
     const bool sanitize =
         argc > 1 && std::strcmp(argv[1], "--sanitize") == 0;
 

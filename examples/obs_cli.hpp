@@ -1,0 +1,92 @@
+// Shared telemetry flags for the examples:
+//   --trace=FILE         phase tracing on; Chrome trace JSON written to
+//                        FILE at exit (load in chrome://tracing or
+//                        ui.perfetto.dev)
+//   --metrics-json=FILE  metrics registry on; JSON snapshot written to
+//                        FILE at exit
+//
+// Construct an ObsCli early in main with argc/argv: it consumes the
+// recognized flags (compacting argv so positional parsing downstream is
+// untouched), flips the obs runtime switches, and writes the requested
+// artifacts from its destructor. Telemetry stays fully off -- and the
+// instrumented hot paths at their one-branch disabled cost -- when
+// neither flag is given.
+#pragma once
+
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "obs/telemetry.hpp"
+
+namespace bsis::examples {
+
+class ObsCli {
+public:
+    ObsCli(int& argc, char** argv)
+    {
+        int out = 1;
+        for (int i = 1; i < argc; ++i) {
+            if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+                trace_path_ = argv[i] + 8;
+            } else if (std::strncmp(argv[i], "--metrics-json=", 15) == 0) {
+                metrics_path_ = argv[i] + 15;
+            } else {
+                argv[out++] = argv[i];
+            }
+        }
+        argc = out;
+        if (!trace_path_.empty()) {
+            obs::set_trace_enabled(true);
+        }
+        if (!metrics_path_.empty()) {
+            obs::set_metrics_enabled(true);
+        }
+    }
+
+    ObsCli(const ObsCli&) = delete;
+    ObsCli& operator=(const ObsCli&) = delete;
+
+    ~ObsCli() { flush(); }
+
+    /// Whether either telemetry flag was given.
+    bool active() const
+    {
+        return !trace_path_.empty() || !metrics_path_.empty();
+    }
+
+    /// Writes the requested artifacts and disables telemetry again.
+    /// Idempotent; the destructor calls it for the common case.
+    void flush()
+    {
+        if (!trace_path_.empty()) {
+            obs::set_trace_enabled(false);
+            if (obs::trace().write_chrome_trace(trace_path_)) {
+                std::cout << "[obs] trace written to " << trace_path_
+                          << " (" << obs::trace().snapshot().size()
+                          << " events)\n";
+            } else {
+                std::cerr << "[obs] failed to write trace to "
+                          << trace_path_ << '\n';
+            }
+            trace_path_.clear();
+        }
+        if (!metrics_path_.empty()) {
+            obs::set_metrics_enabled(false);
+            if (obs::metrics().write_json(metrics_path_)) {
+                std::cout << "[obs] metrics written to " << metrics_path_
+                          << '\n';
+            } else {
+                std::cerr << "[obs] failed to write metrics to "
+                          << metrics_path_ << '\n';
+            }
+            metrics_path_.clear();
+        }
+    }
+
+private:
+    std::string trace_path_;
+    std::string metrics_path_;
+};
+
+}  // namespace bsis::examples

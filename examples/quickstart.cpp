@@ -10,6 +10,8 @@
 // Pass --sanitize to additionally replay the fused GPU kernel trace under
 // the SIMT sanitizer (races / barrier divergence / bounds); the example
 // then fails on any reported violation.
+// Telemetry: --trace=FILE writes a Chrome trace of the solve's phase
+// spans, --metrics-json=FILE a metrics snapshot (see examples/obs_cli.hpp).
 #include <cstring>
 #include <iostream>
 
@@ -17,11 +19,13 @@
 #include "exec/executor.hpp"
 #include "matrix/conversions.hpp"
 #include "matrix/stencil.hpp"
+#include "obs_cli.hpp"
 #include "util/rng.hpp"
 
 int main(int argc, char** argv)
 {
     using namespace bsis;
+    examples::ObsCli obs_cli(argc, argv);
     const bool sanitize =
         argc > 1 && std::strcmp(argv[1], "--sanitize") == 0;
 

@@ -6,6 +6,8 @@
 // Pass --sanitize to additionally run the BiCGStab composition through the
 // simulated-GPU executor with the SIMT sanitizer attached; the example
 // fails on any reported violation.
+// Telemetry: --trace=FILE / --metrics-json=FILE record every composition's
+// phase spans and counters (see examples/obs_cli.hpp).
 #include <cstring>
 #include <iostream>
 
@@ -16,6 +18,7 @@
 #include "lapack/banded_qr.hpp"
 #include "matrix/conversions.hpp"
 #include "matrix/stats.hpp"
+#include "obs_cli.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 #include "xgc/workload.hpp"
@@ -23,6 +26,7 @@
 int main(int argc, char** argv)
 {
     using namespace bsis;
+    examples::ObsCli obs_cli(argc, argv);
     const bool sanitize =
         argc > 1 && std::strcmp(argv[1], "--sanitize") == 0;
 

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Hardened check tier: build, run the sanitizer-labeled tests, then run the
-# solver example suite under --sanitize. Any SIMT sanitizer finding (shared
-# race, barrier divergence, out-of-bounds access) fails the script.
+# Hardened check tier: build, run the sanitizer-labeled tests, the
+# observability (telemetry) tests, then run the solver example suite under
+# --sanitize. Any SIMT sanitizer finding (shared race, barrier divergence,
+# out-of-bounds access) fails the script.
 #
 # Usage: scripts/check.sh            (build dir defaults to ./build)
 #        BUILD_DIR=out scripts/check.sh
@@ -15,6 +16,12 @@ cmake --build "$BUILD_DIR" -j "$(nproc)"
 
 echo "== sanitizer test tier =="
 ctest --test-dir "$BUILD_DIR" -L sanitizer --output-on-failure
+
+# Telemetry: metrics registry, Chrome-trace export (valid JSON, properly
+# nested spans, monotonic timestamps), convergence history, and the
+# live-profile-vs-bench agreement check.
+echo "== observability test tier =="
+ctest --test-dir "$BUILD_DIR" -L obs --output-on-failure
 
 # The perf smoke run also covers the SIMD batch-lockstep rows
 # (lockstep4/lockstep8) and cross-checks them against the scalar path

@@ -19,6 +19,7 @@
 
 #include "blas/kernels.hpp"
 #include "core/workspace.hpp"
+#include "obs/telemetry.hpp"
 #include "util/types.hpp"
 
 namespace bsis {
@@ -57,9 +58,11 @@ EntryResult bicgstab_kernel(const MatrixView& a, ConstVecView<real_type> b,
     // r = b - A x fused with ||r||; with a zero guess this reduces to
     // r = b. The sweep writes over the A x it reads (aliasing is safe:
     // each element is read before it is written).
-    spmv(a, ConstVecView<real_type>(x), r);
-    real_type r_norm = blas::zaxpby_nrm2(real_type{1}, b, real_type{-1},
-                                         ConstVecView<real_type>(r), r);
+    obs::traced("spmv", [&] { spmv(a, ConstVecView<real_type>(x), r); });
+    real_type r_norm = obs::traced("update", [&] {
+        return blas::zaxpby_nrm2(real_type{1}, b, real_type{-1},
+                                 ConstVecView<real_type>(r), r);
+    });
     blas::copy(ConstVecView<real_type>(r), r_hat);
     blas::fill(p, real_type{0});
     blas::fill(v, real_type{0});
@@ -76,39 +79,54 @@ EntryResult bicgstab_kernel(const MatrixView& a, ConstVecView<real_type> b,
         if (stop.done(r_norm, b_norm)) {
             return {iter, r_norm, true};
         }
-        const real_type rho =
-            blas::dot(ConstVecView<real_type>(r), ConstVecView<real_type>(r_hat));
+        const real_type rho = obs::traced("reduction", [&] {
+            return blas::dot(ConstVecView<real_type>(r),
+                             ConstVecView<real_type>(r_hat));
+        });
         if (rho == real_type{0} || omega == real_type{0}) {
             // Serious breakdown: the Krylov space cannot be extended.
             return {iter, r_norm, false};
         }
         const real_type beta = (rho / rho_old) * (alpha / omega);
         // p = r + beta * (p - omega * v) in ONE sweep.
-        blas::axpbypcz(real_type{1}, ConstVecView<real_type>(r),
-                       -beta * omega, ConstVecView<real_type>(v), beta, p);
-        prec.apply(ConstVecView<real_type>(p), p_hat);
-        spmv(a, ConstVecView<real_type>(p_hat), v);
-        const real_type r_hat_v = blas::dot(ConstVecView<real_type>(r_hat),
-                                            ConstVecView<real_type>(v));
+        obs::traced("update", [&] {
+            blas::axpbypcz(real_type{1}, ConstVecView<real_type>(r),
+                           -beta * omega, ConstVecView<real_type>(v), beta,
+                           p);
+        });
+        obs::traced("precond_apply",
+                    [&] { prec.apply(ConstVecView<real_type>(p), p_hat); });
+        obs::traced("spmv",
+                    [&] { spmv(a, ConstVecView<real_type>(p_hat), v); });
+        const real_type r_hat_v = obs::traced("reduction", [&] {
+            return blas::dot(ConstVecView<real_type>(r_hat),
+                             ConstVecView<real_type>(v));
+        });
         if (r_hat_v == real_type{0}) {
             return {iter, r_norm, false};
         }
         alpha = rho / r_hat_v;
         // s = r - alpha * v fused with ||s||.
-        const real_type s_norm =
-            blas::zaxpby_nrm2(real_type{1}, ConstVecView<real_type>(r),
-                              -alpha, ConstVecView<real_type>(v), s);
+        const real_type s_norm = obs::traced("update", [&] {
+            return blas::zaxpby_nrm2(real_type{1},
+                                     ConstVecView<real_type>(r), -alpha,
+                                     ConstVecView<real_type>(v), s);
+        });
         if (stop.done(s_norm, b_norm)) {
             blas::axpy(alpha, ConstVecView<real_type>(p_hat), x);
             return {iter + 1, s_norm, true};
         }
-        prec.apply(ConstVecView<real_type>(s), s_hat);
-        spmv(a, ConstVecView<real_type>(s_hat), t);
+        obs::traced("precond_apply",
+                    [&] { prec.apply(ConstVecView<real_type>(s), s_hat); });
+        obs::traced("spmv",
+                    [&] { spmv(a, ConstVecView<real_type>(s_hat), t); });
         // t.t and t.s in one sweep over t.
         real_type t_t;
         real_type t_s;
-        blas::dot2(ConstVecView<real_type>(t), ConstVecView<real_type>(t),
-                   ConstVecView<real_type>(s), t_t, t_s);
+        obs::traced("reduction", [&] {
+            blas::dot2(ConstVecView<real_type>(t), ConstVecView<real_type>(t),
+                       ConstVecView<real_type>(s), t_t, t_s);
+        });
         if (t_t == real_type{0}) {
             blas::axpy(alpha, ConstVecView<real_type>(p_hat), x);
             r_norm = s_norm;
@@ -116,11 +134,16 @@ EntryResult bicgstab_kernel(const MatrixView& a, ConstVecView<real_type> b,
         }
         omega = t_s / t_t;
         // x = x + alpha * p_hat + omega * s_hat in ONE sweep.
-        blas::axpbypcz(alpha, ConstVecView<real_type>(p_hat), omega,
-                       ConstVecView<real_type>(s_hat), real_type{1}, x);
+        obs::traced("update", [&] {
+            blas::axpbypcz(alpha, ConstVecView<real_type>(p_hat), omega,
+                           ConstVecView<real_type>(s_hat), real_type{1}, x);
+        });
         // r = s - omega * t fused with ||r||.
-        r_norm = blas::zaxpby_nrm2(real_type{1}, ConstVecView<real_type>(s),
-                                   -omega, ConstVecView<real_type>(t), r);
+        r_norm = obs::traced("update", [&] {
+            return blas::zaxpby_nrm2(real_type{1},
+                                     ConstVecView<real_type>(s), -omega,
+                                     ConstVecView<real_type>(t), r);
+        });
         rho_old = rho;
         if (history != nullptr) {
             history->push_back(r_norm);
@@ -152,7 +175,7 @@ EntryResult bicgstab_kernel_unfused(
     const real_type b_norm = blas::nrm2(b);
 
     // r = b - A x; with a zero guess this reduces to r = b.
-    spmv(a, ConstVecView<real_type>(x), r);
+    obs::traced("spmv", [&] { spmv(a, ConstVecView<real_type>(x), r); });
     blas::axpby(real_type{1}, b, real_type{-1}, r);
     blas::copy(ConstVecView<real_type>(r), r_hat);
     blas::fill(p, real_type{0});
@@ -161,7 +184,8 @@ EntryResult bicgstab_kernel_unfused(
     real_type rho_old = 1;
     real_type omega = 1;
     real_type alpha = 1;
-    real_type r_norm = blas::nrm2(ConstVecView<real_type>(r));
+    real_type r_norm = obs::traced(
+        "reduction", [&] { return blas::nrm2(ConstVecView<real_type>(r)); });
 
     if (history != nullptr) {
         history->clear();
@@ -179,30 +203,46 @@ EntryResult bicgstab_kernel_unfused(
         }
         const real_type beta = (rho / rho_old) * (alpha / omega);
         // p = r + beta * (p - omega * v)
-        blas::axpy(-omega, ConstVecView<real_type>(v), p);
-        blas::axpby(real_type{1}, ConstVecView<real_type>(r), beta, p);
-        prec.apply(ConstVecView<real_type>(p), p_hat);
-        spmv(a, ConstVecView<real_type>(p_hat), v);
-        const real_type r_hat_v = blas::dot(ConstVecView<real_type>(r_hat),
-                                            ConstVecView<real_type>(v));
+        obs::traced("update", [&] {
+            blas::axpy(-omega, ConstVecView<real_type>(v), p);
+            blas::axpby(real_type{1}, ConstVecView<real_type>(r), beta, p);
+        });
+        obs::traced("precond_apply",
+                    [&] { prec.apply(ConstVecView<real_type>(p), p_hat); });
+        obs::traced("spmv",
+                    [&] { spmv(a, ConstVecView<real_type>(p_hat), v); });
+        const real_type r_hat_v = obs::traced("reduction", [&] {
+            return blas::dot(ConstVecView<real_type>(r_hat),
+                             ConstVecView<real_type>(v));
+        });
         if (r_hat_v == real_type{0}) {
             return {iter, r_norm, false};
         }
         alpha = rho / r_hat_v;
         // s = r - alpha * v
-        blas::copy(ConstVecView<real_type>(r), s);
-        blas::axpy(-alpha, ConstVecView<real_type>(v), s);
-        const real_type s_norm = blas::nrm2(ConstVecView<real_type>(s));
+        obs::traced("update", [&] {
+            blas::copy(ConstVecView<real_type>(r), s);
+            blas::axpy(-alpha, ConstVecView<real_type>(v), s);
+        });
+        const real_type s_norm = obs::traced("reduction", [&] {
+            return blas::nrm2(ConstVecView<real_type>(s));
+        });
         if (stop.done(s_norm, b_norm)) {
             blas::axpy(alpha, ConstVecView<real_type>(p_hat), x);
             return {iter + 1, s_norm, true};
         }
-        prec.apply(ConstVecView<real_type>(s), s_hat);
-        spmv(a, ConstVecView<real_type>(s_hat), t);
-        const real_type t_t =
-            blas::dot(ConstVecView<real_type>(t), ConstVecView<real_type>(t));
-        const real_type t_s =
-            blas::dot(ConstVecView<real_type>(t), ConstVecView<real_type>(s));
+        obs::traced("precond_apply",
+                    [&] { prec.apply(ConstVecView<real_type>(s), s_hat); });
+        obs::traced("spmv",
+                    [&] { spmv(a, ConstVecView<real_type>(s_hat), t); });
+        const real_type t_t = obs::traced("reduction", [&] {
+            return blas::dot(ConstVecView<real_type>(t),
+                             ConstVecView<real_type>(t));
+        });
+        const real_type t_s = obs::traced("reduction", [&] {
+            return blas::dot(ConstVecView<real_type>(t),
+                             ConstVecView<real_type>(s));
+        });
         if (t_t == real_type{0}) {
             blas::axpy(alpha, ConstVecView<real_type>(p_hat), x);
             r_norm = s_norm;
@@ -210,12 +250,18 @@ EntryResult bicgstab_kernel_unfused(
         }
         omega = t_s / t_t;
         // x = x + alpha * p_hat + omega * s_hat
-        blas::axpy(alpha, ConstVecView<real_type>(p_hat), x);
-        blas::axpy(omega, ConstVecView<real_type>(s_hat), x);
+        obs::traced("update", [&] {
+            blas::axpy(alpha, ConstVecView<real_type>(p_hat), x);
+            blas::axpy(omega, ConstVecView<real_type>(s_hat), x);
+        });
         // r = s - omega * t
-        blas::copy(ConstVecView<real_type>(s), r);
-        blas::axpy(-omega, ConstVecView<real_type>(t), r);
-        r_norm = blas::nrm2(ConstVecView<real_type>(r));
+        obs::traced("update", [&] {
+            blas::copy(ConstVecView<real_type>(s), r);
+            blas::axpy(-omega, ConstVecView<real_type>(t), r);
+        });
+        r_norm = obs::traced("reduction", [&] {
+            return blas::nrm2(ConstVecView<real_type>(r));
+        });
         rho_old = rho;
         if (history != nullptr) {
             history->push_back(r_norm);

@@ -7,9 +7,11 @@
 #pragma once
 
 #include <cmath>
+#include <vector>
 
 #include "blas/kernels.hpp"
 #include "core/workspace.hpp"
+#include "obs/telemetry.hpp"
 #include "util/types.hpp"
 
 namespace bsis {
@@ -17,11 +19,15 @@ namespace bsis {
 /// Scratch vectors: r, z, p, q.
 inline constexpr int cg_work_vectors = 4;
 
+/// Solves A x = b with preconditioned CG. `history`, when non-null,
+/// receives the residual norm at the top of every iteration (same
+/// contract as `bicgstab_kernel`).
 template <typename MatrixView, typename Prec, typename Stop>
 EntryResult cg_kernel(const MatrixView& a, ConstVecView<real_type> b,
                       VecView<real_type> x, const Prec& prec,
                       const Stop& stop, int max_iters, Workspace& ws,
-                      int work_offset = 0)
+                      int work_offset = 0,
+                      std::vector<real_type>* history = nullptr)
 {
     auto r = ws.slot(work_offset + 0);
     auto z = ws.slot(work_offset + 1);
@@ -30,15 +36,23 @@ EntryResult cg_kernel(const MatrixView& a, ConstVecView<real_type> b,
 
     const real_type b_norm = blas::nrm2(b);
 
-    spmv(a, ConstVecView<real_type>(x), r);
+    obs::traced("spmv", [&] { spmv(a, ConstVecView<real_type>(x), r); });
     blas::axpby(real_type{1}, b, real_type{-1}, r);
-    real_type r_norm = blas::nrm2(ConstVecView<real_type>(r));
+    real_type r_norm = obs::traced(
+        "reduction", [&] { return blas::nrm2(ConstVecView<real_type>(r)); });
 
-    prec.apply(ConstVecView<real_type>(r), z);
+    obs::traced("precond_apply",
+                [&] { prec.apply(ConstVecView<real_type>(r), z); });
     blas::copy(ConstVecView<real_type>(z), p);
-    real_type rz = blas::dot(ConstVecView<real_type>(r),
-                             ConstVecView<real_type>(z));
+    real_type rz = obs::traced("reduction", [&] {
+        return blas::dot(ConstVecView<real_type>(r),
+                         ConstVecView<real_type>(z));
+    });
 
+    if (history != nullptr) {
+        history->clear();
+        history->push_back(r_norm);
+    }
     for (int iter = 0; iter < max_iters; ++iter) {
         if (stop.done(r_norm, b_norm)) {
             return {iter, r_norm, true};
@@ -46,9 +60,12 @@ EntryResult cg_kernel(const MatrixView& a, ConstVecView<real_type> b,
         if (rz == real_type{0}) {
             return {iter, r_norm, false};
         }
-        spmv(a, ConstVecView<real_type>(p), q);
-        const real_type pq =
-            blas::dot(ConstVecView<real_type>(p), ConstVecView<real_type>(q));
+        obs::traced("spmv",
+                    [&] { spmv(a, ConstVecView<real_type>(p), q); });
+        const real_type pq = obs::traced("reduction", [&] {
+            return blas::dot(ConstVecView<real_type>(p),
+                             ConstVecView<real_type>(q));
+        });
         if (pq <= real_type{0}) {
             // Indefinite matrix: CG is not applicable.
             return {iter, r_norm, false};
@@ -56,13 +73,23 @@ EntryResult cg_kernel(const MatrixView& a, ConstVecView<real_type> b,
         const real_type alpha = rz / pq;
         blas::axpy(alpha, ConstVecView<real_type>(p), x);
         // r -= alpha * q fused with ||r|| (one sweep instead of two).
-        r_norm = blas::axpy_nrm2(-alpha, ConstVecView<real_type>(q), r);
-        prec.apply(ConstVecView<real_type>(r), z);
-        const real_type rz_new = blas::dot(ConstVecView<real_type>(r),
-                                           ConstVecView<real_type>(z));
+        r_norm = obs::traced("update", [&] {
+            return blas::axpy_nrm2(-alpha, ConstVecView<real_type>(q), r);
+        });
+        obs::traced("precond_apply",
+                    [&] { prec.apply(ConstVecView<real_type>(r), z); });
+        const real_type rz_new = obs::traced("reduction", [&] {
+            return blas::dot(ConstVecView<real_type>(r),
+                             ConstVecView<real_type>(z));
+        });
         const real_type beta = rz_new / rz;
-        blas::axpby(real_type{1}, ConstVecView<real_type>(z), beta, p);
+        obs::traced("update", [&] {
+            blas::axpby(real_type{1}, ConstVecView<real_type>(z), beta, p);
+        });
         rz = rz_new;
+        if (history != nullptr) {
+            history->push_back(r_norm);
+        }
     }
     return {max_iters, r_norm, stop.done(r_norm, b_norm)};
 }

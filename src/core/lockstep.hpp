@@ -38,6 +38,8 @@
 #include "core/logger.hpp"
 #include "core/workspace.hpp"
 #include "matrix/ell_slab.hpp"
+#include "obs/convergence.hpp"
+#include "obs/telemetry.hpp"
 #include "util/error.hpp"
 #include "util/types.hpp"
 
@@ -163,7 +165,8 @@ void bicgstab_lockstep(const SourceBatch& a, const EllSlabPattern& pattern,
                        BatchVector<real_type>& x, bool zero_guess,
                        const Stop& stop, int max_iters, Workspace& ws,
                        std::atomic<size_type>& next_system,
-                       BatchLogStage& stage, int thread)
+                       BatchLogStage& stage, int thread,
+                       obs::ConvergenceHistory* history = nullptr)
 {
     const index_type n = pattern.rows;
     const size_type nbatch = a.num_batch();
@@ -200,6 +203,9 @@ void bicgstab_lockstep(const SourceBatch& a, const EllSlabPattern& pattern,
     // column is the working copy).
     auto finish = [&](int l, int iters, real_type rn, bool conv) {
         stage.record(thread, sys[l], iters, rn, conv);
+        if (history != nullptr) {
+            history->finalize(sys[l], iters, rn, conv);
+        }
         unpack_lane(ConstLaneGroupView<real_type>(xg, n, W), l,
                     x.entry(sys[l]));
         active[l] = false;
@@ -214,6 +220,8 @@ void bicgstab_lockstep(const SourceBatch& a, const EllSlabPattern& pattern,
         if (i >= nbatch) {
             return false;
         }
+        obs::ScopedSpan span("lane_refill", "solver",
+                             static_cast<std::int64_t>(i));
         sys[l] = i;
         const auto src = a.entry(i);
         pack_slab_lane(src, pattern, slab, W, l);
@@ -246,6 +254,9 @@ void bicgstab_lockstep(const SourceBatch& a, const EllSlabPattern& pattern,
         iter[l] = 0;
         active[l] = true;
         act[l] = real_type{1};
+        if (history != nullptr) {
+            history->record(i, 0, r_norm[l]);
+        }
         return true;
     };
 
@@ -287,7 +298,7 @@ void bicgstab_lockstep(const SourceBatch& a, const EllSlabPattern& pattern,
         // rho = r . r_hat; serious breakdown parks the lane with the
         // scalar kernel's exact result (iter, r_norm, false).
         real_type rho[W];
-        blas::dot_lanes<W>(r, r_hat, n, rho);
+        obs::traced("reduction", [&] { blas::dot_lanes<W>(r, r_hat, n, rho); });
         real_type beta[W] = {};
         for (int l = 0; l < W; ++l) {
             if (active[l]) {
@@ -304,19 +315,23 @@ void bicgstab_lockstep(const SourceBatch& a, const EllSlabPattern& pattern,
             cb[l] = active[l] ? -beta[l] * omega[l] : real_type{0};
             cc[l] = active[l] ? beta[l] : real_type{1};
         }
-        blas::axpbypcz_lanes<W>(ca, r, cb, v, cc, p, n);
+        obs::traced("update",
+                    [&] { blas::axpbypcz_lanes<W>(ca, r, cb, v, cc, p, n); });
         // p_hat = M^-1 p (mask-selected so parked columns keep their
         // values rather than being recomputed from stale operands).
-        if constexpr (UseJacobi) {
-            blas::mul_elementwise_lanes<W>(inv_diag, p, act, p_hat, n);
-        } else {
-            blas::copy_lanes<W>(p, act, p_hat, n);
-        }
+        obs::traced("precond_apply", [&] {
+            if constexpr (UseJacobi) {
+                blas::mul_elementwise_lanes<W>(inv_diag, p, act, p_hat, n);
+            } else {
+                blas::copy_lanes<W>(p, act, p_hat, n);
+            }
+        });
         // v = A p_hat for all lanes; a parked lane's column receives
         // garbage that never escapes the lane (refill rewrites it).
-        spmv_lanes<W>(av, p_hat, v);
+        obs::traced("spmv", [&] { spmv_lanes<W>(av, p_hat, v); });
         real_type r_hat_v[W];
-        blas::dot_lanes<W>(r_hat, v, n, r_hat_v);
+        obs::traced("reduction",
+                    [&] { blas::dot_lanes<W>(r_hat, v, n, r_hat_v); });
         for (int l = 0; l < W; ++l) {
             if (active[l]) {
                 if (r_hat_v[l] == real_type{0}) {
@@ -332,7 +347,9 @@ void bicgstab_lockstep(const SourceBatch& a, const EllSlabPattern& pattern,
             ca[l] = act[l];
             cb[l] = active[l] ? -alpha[l] : real_type{0};
         }
-        blas::zaxpby_nrm2_lanes<W>(ca, r, cb, v, s, n, s_norm);
+        obs::traced("update", [&] {
+            blas::zaxpby_nrm2_lanes<W>(ca, r, cb, v, s, n, s_norm);
+        });
         // Early exit on ||s||: the scalar kernel applies x += alpha*p_hat
         // and returns {iter+1, s_norm, true}. Here the lane rides the
         // remaining sweeps with its omega coefficient zeroed (so the fused
@@ -343,15 +360,18 @@ void bicgstab_lockstep(const SourceBatch& a, const EllSlabPattern& pattern,
                 early[l] = stop.done(s_norm[l], b_norm[l]);
             }
         }
-        if constexpr (UseJacobi) {
-            blas::mul_elementwise_lanes<W>(inv_diag, s, act, s_hat, n);
-        } else {
-            blas::copy_lanes<W>(s, act, s_hat, n);
-        }
-        spmv_lanes<W>(av, s_hat, t);
+        obs::traced("precond_apply", [&] {
+            if constexpr (UseJacobi) {
+                blas::mul_elementwise_lanes<W>(inv_diag, s, act, s_hat, n);
+            } else {
+                blas::copy_lanes<W>(s, act, s_hat, n);
+            }
+        });
+        obs::traced("spmv", [&] { spmv_lanes<W>(av, s_hat, t); });
         real_type t_t[W];
         real_type t_s[W];
-        blas::dot2_lanes<W>(t, t, s, n, t_t, t_s);
+        obs::traced("reduction",
+                    [&] { blas::dot2_lanes<W>(t, t, s, n, t_t, t_s); });
         bool tt0[W] = {};
         for (int l = 0; l < W; ++l) {
             if (active[l] && !early[l]) {
@@ -370,7 +390,9 @@ void bicgstab_lockstep(const SourceBatch& a, const EllSlabPattern& pattern,
                                                       : real_type{0};
             cc[l] = real_type{1};
         }
-        blas::axpbypcz_lanes<W>(ca, p_hat, cb, s_hat, cc, xg, n);
+        obs::traced("update", [&] {
+            blas::axpbypcz_lanes<W>(ca, p_hat, cb, s_hat, cc, xg, n);
+        });
         // r = s - omega * t fused with ||r|| for continuing lanes.
         real_type rn_new[W];
         for (int l = 0; l < W; ++l) {
@@ -378,7 +400,9 @@ void bicgstab_lockstep(const SourceBatch& a, const EllSlabPattern& pattern,
             ca[l] = cont ? real_type{1} : real_type{0};
             cb[l] = cont ? -omega[l] : real_type{0};
         }
-        blas::zaxpby_nrm2_lanes<W>(ca, s, cb, t, r, n, rn_new);
+        obs::traced("update", [&] {
+            blas::zaxpby_nrm2_lanes<W>(ca, s, cb, t, r, n, rn_new);
+        });
         for (int l = 0; l < W; ++l) {
             if (!active[l]) {
                 continue;
@@ -394,6 +418,9 @@ void bicgstab_lockstep(const SourceBatch& a, const EllSlabPattern& pattern,
                 r_norm[l] = rn_new[l];
                 rho_old[l] = rho[l];
                 ++iter[l];
+                if (history != nullptr) {
+                    history->record(sys[l], iter[l], r_norm[l]);
+                }
             }
         }
     }
@@ -406,7 +433,8 @@ void cg_lockstep(const SourceBatch& a, const EllSlabPattern& pattern,
                  const BatchVector<real_type>& b, BatchVector<real_type>& x,
                  bool zero_guess, const Stop& stop, int max_iters,
                  Workspace& ws, std::atomic<size_type>& next_system,
-                 BatchLogStage& stage, int thread)
+                 BatchLogStage& stage, int thread,
+                 obs::ConvergenceHistory* history = nullptr)
 {
     const index_type n = pattern.rows;
     const size_type nbatch = a.num_batch();
@@ -432,6 +460,9 @@ void cg_lockstep(const SourceBatch& a, const EllSlabPattern& pattern,
 
     auto finish = [&](int l, int iters, real_type rn, bool conv) {
         stage.record(thread, sys[l], iters, rn, conv);
+        if (history != nullptr) {
+            history->finalize(sys[l], iters, rn, conv);
+        }
         unpack_lane(ConstLaneGroupView<real_type>(xg, n, W), l,
                     x.entry(sys[l]));
         active[l] = false;
@@ -443,6 +474,8 @@ void cg_lockstep(const SourceBatch& a, const EllSlabPattern& pattern,
         if (i >= nbatch) {
             return false;
         }
+        obs::ScopedSpan span("lane_refill", "solver",
+                             static_cast<std::int64_t>(i));
         sys[l] = i;
         const auto src = a.entry(i);
         pack_slab_lane(src, pattern, slab, W, l);
@@ -475,6 +508,9 @@ void cg_lockstep(const SourceBatch& a, const EllSlabPattern& pattern,
         iter[l] = 0;
         active[l] = true;
         act[l] = real_type{1};
+        if (history != nullptr) {
+            history->record(i, 0, r_norm[l]);
+        }
         return true;
     };
 
@@ -515,9 +551,9 @@ void cg_lockstep(const SourceBatch& a, const EllSlabPattern& pattern,
         real_type alpha[W] = {};
 
         // q = A p; pq = p . q; pq <= 0 means CG is not applicable.
-        spmv_lanes<W>(av, p, q);
+        obs::traced("spmv", [&] { spmv_lanes<W>(av, p, q); });
         real_type pq[W];
-        blas::dot_lanes<W>(p, q, n, pq);
+        obs::traced("reduction", [&] { blas::dot_lanes<W>(p, q, n, pq); });
         for (int l = 0; l < W; ++l) {
             if (active[l]) {
                 if (pq[l] <= real_type{0}) {
@@ -533,27 +569,34 @@ void cg_lockstep(const SourceBatch& a, const EllSlabPattern& pattern,
             cb[l] = real_type{0};
             cc[l] = real_type{1};
         }
-        blas::axpbypcz_lanes<W>(ca, p, cb, p, cc, xg, n);
+        obs::traced("update", [&] {
+            blas::axpbypcz_lanes<W>(ca, p, cb, p, cc, xg, n);
+        });
         // r -= alpha * q fused with ||r||.
         real_type rn_new[W];
         for (int l = 0; l < W; ++l) {
             ca[l] = active[l] ? -alpha[l] : real_type{0};
             cb[l] = real_type{1};
         }
-        blas::axpy_nrm2_lanes<W>(ca, q, cb, r, n, rn_new);
+        obs::traced("update", [&] {
+            blas::axpy_nrm2_lanes<W>(ca, q, cb, r, n, rn_new);
+        });
         for (int l = 0; l < W; ++l) {
             if (active[l]) {
                 r_norm[l] = rn_new[l];
             }
         }
         // z = M^-1 r; beta = (r . z)_new / rz; p = z + beta * p.
-        if constexpr (UseJacobi) {
-            blas::mul_elementwise_lanes<W>(inv_diag, r, act, z, n);
-        } else {
-            blas::copy_lanes<W>(r, act, z, n);
-        }
+        obs::traced("precond_apply", [&] {
+            if constexpr (UseJacobi) {
+                blas::mul_elementwise_lanes<W>(inv_diag, r, act, z, n);
+            } else {
+                blas::copy_lanes<W>(r, act, z, n);
+            }
+        });
         real_type rz_new[W];
-        blas::dot_lanes<W>(r, z, n, rz_new);
+        obs::traced("reduction",
+                    [&] { blas::dot_lanes<W>(r, z, n, rz_new); });
         real_type beta[W] = {};
         for (int l = 0; l < W; ++l) {
             if (active[l]) {
@@ -565,11 +608,16 @@ void cg_lockstep(const SourceBatch& a, const EllSlabPattern& pattern,
             cb[l] = real_type{0};
             cc[l] = active[l] ? beta[l] : real_type{1};
         }
-        blas::axpbypcz_lanes<W>(ca, z, cb, z, cc, p, n);
+        obs::traced("update", [&] {
+            blas::axpbypcz_lanes<W>(ca, z, cb, z, cc, p, n);
+        });
         for (int l = 0; l < W; ++l) {
             if (active[l]) {
                 rz[l] = rz_new[l];
                 ++iter[l];
+                if (history != nullptr) {
+                    history->record(sys[l], iter[l], r_norm[l]);
+                }
             }
         }
     }
@@ -584,7 +632,8 @@ template <int W, bool UseJacobi, bool UseCg, typename SourceBatch,
 void run_batch_lockstep(const SourceBatch& a, const BatchVector<real_type>& b,
                         BatchVector<real_type>& x, bool zero_guess,
                         const Stop& stop, int max_iters, WorkspacePool& pool,
-                        BatchLog& log)
+                        BatchLog& log,
+                        obs::ConvergenceHistory* history = nullptr)
 {
     const EllSlabPattern pattern = make_slab_pattern(a);
     const int nthreads = lockstep::max_threads();
@@ -600,15 +649,19 @@ void run_batch_lockstep(const SourceBatch& a, const BatchVector<real_type>& b,
     {
         try {
             const int thread = lockstep::this_thread();
+            // One span per thread covering its whole queue drain: the
+            // lane-group analogue of the scalar path's per-entry span.
+            obs::ScopedSpan group_span("lockstep_group", "solver", W);
             auto& ws = pool.at(thread);
             if constexpr (UseCg) {
                 cg_lockstep<W, UseJacobi>(a, pattern, b, x, zero_guess,
                                           stop, max_iters, ws, next_system,
-                                          stage, thread);
+                                          stage, thread, history);
             } else {
                 bicgstab_lockstep<W, UseJacobi>(a, pattern, b, x, zero_guess,
                                                 stop, max_iters, ws,
-                                                next_system, stage, thread);
+                                                next_system, stage, thread,
+                                                history);
             }
         } catch (...) {
 #pragma omp critical(bsis_lockstep_failure)

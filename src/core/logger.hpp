@@ -51,6 +51,8 @@ public:
         return converged_[static_cast<std::size_t>(system)];
     }
 
+    /// Vacuously true for an empty batch, matching the executors' empty
+    /// early-return reporting success: "no system failed to converge".
     bool all_converged() const
     {
         for (const auto c : converged_) {
@@ -58,7 +60,7 @@ public:
                 return false;
             }
         }
-        return !converged_.empty();
+        return true;
     }
 
     std::int64_t total_iterations() const
@@ -136,6 +138,13 @@ private:
     struct alignas(64) ThreadBuffer {
         std::vector<Entry> entries;
     };
+
+public:
+    /// Per-thread staging alignment (one cache line), exposed so tests
+    /// can assert the false-sharing guarantee.
+    static constexpr std::size_t buffer_alignment = alignof(ThreadBuffer);
+
+private:
     std::vector<ThreadBuffer> buffers_;
 };
 

@@ -15,6 +15,7 @@
 #include "core/lockstep.hpp"
 #include "core/richardson.hpp"
 #include "core/workspace.hpp"
+#include "obs/telemetry.hpp"
 #include "util/error.hpp"
 #include "util/timer.hpp"
 
@@ -111,16 +112,17 @@ template <int W, bool UseJacobi, typename BatchMatrix, typename Stop>
 void run_lockstep_width(const BatchMatrix& a, const BatchVector<real_type>& b,
                         BatchVector<real_type>& x,
                         const SolverSettings& settings, const Stop& stop,
-                        BatchLog& log, WorkspacePool& pool)
+                        BatchLog& log, WorkspacePool& pool,
+                        obs::ConvergenceHistory* history)
 {
     if (settings.solver == SolverType::cg) {
         run_batch_lockstep<W, UseJacobi, true>(
             a, b, x, !settings.use_initial_guess, stop,
-            settings.max_iterations, pool, log);
+            settings.max_iterations, pool, log, history);
     } else {
         run_batch_lockstep<W, UseJacobi, false>(
             a, b, x, !settings.use_initial_guess, stop,
-            settings.max_iterations, pool, log);
+            settings.max_iterations, pool, log, history);
     }
 }
 
@@ -131,7 +133,7 @@ template <typename BatchMatrix, typename Prec, typename Stop>
 bool try_run_lockstep(const BatchMatrix& a, const BatchVector<real_type>& b,
                       BatchVector<real_type>& x,
                       const SolverSettings& settings, const Stop& stop,
-                      BatchLog& log)
+                      BatchLog& log, obs::ConvergenceHistory* history)
 {
     if constexpr (!lockstep_supported_format<BatchMatrix> ||
                   std::is_same_v<Prec, BlockJacobiPrec>) {
@@ -153,19 +155,19 @@ bool try_run_lockstep(const BatchMatrix& a, const BatchVector<real_type>& b,
         switch (w) {
         case 2:
             run_lockstep_width<2, use_jacobi>(a, b, x, settings, stop, log,
-                                              pool);
+                                              pool, history);
             break;
         case 4:
             run_lockstep_width<4, use_jacobi>(a, b, x, settings, stop, log,
-                                              pool);
+                                              pool, history);
             break;
         case 8:
             run_lockstep_width<8, use_jacobi>(a, b, x, settings, stop, log,
-                                              pool);
+                                              pool, history);
             break;
         default:
             run_lockstep_width<16, use_jacobi>(a, b, x, settings, stop, log,
-                                               pool);
+                                               pool, history);
             break;
         }
         return true;
@@ -177,9 +179,11 @@ bool try_run_lockstep(const BatchMatrix& a, const BatchVector<real_type>& b,
 template <typename BatchMatrix, typename Prec, typename Stop>
 void run_batch(const BatchMatrix& a, const BatchVector<real_type>& b,
                BatchVector<real_type>& x, const SolverSettings& settings,
-               const Stop& stop, BatchLog& log)
+               const Stop& stop, BatchLog& log,
+               obs::ConvergenceHistory* history)
 {
-    if (try_run_lockstep<BatchMatrix, Prec>(a, b, x, settings, stop, log)) {
+    if (try_run_lockstep<BatchMatrix, Prec>(a, b, x, settings, stop, log,
+                                            history)) {
         return;
     }
     const size_type nbatch = a.num_batch();
@@ -207,6 +211,8 @@ void run_batch(const BatchMatrix& a, const BatchVector<real_type>& b,
 #pragma omp parallel for schedule(dynamic, 8)
     for (size_type i = 0; i < nbatch; ++i) {
         try {
+        obs::ScopedSpan entry_span("solve_entry", "solver",
+                                   static_cast<std::int64_t>(i));
         auto& ws = workspaces.at(this_thread());
         const auto av = a.entry(i);
         const auto bv = b.entry(i);
@@ -226,26 +232,39 @@ void run_batch(const BatchMatrix& a, const BatchVector<real_type>& b,
                 return Prec{};
             }
         }();
-        if constexpr (std::is_same_v<Prec, JacobiPrec>) {
-            prec.generate(av, ws.slot(prec_slot_base));
-        } else if constexpr (std::is_same_v<Prec, BlockJacobiPrec>) {
-            prec.generate(av, VecView<real_type>{
-                                  ws.slot(prec_slot_base).data,
-                                  ws.length() * prec_vecs});
-        } else {
-            (void)prec_slot_base;
-            prec.generate(av, VecView<real_type>{});
+        {
+            obs::ScopedSpan setup_span("precond_setup", "solver");
+            if constexpr (std::is_same_v<Prec, JacobiPrec>) {
+                prec.generate(av, ws.slot(prec_slot_base));
+            } else if constexpr (std::is_same_v<Prec, BlockJacobiPrec>) {
+                prec.generate(av, VecView<real_type>{
+                                      ws.slot(prec_slot_base).data,
+                                      ws.length() * prec_vecs});
+            } else {
+                (void)prec_slot_base;
+                prec.generate(av, VecView<real_type>{});
+            }
         }
+
+        // Residual trajectory staging for the kernels that expose one;
+        // other solvers keep finalize-only histories.
+        std::vector<real_type> traj;
+        std::vector<real_type>* traj_ptr =
+            history != nullptr && (settings.solver == SolverType::bicgstab ||
+                                   settings.solver == SolverType::cg)
+                ? &traj
+                : nullptr;
 
         EntryResult result;
         switch (settings.solver) {
         case SolverType::bicgstab:
             result = settings.fused_kernels
                          ? bicgstab_kernel(av, bv, xv, prec, stop,
-                                           settings.max_iterations, ws)
+                                           settings.max_iterations, ws, 0,
+                                           traj_ptr)
                          : bicgstab_kernel_unfused(av, bv, xv, prec, stop,
                                                    settings.max_iterations,
-                                                   ws);
+                                                   ws, 0, traj_ptr);
             break;
         case SolverType::bicg:
             result = bicg_kernel(av, bv, xv, prec, stop,
@@ -257,7 +276,7 @@ void run_batch(const BatchMatrix& a, const BatchVector<real_type>& b,
             break;
         case SolverType::cg:
             result = cg_kernel(av, bv, xv, prec, stop,
-                               settings.max_iterations, ws);
+                               settings.max_iterations, ws, 0, traj_ptr);
             break;
         case SolverType::gmres:
             result = gmres_kernel(
@@ -281,6 +300,13 @@ void run_batch(const BatchMatrix& a, const BatchVector<real_type>& b,
         }
         stage.record(this_thread(), i, result.iterations,
                      result.residual_norm, result.converged);
+        if (history != nullptr) {
+            for (std::size_t k = 0; k < traj.size(); ++k) {
+                history->record(i, static_cast<int>(k), traj[k]);
+            }
+            history->finalize(i, result.iterations, result.residual_norm,
+                              result.converged);
+        }
         } catch (...) {
 #pragma omp critical(bsis_solver_failure)
             {
@@ -299,20 +325,40 @@ void run_batch(const BatchMatrix& a, const BatchVector<real_type>& b,
 template <typename BatchMatrix, typename Prec>
 void dispatch_stop(const BatchMatrix& a, const BatchVector<real_type>& b,
                    BatchVector<real_type>& x, const SolverSettings& settings,
-                   BatchLog& log)
+                   BatchLog& log, obs::ConvergenceHistory* history)
 {
     switch (settings.stop) {
     case StopType::abs_residual:
         run_batch<BatchMatrix, Prec>(a, b, x, settings,
                                      AbsResidualStop{settings.tolerance},
-                                     log);
+                                     log, history);
         break;
     case StopType::rel_residual:
         run_batch<BatchMatrix, Prec>(a, b, x, settings,
                                      RelResidualStop{settings.tolerance},
-                                     log);
+                                     log, history);
         break;
     }
+}
+
+/// Post-solve metrics recording (cold path; called once per batch).
+void record_solve_metrics(const BatchSolveResult& result)
+{
+    auto& m = obs::metrics();
+    m.add_named("solve.batches");
+    m.add_named("solve.systems", result.log.num_batch());
+    m.add_named("solve.iterations", result.log.total_iterations());
+    std::int64_t unconverged = 0;
+    const auto iters_id = m.histogram("solve.system_iterations");
+    for (size_type i = 0; i < result.log.num_batch(); ++i) {
+        m.observe(iters_id, static_cast<double>(result.log.iterations(i)));
+        unconverged += result.log.converged(i) ? 0 : 1;
+    }
+    m.add_named("solve.unconverged", unconverged);
+    m.observe_named("solve.wall_seconds", result.wall_seconds);
+    m.set_named("solve.last_wall_seconds", result.wall_seconds);
+    m.set_named("solve.simd_lanes",
+                static_cast<double>(result.work.simd_lanes));
 }
 
 }  // namespace
@@ -349,22 +395,32 @@ BatchSolveResult solve_batch(const BatchMatrix& a,
         const int w = effective_lockstep_width(settings.lockstep_width);
         result.work.simd_lanes = w > 0 ? w : 1;
     }
+    if (settings.record_convergence) {
+        result.history.reset(a.num_batch(), settings.convergence_capacity);
+    }
+    obs::ConvergenceHistory* history =
+        settings.record_convergence ? &result.history : nullptr;
+    obs::ScopedSpan batch_span("solve_batch", "solver",
+                               static_cast<std::int64_t>(a.num_batch()));
     Timer timer;
     switch (settings.precond) {
     case PrecondType::identity:
         dispatch_stop<BatchMatrix, IdentityPrec>(a, b, x, settings,
-                                                 result.log);
+                                                 result.log, history);
         break;
     case PrecondType::jacobi:
         dispatch_stop<BatchMatrix, JacobiPrec>(a, b, x, settings,
-                                               result.log);
+                                               result.log, history);
         break;
     case PrecondType::block_jacobi:
         dispatch_stop<BatchMatrix, BlockJacobiPrec>(a, b, x, settings,
-                                                    result.log);
+                                                    result.log, history);
         break;
     }
     result.wall_seconds = timer.seconds();
+    if (obs::metrics_enabled()) {
+        record_solve_metrics(result);
+    }
     return result;
 }
 

@@ -16,6 +16,7 @@
 #include "matrix/batch_dense.hpp"
 #include "matrix/batch_ell.hpp"
 #include "matrix/batch_sellp.hpp"
+#include "obs/convergence.hpp"
 #include "util/types.hpp"
 
 namespace bsis {
@@ -51,6 +52,13 @@ struct SolverSettings {
     /// composition silently falls back to the scalar path, and results
     /// match the scalar path per entry up to rounding.
     int lockstep_width = 0;
+    /// When true, the solve captures each system's residual trajectory
+    /// (the residual norm at the top of every iteration) into
+    /// `BatchSolveResult::history`, bounded per system by
+    /// `convergence_capacity` points via stride decimation. Off by
+    /// default: the hot loops then skip the recording branch entirely.
+    bool record_convergence = false;
+    int convergence_capacity = 64;
 };
 
 /// Outcome of a batched solve.
@@ -58,6 +66,9 @@ struct BatchSolveResult {
     BatchLog log;                ///< per-system iterations / residuals
     double wall_seconds = 0.0;   ///< measured host wall time of the solve
     SolverWorkProfile work;      ///< op counts for the GPU cost model
+    /// Residual trajectories; populated (history.active()) only when
+    /// `SolverSettings::record_convergence` was set.
+    obs::ConvergenceHistory history;
 };
 
 /// Solves every system of the batch: a.entry(i) * x.entry(i) = b.entry(i).

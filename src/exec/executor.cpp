@@ -6,6 +6,7 @@
 #include "gpusim/simt_kernels.hpp"
 #include "lapack/banded_lu.hpp"
 #include "matrix/conversions.hpp"
+#include "obs/telemetry.hpp"
 #include "util/error.hpp"
 #include "util/timer.hpp"
 
@@ -112,6 +113,8 @@ GpuSolveReport SimGpuExecutor::solve_impl(const BatchMatrix& a,
                                           bool include_transfers) const
 {
     GpuSolveReport report;
+    obs::ScopedSpan solve_span("gpu_solve", "executor",
+                               static_cast<std::int64_t>(a.num_batch()));
     const auto shape = shape_of(a);
 
     // 1. Shared-memory configuration (Section IV-D).
@@ -134,6 +137,7 @@ GpuSolveReport SimGpuExecutor::solve_impl(const BatchMatrix& a,
     auto result = solve_batch(a, b, x, settings);
     report.wall_seconds = timer.seconds();
     report.log = std::move(result.log);
+    report.history = std::move(result.history);
 
     // 4. Per-block cost model and block schedule. Co-residency only
     // throttles a block when the batch actually fills the CUs that far.
@@ -150,12 +154,73 @@ GpuSolveReport SimGpuExecutor::solve_impl(const BatchMatrix& a,
         durations.push_back(
             report.block_cost.block_us(report.log.iterations(i)) * 1e-6);
     }
-    const auto schedule = gpusim::schedule_blocks(
+    const auto schedule = gpusim::schedule_blocks_timeline(
         durations, report.occupancy.device_slots(device_),
         device_.scheduling);
     report.num_waves = schedule.num_waves;
     report.kernel_seconds =
         device_.launch_overhead_us * 1e-6 + schedule.makespan_seconds;
+    if (obs::trace_enabled()) {
+        // Render the modeled device timeline as a second Perfetto process:
+        // one complete event per scheduled block, on its resident slot's
+        // track, shifted past the modeled launch overhead.
+        auto& trace = obs::trace();
+        const double launch_us = device_.launch_overhead_us;
+        trace.emit_complete("kernel_launch", "gpusim",
+                            obs::TraceSession::device_pid, 0, 0.0,
+                            launch_us);
+        for (std::size_t i = 0; i < schedule.blocks.size(); ++i) {
+            const auto& blk = schedule.blocks[i];
+            trace.emit_complete(
+                "block", "gpusim", obs::TraceSession::device_pid, blk.slot,
+                launch_us + blk.start_seconds * 1e6,
+                (blk.end_seconds - blk.start_seconds) * 1e6,
+                static_cast<std::int64_t>(i));
+        }
+    }
+
+    // 4b. Live SIMT profile (the Table II counters, measured on THIS
+    // solve's blocks with their actual iteration counts). Runs when
+    // explicitly requested or while telemetry is on; only the fused
+    // BiCGStab kernel has a traced twin.
+    if ((profile_ || obs::enabled()) &&
+        settings.solver == SolverType::bicgstab && settings.fused_kernels &&
+        a.num_batch() > 0) {
+        const auto inputs = trace_inputs(a);
+        const gpusim::ProfilePattern pattern{
+            inputs.format,      inputs.row_ptrs,    inputs.csr_cols,
+            inputs.ell_cols,    inputs.nnz_per_row, inputs.nnz_stored};
+        const auto sizing = gpusim::profile_cache_sizing(
+            device_, report.storage, report.block_threads,
+            pattern_bytes(a) / static_cast<size_type>(sizeof(index_type)));
+        std::vector<int> block_iters;
+        const auto sample =
+            std::min<size_type>(profile_sample_blocks, a.num_batch());
+        block_iters.reserve(static_cast<std::size_t>(sample));
+        for (size_type blk = 0; blk < sample; ++blk) {
+            block_iters.push_back(std::max(1, report.log.iterations(blk)));
+        }
+        report.profile = gpusim::profile_bicgstab(
+            device_, report.storage, report.block_threads, pattern,
+            shape.rows, block_iters, sizing);
+        report.profiled = true;
+    }
+    if (obs::metrics_enabled()) {
+        auto& m = obs::metrics();
+        m.add_named("gpusim.solves");
+        m.set_named("gpusim.kernel_seconds", report.kernel_seconds);
+        m.set_named("gpusim.num_waves", report.num_waves);
+        m.set_named("gpusim.blocks_per_cu",
+                    report.occupancy.blocks_per_cu);
+        m.set_named("gpusim.device_slots",
+                    report.occupancy.device_slots(device_));
+        if (report.profiled) {
+            m.set_named("gpusim.warp_utilization",
+                        report.profile.warp_utilization());
+            m.set_named("gpusim.l1_hit_rate", report.profile.l1_hit_rate());
+            m.set_named("gpusim.l2_hit_rate", report.profile.l2_hit_rate());
+        }
+    }
 
     // 5. Sanitized trace replay (opt-in): re-trace the fused kernel for
     // the first blocks of the batch with the SIMT sanitizer attached.
@@ -195,6 +260,17 @@ GpuSolveReport SimGpuExecutor::solve_impl(const BatchMatrix& a,
                 std::max(1, report.log.iterations(blk)), report.storage);
         }
         report.sanitizer = sanitizer.report();
+        if (obs::metrics_enabled()) {
+            auto& m = obs::metrics();
+            m.add_named("gpusim.sanitized_solves");
+            m.add_named("gpusim.sanitizer_violations",
+                        report.sanitizer.total_violations);
+            m.add_named("gpusim.sanitizer_races", report.sanitizer.races);
+            m.add_named("gpusim.sanitizer_barrier_divergences",
+                        report.sanitizer.barrier_divergences);
+            m.add_named("gpusim.sanitizer_oob_accesses",
+                        report.sanitizer.oob_accesses);
+        }
     }
 
     // 6. Transfers (values + pattern + rhs down, solution up).
@@ -280,6 +356,8 @@ CpuSolveReport CpuExecutor::gbsv(const BatchCsr<real_type>& a,
                                  BatchVector<real_type>& x) const
 {
     CpuSolveReport report;
+    obs::ScopedSpan solve_span("cpu_gbsv", "executor",
+                               static_cast<std::int64_t>(a.num_batch()));
     const auto [kl, ku] = bandwidths(a);
     report.per_system_seconds =
         gpusim::cpu_gbsv_system_seconds(cpu_, a.rows(), kl, ku);
@@ -312,6 +390,8 @@ CpuSolveReport CpuExecutor::iterative(const BatchCsr<real_type>& a,
         // rather than scheduling zero blocks.
         return report;
     }
+    obs::ScopedSpan solve_span("cpu_iterative", "executor",
+                               static_cast<std::int64_t>(a.num_batch()));
     Timer timer;
     const auto result = solve_batch(a, b, x, settings);
     report.wall_seconds = timer.seconds();
@@ -349,6 +429,14 @@ CpuSolveReport CpuExecutor::iterative(const BatchCsr<real_type>& a,
         durations, cpu_.cores_used,
         gpusim::SchedulingPolicy::greedy_dynamic);
     report.node_seconds = schedule.makespan_seconds;
+    if (obs::metrics_enabled()) {
+        auto& m = obs::metrics();
+        m.add_named("cpu.iterative_solves");
+        m.set_named("cpu.node_seconds", report.node_seconds);
+        m.set_named("cpu.per_system_seconds", report.per_system_seconds);
+        m.set_named("cpu.simd_lanes",
+                    static_cast<double>(result.work.simd_lanes));
+    }
     return report;
 }
 

@@ -15,6 +15,7 @@
 #include "gpusim/cost_model.hpp"
 #include "gpusim/device.hpp"
 #include "gpusim/occupancy.hpp"
+#include "gpusim/profile.hpp"
 #include "gpusim/sanitizer.hpp"
 #include "gpusim/scheduler.hpp"
 #include "matrix/batch_csr.hpp"
@@ -37,6 +38,16 @@ struct GpuSolveReport {
     gpusim::BlockCost block_cost;    ///< per-op modeled costs
     gpusim::SanitizerReport sanitizer;  ///< findings of the sanitized trace
     bool sanitized = false;          ///< whether a sanitized trace ran
+    /// Live SIMT profile of a sample of this solve's blocks (warp
+    /// utilization, L1/L2 hit rates -- the Table II counters), collected
+    /// when profiling is on (set_profile) or telemetry is enabled. Only
+    /// the fused BiCGStab kernel is traceable; `profiled` stays false for
+    /// other solvers.
+    gpusim::KernelProfile profile;
+    bool profiled = false;
+    /// Residual trajectories, populated when
+    /// `SolverSettings::record_convergence` was set.
+    obs::ConvergenceHistory history;
 
     double total_device_seconds() const
     {
@@ -68,6 +79,15 @@ public:
     /// counters, and the modeled times are unchanged.
     void set_sanitize(bool on) { sanitize_ = on; }
     bool sanitize() const { return sanitize_; }
+
+    /// Forces the live SIMT profile (GpuSolveReport::profile) on for every
+    /// solve; otherwise it runs only while telemetry (obs metrics or
+    /// tracing) is enabled.
+    void set_profile(bool on) { profile_ = on; }
+    bool profile() const { return profile_; }
+
+    /// Blocks sampled per solve by the live profile.
+    static constexpr int profile_sample_blocks = 4;
 
     /// Solves the batch (functionally exact) and models the device time.
     /// `include_transfers`: account H2D of values+pattern+b (+x when warm
@@ -103,6 +123,7 @@ private:
 
     gpusim::DeviceSpec device_;
     bool sanitize_ = false;
+    bool profile_ = false;
 };
 
 /// Timing report of the CPU baseline.

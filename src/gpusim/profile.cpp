@@ -1,0 +1,71 @@
+#include "gpusim/profile.hpp"
+
+#include <algorithm>
+
+#include "gpusim/occupancy.hpp"
+#include "util/error.hpp"
+
+namespace bsis::gpusim {
+
+CacheSizing profile_cache_sizing(const DeviceSpec& device,
+                                 const StorageConfig& config,
+                                 index_type block_threads,
+                                 size_type pattern_index_count)
+{
+    CacheSizing sizing;
+    // L1 available to a block = carve-out remainder, floored at 16 KiB
+    // (the hardware's minimum L1 split).
+    sizing.l1_bytes = static_cast<std::int64_t>(
+        std::max(16.0 * 1024,
+                 device.l1_shared_kib_per_cu * 1024 -
+                     static_cast<double>(config.shared_bytes)));
+    // The device-wide L2 is shared by every RESIDENT block; each traced
+    // block sees its share (the paper's V100-vs-A100 L2 hit contrast comes
+    // exactly from this partitioning). The SHARED sparsity pattern
+    // occupies L2 once for every resident block (same addresses); the rest
+    // is split among them.
+    const auto occ =
+        compute_occupancy(device, block_threads, config.shared_bytes);
+    const auto pattern_bytes =
+        static_cast<double>(pattern_index_count) * sizeof(index_type);
+    sizing.l2_bytes = static_cast<std::int64_t>(
+        pattern_bytes +
+        std::max(0.0, device.l2_mib * 1024 * 1024 - pattern_bytes) /
+            std::max(1, occ.device_slots(device)));
+    return sizing;
+}
+
+KernelProfile profile_bicgstab(const DeviceSpec& device,
+                               const StorageConfig& config,
+                               index_type block_threads,
+                               const ProfilePattern& pattern,
+                               index_type rows,
+                               const std::vector<int>& block_iterations,
+                               const CacheSizing& sizing)
+{
+    BSIS_ENSURE_ARG(pattern.row_ptrs != nullptr &&
+                        pattern.csr_col_idxs != nullptr &&
+                        pattern.ell_col_idxs != nullptr,
+                    "pattern arrays must be non-null (may be empty)");
+    KernelProfile profile;
+    profile.warp_size = device.warp_size;
+    MemoryHierarchy mem(sizing.l1_bytes, sizing.l2_bytes);
+    for (std::size_t blk = 0; blk < block_iterations.size(); ++blk) {
+        BlockTracer tracer(block_threads, device.warp_size, &mem);
+        const auto map = AddressMap::for_system(
+            static_cast<size_type>(blk), rows, pattern.nnz_stored,
+            config.num_global);
+        trace_bicgstab(tracer, map, pattern.format, *pattern.row_ptrs,
+                       *pattern.csr_col_idxs, *pattern.ell_col_idxs, rows,
+                       pattern.nnz_per_row, block_iterations[blk], config);
+        profile.counters += tracer.counters();
+        ++profile.blocks_traced;
+        // Next block lands on a different CU in general.
+        mem.invalidate_l1();
+    }
+    profile.l1 = mem.l1_stats();
+    profile.l2 = mem.l2_stats();
+    return profile;
+}
+
+}  // namespace bsis::gpusim

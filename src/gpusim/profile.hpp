@@ -1,0 +1,80 @@
+// Shared SIMT profiling helper: the one place that knows how to size the
+// modeled caches for a traced block and how to replay the fused BiCGStab
+// kernel to collect Table II's profiler counters.
+//
+// Both consumers route through here so their numbers agree by
+// construction: bench_table2_metrics (the offline Table II reproduction)
+// and SimGpuExecutor's live telemetry (the per-solve metrics snapshot) --
+// previously the bench owned this math and the executor had none.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/storage_config.hpp"
+#include "gpusim/cache.hpp"
+#include "gpusim/device.hpp"
+#include "gpusim/simt.hpp"
+#include "gpusim/simt_kernels.hpp"
+#include "util/types.hpp"
+
+namespace bsis::gpusim {
+
+/// Cache capacities one traced block sees on `device`.
+struct CacheSizing {
+    std::int64_t l1_bytes = 0;
+    std::int64_t l2_bytes = 0;
+};
+
+/// L1 = the per-CU L1/shared array minus the block's shared-memory
+/// carve-out (never below a 16 KiB floor); L2 = the device L2 partitioned
+/// among the resident blocks, except the SHARED sparsity pattern
+/// (`pattern_index_count` index_type words) which occupies L2 once for
+/// all of them. `block_threads` and `config.shared_bytes` determine the
+/// residency via the occupancy model.
+CacheSizing profile_cache_sizing(const DeviceSpec& device,
+                                 const StorageConfig& config,
+                                 index_type block_threads,
+                                 size_type pattern_index_count);
+
+/// Aggregated profile of a sample of traced blocks.
+struct KernelProfile {
+    SimtCounters counters;
+    CacheStats l1;
+    CacheStats l2;
+    int blocks_traced = 0;
+    int warp_size = 0;
+
+    double warp_utilization() const
+    {
+        return counters.warp_utilization(warp_size);
+    }
+    double l1_hit_rate() const { return l1.hit_rate(); }
+    double l2_hit_rate() const { return l2.hit_rate(); }
+};
+
+/// Pattern arrays for one traced format; unused arrays may be empty (the
+/// other format's kernel never touches them).
+struct ProfilePattern {
+    TracedFormat format{};
+    const std::vector<index_type>* row_ptrs = nullptr;   ///< CSR
+    const std::vector<index_type>* csr_col_idxs = nullptr;
+    const std::vector<index_type>* ell_col_idxs = nullptr;
+    index_type nnz_per_row = 0;   ///< ELL
+    index_type nnz_stored = 0;    ///< stored nonzeros per system
+};
+
+/// Replays the fused BiCGStab kernel for one sample block per entry of
+/// `block_iterations` (block k maps system k's operand addresses and runs
+/// block_iterations[k] iterations) against a fresh L1/L2 pair sized by
+/// `sizing`. The L1 is invalidated between blocks -- consecutive blocks
+/// land on different CUs in general -- while L2 contents persist.
+KernelProfile profile_bicgstab(const DeviceSpec& device,
+                               const StorageConfig& config,
+                               index_type block_threads,
+                               const ProfilePattern& pattern,
+                               index_type rows,
+                               const std::vector<int>& block_iterations,
+                               const CacheSizing& sizing);
+
+}  // namespace bsis::gpusim

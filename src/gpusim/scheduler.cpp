@@ -2,56 +2,78 @@
 
 #include <algorithm>
 #include <queue>
+#include <utility>
 
 #include "util/error.hpp"
 
 namespace bsis::gpusim {
 
-ScheduleResult schedule_blocks(const std::vector<double>& block_seconds,
-                               int slots, SchedulingPolicy policy)
+ScheduleTimeline schedule_blocks_timeline(
+    const std::vector<double>& block_seconds, int slots,
+    SchedulingPolicy policy)
 {
     BSIS_ENSURE_ARG(slots >= 1, "need at least one block slot");
-    ScheduleResult result;
+    ScheduleTimeline timeline;
     if (block_seconds.empty()) {
-        return result;
+        return timeline;
     }
     const auto n = block_seconds.size();
+    timeline.blocks.resize(n);
     if (policy == SchedulingPolicy::wave_quantized) {
         // Whole waves retire together: the hardware dispatches the next
-        // wave only when every CU of the previous one is free.
+        // wave only when every CU of the previous one is free, so every
+        // block of a wave starts at the wave boundary.
+        double wave_start = 0;
         for (std::size_t start = 0; start < n;
              start += static_cast<std::size_t>(slots)) {
             const std::size_t end =
                 std::min(n, start + static_cast<std::size_t>(slots));
             double wave_max = 0;
             for (std::size_t i = start; i < end; ++i) {
+                timeline.blocks[i].start_seconds = wave_start;
+                timeline.blocks[i].end_seconds =
+                    wave_start + block_seconds[i];
+                timeline.blocks[i].slot = static_cast<int>(i - start);
                 wave_max = std::max(wave_max, block_seconds[i]);
             }
-            result.makespan_seconds += wave_max;
-            ++result.num_waves;
+            wave_start += wave_max;
+            ++timeline.num_waves;
         }
-        return result;
+        timeline.makespan_seconds = wave_start;
+        return timeline;
     }
     // Greedy dynamic: blocks are assigned in order to the earliest-free
-    // slot (classic list scheduling).
-    std::priority_queue<double, std::vector<double>, std::greater<>>
+    // slot (classic list scheduling). Ties broken by slot index for a
+    // deterministic timeline.
+    using SlotTime = std::pair<double, int>;
+    std::priority_queue<SlotTime, std::vector<SlotTime>,
+                        std::greater<SlotTime>>
         free_times;
     for (int s = 0; s < slots; ++s) {
-        free_times.push(0.0);
+        free_times.emplace(0.0, s);
     }
     double makespan = 0;
-    for (const double d : block_seconds) {
-        const double start = free_times.top();
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto [start, slot] = free_times.top();
         free_times.pop();
-        const double end = start + d;
-        free_times.push(end);
+        const double end = start + block_seconds[i];
+        free_times.emplace(end, slot);
+        timeline.blocks[i] = {start, end, slot};
         makespan = std::max(makespan, end);
     }
-    result.makespan_seconds = makespan;
-    result.num_waves = static_cast<int>(
+    timeline.makespan_seconds = makespan;
+    timeline.num_waves = static_cast<int>(
         (n + static_cast<std::size_t>(slots) - 1) /
         static_cast<std::size_t>(slots));
-    return result;
+    return timeline;
+}
+
+ScheduleResult schedule_blocks(const std::vector<double>& block_seconds,
+                               int slots, SchedulingPolicy policy)
+{
+    const auto timeline =
+        schedule_blocks_timeline(block_seconds, slots, policy);
+    return {timeline.makespan_seconds, timeline.num_waves};
 }
 
 }  // namespace bsis::gpusim

@@ -22,9 +22,31 @@ struct ScheduleResult {
     int num_waves = 0;  ///< waves issued (wave_quantized) or ceil estimate
 };
 
+/// Scheduled placement of one block: when it ran and on which of the
+/// device's resident-block slots. `blocks[i]` describes block_seconds[i].
+struct BlockInterval {
+    double start_seconds = 0;
+    double end_seconds = 0;
+    int slot = 0;
+};
+
+struct ScheduleTimeline {
+    double makespan_seconds = 0;
+    int num_waves = 0;
+    std::vector<BlockInterval> blocks;
+};
+
 /// `block_seconds[i]` is the modeled duration of batch system i's block;
 /// `slots` is blocks_per_cu * num_cu.
 ScheduleResult schedule_blocks(const std::vector<double>& block_seconds,
                                int slots, SchedulingPolicy policy);
+
+/// schedule_blocks plus the per-block schedule (start / end / slot): the
+/// modeled device timeline the trace exporter renders. Same placement
+/// rules as schedule_blocks -- the makespan and wave count are identical
+/// by construction (schedule_blocks delegates here).
+ScheduleTimeline schedule_blocks_timeline(
+    const std::vector<double>& block_seconds, int slots,
+    SchedulingPolicy policy);
 
 }  // namespace bsis::gpusim

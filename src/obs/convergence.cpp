@@ -1,0 +1,84 @@
+#include "obs/convergence.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace bsis::obs {
+
+void ConvergenceHistory::reset(size_type num_batch, int capacity)
+{
+    BSIS_ENSURE_ARG(num_batch >= 0, "num_batch must be non-negative");
+    BSIS_ENSURE_ARG(capacity >= 2, "capacity must be at least 2");
+    capacity_ = capacity;
+    systems_.assign(static_cast<std::size_t>(num_batch), System{});
+}
+
+void ConvergenceHistory::record(size_type system, int iteration,
+                                real_type residual)
+{
+    BSIS_ASSERT(system >= 0 && system < num_batch());
+    auto& sys = systems_[static_cast<std::size_t>(system)];
+    if (iteration % sys.stride != 0) {
+        return;
+    }
+    if (sys.points.size() == static_cast<std::size_t>(capacity_)) {
+        // Keep every other point (those aligned to the doubled stride,
+        // which always includes iteration 0), then retry admission.
+        sys.stride *= 2;
+        auto kept = sys.points.begin();
+        for (const auto& p : sys.points) {
+            if (p.iteration % sys.stride == 0) {
+                *kept++ = p;
+            }
+        }
+        sys.points.erase(kept, sys.points.end());
+        if (iteration % sys.stride != 0) {
+            return;
+        }
+    }
+    sys.points.push_back({iteration, residual});
+}
+
+void ConvergenceHistory::finalize(size_type system, int iterations,
+                                  real_type residual, bool converged)
+{
+    BSIS_ASSERT(system >= 0 && system < num_batch());
+    auto& sys = systems_[static_cast<std::size_t>(system)];
+    sys.final = {iterations, residual};
+    sys.converged = converged;
+    sys.finalized = true;
+}
+
+const std::vector<HistoryPoint>& ConvergenceHistory::points(
+    size_type system) const
+{
+    BSIS_ASSERT(system >= 0 && system < num_batch());
+    return systems_[static_cast<std::size_t>(system)].points;
+}
+
+int ConvergenceHistory::stride(size_type system) const
+{
+    BSIS_ASSERT(system >= 0 && system < num_batch());
+    return systems_[static_cast<std::size_t>(system)].stride;
+}
+
+HistoryPoint ConvergenceHistory::final_point(size_type system) const
+{
+    BSIS_ASSERT(system >= 0 && system < num_batch());
+    return systems_[static_cast<std::size_t>(system)].final;
+}
+
+bool ConvergenceHistory::converged(size_type system) const
+{
+    BSIS_ASSERT(system >= 0 && system < num_batch());
+    return systems_[static_cast<std::size_t>(system)].converged;
+}
+
+bool ConvergenceHistory::finalized(size_type system) const
+{
+    BSIS_ASSERT(system >= 0 && system < num_batch());
+    return systems_[static_cast<std::size_t>(system)].finalized;
+}
+
+}  // namespace bsis::obs

@@ -1,0 +1,150 @@
+// MetricsRegistry: named counters, gauges, and histograms for the solver
+// stack.
+//
+// The registry is the live replacement of the one-off bench computations:
+// every execution path (scalar, lockstep, simulated GPU) records into the
+// same named metrics, and a snapshot serializes them as JSON. Recording is
+// sharded per thread (cache-line-aligned shards, merged on snapshot --
+// the BatchLogStage pattern) so the hot solver loops never contend on a
+// shared cache line. Record sites are expected to be gated by
+// `obs::metrics_enabled()` (see obs/telemetry.hpp); a disabled registry
+// costs one relaxed atomic load per site.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/sharding.hpp"
+
+namespace bsis::obs {
+
+/// Quantile summary of one histogram (p50/p95 over the retained samples,
+/// count/sum/max exact over every recorded sample).
+struct HistogramSummary {
+    std::int64_t count = 0;
+    double sum = 0;
+    double max = 0;
+    double p50 = 0;
+    double p95 = 0;
+
+    double mean() const
+    {
+        return count == 0 ? 0.0 : sum / static_cast<double>(count);
+    }
+};
+
+/// Point-in-time merge of every shard.
+struct MetricsSnapshot {
+    struct Counter {
+        std::string name;
+        std::int64_t value = 0;
+    };
+    struct Gauge {
+        std::string name;
+        double value = 0;
+        bool set = false;  ///< false until the first set()
+    };
+    struct Histogram {
+        std::string name;
+        HistogramSummary summary;
+    };
+
+    std::vector<Counter> counters;
+    std::vector<Gauge> gauges;
+    std::vector<Histogram> histograms;
+
+    /// Lookup helpers (linear scan; snapshots are small). Return the
+    /// default-constructed value when the name is unknown.
+    std::int64_t counter(const std::string& name) const;
+    double gauge(const std::string& name) const;
+    bool gauge_set(const std::string& name) const;
+    HistogramSummary histogram(const std::string& name) const;
+
+    /// JSON document: {"counters": {...}, "gauges": {...},
+    /// "histograms": {"name": {"count": .., "p50": .., ...}}}.
+    std::string json() const;
+};
+
+/// Registry of named metrics with per-thread sharded recording.
+class MetricsRegistry {
+public:
+    using Id = int;
+
+    /// Samples retained per histogram shard before stride decimation
+    /// halves them (count/sum/max stay exact; quantiles become
+    /// approximate).
+    static constexpr int histogram_shard_capacity = 4096;
+
+    /// Registration is idempotent: the same name always yields the same
+    /// id. Registering a name under two different kinds throws.
+    Id counter(const std::string& name);
+    Id gauge(const std::string& name);
+    Id histogram(const std::string& name);
+
+    /// Recording. Ids must come from the matching register call.
+    void add(Id id, std::int64_t delta = 1);
+    void set(Id id, double value);
+    void observe(Id id, double sample);
+
+    /// Convenience name-based recording for cold call sites (one mutex
+    /// acquisition for the registration lookup).
+    void add_named(const std::string& name, std::int64_t delta = 1);
+    void set_named(const std::string& name, double value);
+    void observe_named(const std::string& name, double sample);
+
+    MetricsSnapshot snapshot() const;
+    std::string snapshot_json() const { return snapshot().json(); }
+    bool write_json(const std::string& path) const;
+
+    /// Zeroes every recorded value; registered names and ids survive.
+    void reset_values();
+
+private:
+    enum class Kind { counter, gauge, histogram };
+
+    /// Ids encode (kind, slot-within-kind) so the record calls decode them
+    /// without touching the registry's name table (no shared lock on the
+    /// hot path; the per-thread shard's own mutex is the only
+    /// synchronization, uncontended except against snapshots).
+    static constexpr Id kind_shift = 24;
+    static Id encode(Kind kind, int slot)
+    {
+        return (static_cast<Id>(kind) << kind_shift) | slot;
+    }
+    static Kind kind_of(Id id) { return static_cast<Kind>(id >> kind_shift); }
+    static int slot_of(Id id) { return id & ((1 << kind_shift) - 1); }
+
+    struct GaugeCell {
+        std::uint64_t seq = 0;  ///< global set() order; merge keeps max
+        double value = 0;
+    };
+    struct HistCell {
+        std::vector<double> samples;  ///< stride-decimated reservoir
+        std::int64_t stride = 1;
+        std::int64_t count = 0;  ///< exact, including decimated samples
+        double sum = 0;
+        double max = 0;
+        bool any = false;
+    };
+    struct alignas(64) Shard {
+        int index = 0;  ///< registration order (required by PerThreadShards)
+        mutable std::mutex mutex;
+        std::vector<std::int64_t> counters;
+        std::vector<GaugeCell> gauges;
+        std::vector<HistCell> histograms;
+    };
+
+    Id register_metric(const std::string& name, Kind kind);
+
+    mutable std::mutex names_mutex_;
+    std::vector<std::string> counter_names_;
+    std::vector<std::string> gauge_names_;
+    std::vector<std::string> histogram_names_;
+    std::atomic<std::uint64_t> gauge_seq_{0};
+    PerThreadShards<Shard> shards_;
+};
+
+}  // namespace bsis::obs

@@ -1,0 +1,27 @@
+#include "obs/telemetry.hpp"
+
+namespace bsis::obs {
+
+void set_metrics_enabled(bool on)
+{
+    detail::g_metrics_enabled.store(on, std::memory_order_relaxed);
+}
+
+void set_trace_enabled(bool on)
+{
+    detail::g_trace_enabled.store(on, std::memory_order_relaxed);
+}
+
+MetricsRegistry& metrics()
+{
+    static MetricsRegistry registry;
+    return registry;
+}
+
+TraceSession& trace()
+{
+    static TraceSession session;
+    return session;
+}
+
+}  // namespace bsis::obs

@@ -1,0 +1,87 @@
+// Process-wide telemetry switchboard.
+//
+// The solver hot paths are compiled with telemetry unconditionally present
+// but record nothing unless enabled: every record site is gated by an
+// inlined relaxed atomic load (`metrics_enabled()` / `trace_enabled()`),
+// so the disabled cost is one predictable branch -- verified by the
+// bench_regression overhead gate. The global MetricsRegistry and
+// TraceSession singletons live for the process; examples and apps flip the
+// flags from `--metrics-json=` / `--trace=` CLI options.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace bsis::obs {
+
+namespace detail {
+inline std::atomic<bool> g_metrics_enabled{false};
+inline std::atomic<bool> g_trace_enabled{false};
+}  // namespace detail
+
+inline bool metrics_enabled()
+{
+    return detail::g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+inline bool trace_enabled()
+{
+    return detail::g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+/// True when any telemetry sink is on (cheap pre-check for sites that
+/// would otherwise compute a value just to record it).
+inline bool enabled() { return metrics_enabled() || trace_enabled(); }
+
+void set_metrics_enabled(bool on);
+void set_trace_enabled(bool on);
+
+/// The process-wide registries. Construction is thread-safe; recording
+/// into them is only meaningful while the matching flag is on.
+MetricsRegistry& metrics();
+TraceSession& trace();
+
+/// RAII span against the global TraceSession; no-op when tracing is off
+/// at construction time (the end is driven by the same decision, so a
+/// flag flip mid-span cannot unbalance the per-thread stack).
+class ScopedSpan {
+public:
+    explicit ScopedSpan(const char* name, const char* cat = "solver",
+                        std::int64_t arg = -1)
+    {
+        if (trace_enabled()) {
+            active_ = true;
+            trace().begin(name, cat, arg);
+        }
+    }
+
+    ScopedSpan(const ScopedSpan&) = delete;
+    ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+    ~ScopedSpan()
+    {
+        if (active_) {
+            trace().end();
+        }
+    }
+
+private:
+    bool active_ = false;
+};
+
+/// Runs `f` under a span named `name` (category "kernel"). The span form
+/// the solver kernels use to tag one phase -- an SpMV sweep, a reduction,
+/// a fused vector update -- without restructuring the kernel body; when
+/// tracing is off this compiles down to the call plus one relaxed load.
+template <typename F>
+inline decltype(auto) traced(const char* name, F&& f)
+{
+    ScopedSpan span(name, "kernel");
+    return std::forward<F>(f)();
+}
+
+}  // namespace bsis::obs

@@ -1,0 +1,153 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+namespace bsis::obs {
+
+TraceSession::TraceSession() : epoch_(std::chrono::steady_clock::now()) {}
+
+double TraceSession::now_us() const
+{
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+}
+
+void TraceSession::begin(const char* name, const char* cat, std::int64_t arg)
+{
+    auto& shard = shards_.local();
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.stack.push_back({name, cat, now_us(), arg});
+}
+
+void TraceSession::end()
+{
+    auto& shard = shards_.local();
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    if (shard.stack.empty()) {
+        return;  // unmatched end(): ignore rather than corrupt the stack
+    }
+    const OpenSpan span = shard.stack.back();
+    shard.stack.pop_back();
+    TraceEvent event;
+    event.name = span.name;
+    event.cat = span.cat;
+    event.ts_us = span.ts_us;
+    event.dur_us = now_us() - span.ts_us;
+    event.pid = host_pid;
+    event.tid = shard.index;
+    event.arg = span.arg;
+    push_event(shard, event);
+}
+
+void TraceSession::emit_complete(const char* name, const char* cat, int pid,
+                                 int tid, double ts_us, double dur_us,
+                                 std::int64_t arg)
+{
+    auto& shard = shards_.local();
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    push_event(shard, {name, cat, ts_us, dur_us, pid, tid, arg});
+}
+
+void TraceSession::push_event(Shard& shard, const TraceEvent& event)
+{
+    if (shard.events.size() >=
+        shard_capacity_.load(std::memory_order_relaxed)) {
+        dropped_.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+    shard.events.push_back(event);
+}
+
+void TraceSession::clear()
+{
+    shards_.for_each([](Shard& shard) {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        shard.events.clear();
+        shard.stack.clear();
+    });
+    dropped_.store(0, std::memory_order_relaxed);
+    epoch_ = std::chrono::steady_clock::now();
+}
+
+void TraceSession::set_shard_capacity(std::size_t max_events)
+{
+    shard_capacity_.store(max_events, std::memory_order_relaxed);
+}
+
+std::vector<TraceEvent> TraceSession::snapshot() const
+{
+    std::vector<TraceEvent> events;
+    shards_.for_each([&](const Shard& shard) {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        events.insert(events.end(), shard.events.begin(),
+                      shard.events.end());
+    });
+    return events;
+}
+
+namespace {
+
+void append_escaped(std::ostringstream& os, const char* s)
+{
+    for (; *s != '\0'; ++s) {
+        if (*s == '"' || *s == '\\') {
+            os << '\\';
+        }
+        os << *s;
+    }
+}
+
+}  // namespace
+
+std::string TraceSession::chrome_trace_json() const
+{
+    auto events = snapshot();
+    std::stable_sort(events.begin(), events.end(),
+                     [](const TraceEvent& a, const TraceEvent& b) {
+                         if (a.pid != b.pid) {
+                             return a.pid < b.pid;
+                         }
+                         if (a.tid != b.tid) {
+                             return a.tid < b.tid;
+                         }
+                         if (a.ts_us != b.ts_us) {
+                             return a.ts_us < b.ts_us;
+                         }
+                         // Ties: the longer span is the enclosing one.
+                         return a.dur_us > b.dur_us;
+                     });
+    std::ostringstream os;
+    os.precision(12);
+    os << "{\"traceEvents\": [";
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        const auto& e = events[i];
+        os << (i == 0 ? "\n" : ",\n") << "  {\"name\": \"";
+        append_escaped(os, e.name);
+        os << "\", \"cat\": \"";
+        append_escaped(os, e.cat);
+        os << "\", \"ph\": \"X\", \"ts\": " << e.ts_us
+           << ", \"dur\": " << e.dur_us << ", \"pid\": " << e.pid
+           << ", \"tid\": " << e.tid;
+        if (e.arg >= 0) {
+            os << ", \"args\": {\"id\": " << e.arg << "}";
+        }
+        os << "}";
+    }
+    os << "\n], \"displayTimeUnit\": \"ms\"}\n";
+    return os.str();
+}
+
+bool TraceSession::write_chrome_trace(const std::string& path) const
+{
+    std::ofstream out(path);
+    if (!out) {
+        return false;
+    }
+    out << chrome_trace_json();
+    return static_cast<bool>(out);
+}
+
+}  // namespace bsis::obs

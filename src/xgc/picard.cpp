@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "blas/kernels.hpp"
+#include "obs/telemetry.hpp"
 #include "util/error.hpp"
 
 namespace bsis::xgc {
@@ -41,6 +42,8 @@ PicardReport implicit_collision_step(CollisionWorkload& workload,
     BSIS_ENSURE_ARG(settings.dt > 0, "time step must be positive");
 
     const size_type nsys = workload.num_systems();
+    obs::ScopedSpan step_span("picard_step", "xgc",
+                              static_cast<std::int64_t>(nsys));
     const index_type n = workload.grid().rows();
 
     // f^n (right-hand side of every linear solve in this step).
@@ -68,23 +71,28 @@ PicardReport implicit_collision_step(CollisionWorkload& workload,
 
     std::vector<real_type> residual(static_cast<std::size_t>(n));
     for (int k = 0; k < settings.num_iterations; ++k) {
-        workload.assemble_batch(x, f_n, settings.dt, a);
+        obs::ScopedSpan iter_span("picard_iteration", "xgc", k);
+        obs::traced("assemble_batch", [&] {
+            workload.assemble_batch(x, f_n, settings.dt, a);
+        });
 
         // True nonlinear residual ||f^n - A(x) x|| / ||f^n||: the honest
         // fixed-point convergence measure. (Monitoring only the change of
         // the iterate would be fooled by a loose linear solver whose
         // warm-started solves no-op.)
         real_type res = 0;
-        for (size_type sys = 0; sys < nsys; ++sys) {
-            spmv(a.entry(sys), ConstVecView<real_type>(x.entry(sys)),
-                 VecView<real_type>{residual.data(), n});
-            const auto bv = f_n.entry(sys);
-            for (index_type i = 0; i < n; ++i) {
-                const real_type d =
-                    bv[i] - residual[static_cast<std::size_t>(i)];
-                res += d * d;
+        obs::traced("nonlinear_residual", [&] {
+            for (size_type sys = 0; sys < nsys; ++sys) {
+                spmv(a.entry(sys), ConstVecView<real_type>(x.entry(sys)),
+                     VecView<real_type>{residual.data(), n});
+                const auto bv = f_n.entry(sys);
+                for (index_type i = 0; i < n; ++i) {
+                    const real_type d =
+                        bv[i] - residual[static_cast<std::size_t>(i)];
+                    res += d * d;
+                }
             }
-        }
+        });
         report.nonlinear_change =
             std::sqrt(res) / std::max(f_n_norm, real_type{1e-30});
         if (settings.nonlinear_tol > 0 && k > 0 &&
@@ -127,6 +135,15 @@ PicardReport implicit_collision_step(CollisionWorkload& workload,
             targets[static_cast<std::size_t>(sys)], after));
     }
     workload.distributions() = x;
+    if (obs::metrics_enabled()) {
+        auto& m = obs::metrics();
+        m.add_named("xgc.picard_steps");
+        m.add_named("xgc.picard_iterations", report.picard_iterations);
+        m.set_named("xgc.nonlinear_residual",
+                    static_cast<double>(report.nonlinear_change));
+        m.set_named("xgc.max_conservation_error",
+                    static_cast<double>(report.max_conservation_error()));
+    }
     return report;
 }
 

@@ -299,6 +299,67 @@ TEST(BatchLogTest, AggregatesAreConsistent)
     EXPECT_FALSE(log.all_converged());
 }
 
+TEST(BatchLogTest, AllConvergedIsVacuouslyTrueForEmptyBatch)
+{
+    // "No system failed to converge" -- matches the executors' empty
+    // early-return, which also reports success.
+    EXPECT_TRUE(BatchLog{}.all_converged());
+    EXPECT_TRUE(BatchLog(0).all_converged());
+    BatchLog one(1);
+    EXPECT_FALSE(one.all_converged());  // default-recorded as unconverged
+}
+
+TEST(BatchLogStageTest, MergesOutOfOrderRecordsToTheRightSystems)
+{
+    // Threads finish systems in arbitrary order; the merge must land
+    // every staged record at its own system index regardless.
+    BatchLogStage stage(3);
+    stage.record(2, 4, 40, 4e-11, true);
+    stage.record(0, 1, 10, 1e-11, true);
+    stage.record(1, 3, 30, 3e-11, false);
+    stage.record(2, 0, 5, 5e-12, true);
+    stage.record(0, 2, 20, 2e-11, true);
+
+    BatchLog log(5);
+    stage.merge_into(log);
+    EXPECT_EQ(log.iterations(0), 5);
+    EXPECT_EQ(log.iterations(1), 10);
+    EXPECT_EQ(log.iterations(2), 20);
+    EXPECT_EQ(log.iterations(3), 30);
+    EXPECT_EQ(log.iterations(4), 40);
+    EXPECT_FALSE(log.converged(3));
+    EXPECT_TRUE(log.converged(0) && log.converged(1) && log.converged(2) &&
+                log.converged(4));
+    EXPECT_NEAR(log.residual_norm(4), 4e-11, 1e-20);
+}
+
+TEST(BatchLogStageTest, DuplicateRecordsLastWriteWins)
+{
+    // Within a thread, a later record of the same system supersedes the
+    // earlier one; across threads, the higher thread index merges later.
+    BatchLogStage stage(2);
+    stage.record(0, 0, 3, 1e-3, false);
+    stage.record(0, 0, 7, 1e-11, true);  // same thread, later record
+    stage.record(0, 1, 9, 2e-11, true);
+    stage.record(1, 1, 11, 5e-12, true);  // later thread wins on merge
+
+    BatchLog log(2);
+    stage.merge_into(log);
+    EXPECT_EQ(log.iterations(0), 7);
+    EXPECT_TRUE(log.converged(0));
+    EXPECT_NEAR(log.residual_norm(0), 1e-11, 1e-20);
+    EXPECT_EQ(log.iterations(1), 11);
+    EXPECT_NEAR(log.residual_norm(1), 5e-12, 1e-20);
+}
+
+TEST(BatchLogStageTest, ThreadBuffersAreCacheLineAligned)
+{
+    // The whole point of the stage is that neighbouring threads' buffers
+    // never share a cache line.
+    EXPECT_GE(BatchLogStage::buffer_alignment, 64u);
+    EXPECT_EQ(BatchLogStage::buffer_alignment % 64u, 0u);
+}
+
 TEST(Monolithic, SolvesAllSystemsOfTheBatch)
 {
     auto p = Problem::make(4);
