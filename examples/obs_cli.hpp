@@ -4,6 +4,10 @@
 //                        ui.perfetto.dev)
 //   --metrics-json=FILE  metrics registry on; JSON snapshot written to
 //                        FILE at exit
+//   --capture-failures=DIR  arm the flight recorder: every non-converged
+//                        system of an armed solve is dumped as a replay
+//                        bundle (A.mtx, b.mtx, x0.mtx, meta.json) under
+//                        DIR, up to a bounded budget
 //
 // Construct an ObsCli early in main with argc/argv: it consumes the
 // recognized flags (compacting argv so positional parsing downstream is
@@ -15,8 +19,10 @@
 
 #include <cstring>
 #include <iostream>
+#include <memory>
 #include <string>
 
+#include "obs/flight_recorder.hpp"
 #include "obs/telemetry.hpp"
 
 namespace bsis::examples {
@@ -31,6 +37,10 @@ public:
                 trace_path_ = argv[i] + 8;
             } else if (std::strncmp(argv[i], "--metrics-json=", 15) == 0) {
                 metrics_path_ = argv[i] + 15;
+            } else if (std::strncmp(argv[i], "--capture-failures=", 19) ==
+                       0) {
+                recorder_ =
+                    std::make_unique<obs::FlightRecorder>(argv[i] + 19);
             } else {
                 argv[out++] = argv[i];
             }
@@ -54,6 +64,10 @@ public:
     {
         return !trace_path_.empty() || !metrics_path_.empty();
     }
+
+    /// The armed flight recorder, or nullptr when --capture-failures was
+    /// not given. Assign to SolverSettings::flight_recorder.
+    obs::FlightRecorder* recorder() const { return recorder_.get(); }
 
     /// Writes the requested artifacts and disables telemetry again.
     /// Idempotent; the destructor calls it for the common case.
@@ -82,11 +96,19 @@ public:
             }
             metrics_path_.clear();
         }
+        if (recorder_ != nullptr) {
+            std::cout << "[obs] flight recorder: " << recorder_->captured()
+                      << " of " << recorder_->seen()
+                      << " failed systems captured under "
+                      << recorder_->directory() << '\n';
+            recorder_.reset();
+        }
     }
 
 private:
     std::string trace_path_;
     std::string metrics_path_;
+    std::unique_ptr<obs::FlightRecorder> recorder_;
 };
 
 }  // namespace bsis::examples

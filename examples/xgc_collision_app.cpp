@@ -12,7 +12,9 @@
 // all three execution paths (scalar, lockstep width 8, simulated GPU) so
 // the Chrome trace shows them side by side; --metrics-json=FILE dumps
 // the metrics registry (solve counters, iteration histograms, gpusim
-// profiler counters) at exit.
+// profiler counters) at exit; --capture-failures=DIR arms the flight
+// recorder so every non-converged linear system is dumped as a replay
+// bundle for tools/replay_entry.
 #include <cmath>
 #include <cstdlib>
 #include <iostream>
@@ -47,6 +49,7 @@ int main(int argc, char** argv)
     solver.precond = PrecondType::jacobi;
     solver.tolerance = 1e-10;
     solver.max_iterations = 500;
+    solver.flight_recorder = obs_cli.recorder();
 
     PicardSettings picard;  // dt, 5 iterations, warm start, moment fix
 

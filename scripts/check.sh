@@ -23,6 +23,18 @@ ctest --test-dir "$BUILD_DIR" -L sanitizer --output-on-failure
 echo "== observability test tier =="
 ctest --test-dir "$BUILD_DIR" -L obs --output-on-failure
 
+# Forensics: the failure taxonomy, cross-path classification agreement,
+# the flight recorder, and bundle replay -- plus the replay tool's own
+# end-to-end loop (force a breakdown, capture the bundle, replay it
+# through all three execution paths).
+echo "== forensics test tier =="
+ctest --test-dir "$BUILD_DIR" -L forensics --output-on-failure
+echo "-- replay_entry --selftest"
+FORENSICS_DIR=$(mktemp -d)
+trap 'rm -rf "$FORENSICS_DIR"' EXIT
+"$BUILD_DIR/tools/replay_entry" --selftest "$FORENSICS_DIR/bundles" \
+    > /dev/null
+
 # The perf smoke run also covers the SIMD batch-lockstep rows
 # (lockstep4/lockstep8) and cross-checks them against the scalar path
 # per entry; the full-size lockstep-vs-scalar speedup gate only runs in

@@ -10,9 +10,11 @@
 #pragma once
 
 #include <cmath>
+#include <vector>
 
 #include "blas/kernels.hpp"
 #include "core/workspace.hpp"
+#include "obs/telemetry.hpp"
 #include "util/types.hpp"
 
 namespace bsis {
@@ -20,11 +22,14 @@ namespace bsis {
 /// Scratch vectors: r, r_hat, z, z_hat, p, p_hat, q, q_hat.
 inline constexpr int bicg_work_vectors = 8;
 
+/// `history`, when non-null, receives the residual norm at the top of
+/// every iteration (same contract as `bicgstab_kernel`).
 template <typename MatrixView, typename Prec, typename Stop>
 EntryResult bicg_kernel(const MatrixView& a, ConstVecView<real_type> b,
                         VecView<real_type> x, const Prec& prec,
                         const Stop& stop, int max_iters, Workspace& ws,
-                        int work_offset = 0)
+                        int work_offset = 0,
+                        std::vector<real_type>* history = nullptr)
 {
     auto r = ws.slot(work_offset + 0);
     auto r_hat = ws.slot(work_offset + 1);
@@ -37,48 +42,83 @@ EntryResult bicg_kernel(const MatrixView& a, ConstVecView<real_type> b,
 
     const real_type b_norm = blas::nrm2(b);
 
-    spmv(a, ConstVecView<real_type>(x), r);
+    obs::traced("spmv", [&] { spmv(a, ConstVecView<real_type>(x), r); });
     blas::axpby(real_type{1}, b, real_type{-1}, r);
     blas::copy(ConstVecView<real_type>(r), r_hat);
-    real_type r_norm = blas::nrm2(ConstVecView<real_type>(r));
+    real_type r_norm = obs::traced(
+        "reduction", [&] { return blas::nrm2(ConstVecView<real_type>(r)); });
+    const real_type r0 = r_norm;
 
-    prec.apply(ConstVecView<real_type>(r), z);
-    prec.apply(ConstVecView<real_type>(r_hat), z_hat);  // M symmetric
+    obs::traced("precond_apply", [&] {
+        prec.apply(ConstVecView<real_type>(r), z);
+        prec.apply(ConstVecView<real_type>(r_hat), z_hat);  // M symmetric
+    });
     blas::copy(ConstVecView<real_type>(z), p);
     blas::copy(ConstVecView<real_type>(z_hat), p_hat);
-    real_type rho = blas::dot(ConstVecView<real_type>(z),
-                              ConstVecView<real_type>(r_hat));
+    real_type rho = obs::traced("reduction", [&] {
+        return blas::dot(ConstVecView<real_type>(z),
+                         ConstVecView<real_type>(r_hat));
+    });
 
+    if (history != nullptr) {
+        history->clear();
+        history->push_back(r_norm);
+    }
     for (int iter = 0; iter < max_iters; ++iter) {
         if (stop.done(r_norm, b_norm)) {
-            return {iter, r_norm, true};
+            return {iter, r_norm, true, FailureClass::converged};
+        }
+        if (!std::isfinite(r_norm)) {
+            return {iter, r_norm, false, FailureClass::non_finite};
         }
         if (rho == real_type{0}) {
-            return {iter, r_norm, false};
+            return {iter, r_norm, false, FailureClass::breakdown_rho};
         }
-        spmv(a, ConstVecView<real_type>(p), q);
-        spmv_transpose(a, ConstVecView<real_type>(p_hat), q_hat);
-        const real_type pq = blas::dot(ConstVecView<real_type>(p_hat),
-                                       ConstVecView<real_type>(q));
+        obs::traced("spmv", [&] {
+            spmv(a, ConstVecView<real_type>(p), q);
+            spmv_transpose(a, ConstVecView<real_type>(p_hat), q_hat);
+        });
+        const real_type pq = obs::traced("reduction", [&] {
+            return blas::dot(ConstVecView<real_type>(p_hat),
+                             ConstVecView<real_type>(q));
+        });
         if (pq == real_type{0}) {
-            return {iter, r_norm, false};
+            // alpha = rho / pq undefined: rho-side breakdown.
+            return {iter, r_norm, false, FailureClass::breakdown_rho};
         }
         const real_type alpha = rho / pq;
         blas::axpy(alpha, ConstVecView<real_type>(p), x);
         // r -= alpha * q fused with ||r||; shadow residual in a plain axpy.
-        r_norm = blas::axpy_nrm2(-alpha, ConstVecView<real_type>(q), r);
-        blas::axpy(-alpha, ConstVecView<real_type>(q_hat), r_hat);
-        prec.apply(ConstVecView<real_type>(r), z);
-        prec.apply(ConstVecView<real_type>(r_hat), z_hat);
-        const real_type rho_new = blas::dot(ConstVecView<real_type>(z),
-                                            ConstVecView<real_type>(r_hat));
+        r_norm = obs::traced("update", [&] {
+            const real_type rn =
+                blas::axpy_nrm2(-alpha, ConstVecView<real_type>(q), r);
+            blas::axpy(-alpha, ConstVecView<real_type>(q_hat), r_hat);
+            return rn;
+        });
+        obs::traced("precond_apply", [&] {
+            prec.apply(ConstVecView<real_type>(r), z);
+            prec.apply(ConstVecView<real_type>(r_hat), z_hat);
+        });
+        const real_type rho_new = obs::traced("reduction", [&] {
+            return blas::dot(ConstVecView<real_type>(z),
+                             ConstVecView<real_type>(r_hat));
+        });
         const real_type beta = rho_new / rho;
         // Primal/shadow direction updates share their scalars: one loop.
-        blas::axpby2(real_type{1}, ConstVecView<real_type>(z),
-                     ConstVecView<real_type>(z_hat), beta, p, p_hat);
+        obs::traced("update", [&] {
+            blas::axpby2(real_type{1}, ConstVecView<real_type>(z),
+                         ConstVecView<real_type>(z_hat), beta, p, p_hat);
+        });
         rho = rho_new;
+        if (history != nullptr) {
+            history->push_back(r_norm);
+        }
     }
-    return {max_iters, r_norm, stop.done(r_norm, b_norm)};
+    {
+        const bool done = stop.done(r_norm, b_norm);
+        return {max_iters, r_norm, done,
+                classify_exhausted(r_norm, r0, done)};
+    }
 }
 
 }  // namespace bsis

@@ -67,6 +67,7 @@ EntryResult bicgstab_kernel(const MatrixView& a, ConstVecView<real_type> b,
     blas::fill(p, real_type{0});
     blas::fill(v, real_type{0});
 
+    const real_type r0 = r_norm;
     real_type rho_old = 1;
     real_type omega = 1;
     real_type alpha = 1;
@@ -77,7 +78,13 @@ EntryResult bicgstab_kernel(const MatrixView& a, ConstVecView<real_type> b,
     }
     for (int iter = 0; iter < max_iters; ++iter) {
         if (stop.done(r_norm, b_norm)) {
-            return {iter, r_norm, true};
+            return {iter, r_norm, true, FailureClass::converged};
+        }
+        if (!std::isfinite(r_norm)) {
+            // Poisoned operands (NaN/Inf in A, b, or the guess) can never
+            // converge: abandon the system promptly instead of spinning to
+            // the iteration limit.
+            return {iter, r_norm, false, FailureClass::non_finite};
         }
         const real_type rho = obs::traced("reduction", [&] {
             return blas::dot(ConstVecView<real_type>(r),
@@ -85,7 +92,9 @@ EntryResult bicgstab_kernel(const MatrixView& a, ConstVecView<real_type> b,
         });
         if (rho == real_type{0} || omega == real_type{0}) {
             // Serious breakdown: the Krylov space cannot be extended.
-            return {iter, r_norm, false};
+            return {iter, r_norm, false,
+                    rho == real_type{0} ? FailureClass::breakdown_rho
+                                        : FailureClass::breakdown_omega};
         }
         const real_type beta = (rho / rho_old) * (alpha / omega);
         // p = r + beta * (p - omega * v) in ONE sweep.
@@ -103,7 +112,8 @@ EntryResult bicgstab_kernel(const MatrixView& a, ConstVecView<real_type> b,
                              ConstVecView<real_type>(v));
         });
         if (r_hat_v == real_type{0}) {
-            return {iter, r_norm, false};
+            // alpha = rho / r_hat.v is undefined: rho-side breakdown.
+            return {iter, r_norm, false, FailureClass::breakdown_rho};
         }
         alpha = rho / r_hat_v;
         // s = r - alpha * v fused with ||s||.
@@ -114,7 +124,7 @@ EntryResult bicgstab_kernel(const MatrixView& a, ConstVecView<real_type> b,
         });
         if (stop.done(s_norm, b_norm)) {
             blas::axpy(alpha, ConstVecView<real_type>(p_hat), x);
-            return {iter + 1, s_norm, true};
+            return {iter + 1, s_norm, true, FailureClass::converged};
         }
         obs::traced("precond_apply",
                     [&] { prec.apply(ConstVecView<real_type>(s), s_hat); });
@@ -130,7 +140,10 @@ EntryResult bicgstab_kernel(const MatrixView& a, ConstVecView<real_type> b,
         if (t_t == real_type{0}) {
             blas::axpy(alpha, ConstVecView<real_type>(p_hat), x);
             r_norm = s_norm;
-            return {iter + 1, r_norm, stop.done(r_norm, b_norm)};
+            const bool done = stop.done(r_norm, b_norm);
+            return {iter + 1, r_norm, done,
+                    done ? FailureClass::converged
+                         : FailureClass::breakdown_omega};
         }
         omega = t_s / t_t;
         // x = x + alpha * p_hat + omega * s_hat in ONE sweep.
@@ -149,7 +162,11 @@ EntryResult bicgstab_kernel(const MatrixView& a, ConstVecView<real_type> b,
             history->push_back(r_norm);
         }
     }
-    return {max_iters, r_norm, stop.done(r_norm, b_norm)};
+    {
+        const bool done = stop.done(r_norm, b_norm);
+        return {max_iters, r_norm, done,
+                classify_exhausted(r_norm, r0, done)};
+    }
 }
 
 /// Reference BiCGStab on the unfused one-sweep-per-BLAS-call composition.
@@ -186,6 +203,7 @@ EntryResult bicgstab_kernel_unfused(
     real_type alpha = 1;
     real_type r_norm = obs::traced(
         "reduction", [&] { return blas::nrm2(ConstVecView<real_type>(r)); });
+    const real_type r0 = r_norm;
 
     if (history != nullptr) {
         history->clear();
@@ -193,13 +211,18 @@ EntryResult bicgstab_kernel_unfused(
     }
     for (int iter = 0; iter < max_iters; ++iter) {
         if (stop.done(r_norm, b_norm)) {
-            return {iter, r_norm, true};
+            return {iter, r_norm, true, FailureClass::converged};
+        }
+        if (!std::isfinite(r_norm)) {
+            return {iter, r_norm, false, FailureClass::non_finite};
         }
         const real_type rho =
             blas::dot(ConstVecView<real_type>(r), ConstVecView<real_type>(r_hat));
         if (rho == real_type{0} || omega == real_type{0}) {
             // Serious breakdown: the Krylov space cannot be extended.
-            return {iter, r_norm, false};
+            return {iter, r_norm, false,
+                    rho == real_type{0} ? FailureClass::breakdown_rho
+                                        : FailureClass::breakdown_omega};
         }
         const real_type beta = (rho / rho_old) * (alpha / omega);
         // p = r + beta * (p - omega * v)
@@ -216,7 +239,7 @@ EntryResult bicgstab_kernel_unfused(
                              ConstVecView<real_type>(v));
         });
         if (r_hat_v == real_type{0}) {
-            return {iter, r_norm, false};
+            return {iter, r_norm, false, FailureClass::breakdown_rho};
         }
         alpha = rho / r_hat_v;
         // s = r - alpha * v
@@ -229,7 +252,7 @@ EntryResult bicgstab_kernel_unfused(
         });
         if (stop.done(s_norm, b_norm)) {
             blas::axpy(alpha, ConstVecView<real_type>(p_hat), x);
-            return {iter + 1, s_norm, true};
+            return {iter + 1, s_norm, true, FailureClass::converged};
         }
         obs::traced("precond_apply",
                     [&] { prec.apply(ConstVecView<real_type>(s), s_hat); });
@@ -246,7 +269,10 @@ EntryResult bicgstab_kernel_unfused(
         if (t_t == real_type{0}) {
             blas::axpy(alpha, ConstVecView<real_type>(p_hat), x);
             r_norm = s_norm;
-            return {iter + 1, r_norm, stop.done(r_norm, b_norm)};
+            const bool done = stop.done(r_norm, b_norm);
+            return {iter + 1, r_norm, done,
+                    done ? FailureClass::converged
+                         : FailureClass::breakdown_omega};
         }
         omega = t_s / t_t;
         // x = x + alpha * p_hat + omega * s_hat
@@ -267,7 +293,11 @@ EntryResult bicgstab_kernel_unfused(
             history->push_back(r_norm);
         }
     }
-    return {max_iters, r_norm, stop.done(r_norm, b_norm)};
+    {
+        const bool done = stop.done(r_norm, b_norm);
+        return {max_iters, r_norm, done,
+                classify_exhausted(r_norm, r0, done)};
+    }
 }
 
 }  // namespace bsis

@@ -48,6 +48,7 @@ EntryResult cg_kernel(const MatrixView& a, ConstVecView<real_type> b,
         return blas::dot(ConstVecView<real_type>(r),
                          ConstVecView<real_type>(z));
     });
+    const real_type r0 = r_norm;
 
     if (history != nullptr) {
         history->clear();
@@ -55,10 +56,14 @@ EntryResult cg_kernel(const MatrixView& a, ConstVecView<real_type> b,
     }
     for (int iter = 0; iter < max_iters; ++iter) {
         if (stop.done(r_norm, b_norm)) {
-            return {iter, r_norm, true};
+            return {iter, r_norm, true, FailureClass::converged};
+        }
+        if (!std::isfinite(r_norm)) {
+            return {iter, r_norm, false, FailureClass::non_finite};
         }
         if (rz == real_type{0}) {
-            return {iter, r_norm, false};
+            // The search direction collapsed: alpha = rz / pq undefined.
+            return {iter, r_norm, false, FailureClass::breakdown_rho};
         }
         obs::traced("spmv",
                     [&] { spmv(a, ConstVecView<real_type>(p), q); });
@@ -68,7 +73,7 @@ EntryResult cg_kernel(const MatrixView& a, ConstVecView<real_type> b,
         });
         if (pq <= real_type{0}) {
             // Indefinite matrix: CG is not applicable.
-            return {iter, r_norm, false};
+            return {iter, r_norm, false, FailureClass::breakdown_rho};
         }
         const real_type alpha = rz / pq;
         blas::axpy(alpha, ConstVecView<real_type>(p), x);
@@ -91,7 +96,11 @@ EntryResult cg_kernel(const MatrixView& a, ConstVecView<real_type> b,
             history->push_back(r_norm);
         }
     }
-    return {max_iters, r_norm, stop.done(r_norm, b_norm)};
+    {
+        const bool done = stop.done(r_norm, b_norm);
+        return {max_iters, r_norm, done,
+                classify_exhausted(r_norm, r0, done)};
+    }
 }
 
 }  // namespace bsis

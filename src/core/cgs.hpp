@@ -8,9 +8,11 @@
 #pragma once
 
 #include <cmath>
+#include <vector>
 
 #include "blas/kernels.hpp"
 #include "core/workspace.hpp"
+#include "obs/telemetry.hpp"
 #include "util/types.hpp"
 
 namespace bsis {
@@ -18,11 +20,14 @@ namespace bsis {
 /// Scratch vectors: r, r_hat, u, p, q, u_hat, v, t.
 inline constexpr int cgs_work_vectors = 8;
 
+/// `history`, when non-null, receives the residual norm at the top of
+/// every iteration (same contract as `bicgstab_kernel`).
 template <typename MatrixView, typename Prec, typename Stop>
 EntryResult cgs_kernel(const MatrixView& a, ConstVecView<real_type> b,
                        VecView<real_type> x, const Prec& prec,
                        const Stop& stop, int max_iters, Workspace& ws,
-                       int work_offset = 0)
+                       int work_offset = 0,
+                       std::vector<real_type>* history = nullptr)
 {
     auto r = ws.slot(work_offset + 0);
     auto r_hat = ws.slot(work_offset + 1);
@@ -35,55 +40,86 @@ EntryResult cgs_kernel(const MatrixView& a, ConstVecView<real_type> b,
 
     const real_type b_norm = blas::nrm2(b);
 
-    spmv(a, ConstVecView<real_type>(x), r);
+    obs::traced("spmv", [&] { spmv(a, ConstVecView<real_type>(x), r); });
     blas::axpby(real_type{1}, b, real_type{-1}, r);
     blas::copy(ConstVecView<real_type>(r), r_hat);
-    real_type r_norm = blas::nrm2(ConstVecView<real_type>(r));
+    real_type r_norm = obs::traced(
+        "reduction", [&] { return blas::nrm2(ConstVecView<real_type>(r)); });
+    const real_type r0 = r_norm;
     real_type rho_old = 1;
 
+    if (history != nullptr) {
+        history->clear();
+        history->push_back(r_norm);
+    }
     for (int iter = 0; iter < max_iters; ++iter) {
         if (stop.done(r_norm, b_norm)) {
-            return {iter, r_norm, true};
+            return {iter, r_norm, true, FailureClass::converged};
         }
-        const real_type rho = blas::dot(ConstVecView<real_type>(r_hat),
-                                        ConstVecView<real_type>(r));
+        if (!std::isfinite(r_norm)) {
+            return {iter, r_norm, false, FailureClass::non_finite};
+        }
+        const real_type rho = obs::traced("reduction", [&] {
+            return blas::dot(ConstVecView<real_type>(r_hat),
+                             ConstVecView<real_type>(r));
+        });
         if (rho == real_type{0}) {
-            return {iter, r_norm, false};
+            return {iter, r_norm, false, FailureClass::breakdown_rho};
         }
         if (iter == 0) {
             blas::copy(ConstVecView<real_type>(r), u);
             blas::copy(ConstVecView<real_type>(u), p);
         } else {
             const real_type beta = rho / rho_old;
-            // u = r + beta q in one sweep (was copy + axpy).
-            blas::zaxpby(real_type{1}, ConstVecView<real_type>(r), beta,
-                         ConstVecView<real_type>(q), u);
-            // p = u + beta q + beta^2 p in one sweep (was two axpbys).
-            blas::axpbypcz(real_type{1}, ConstVecView<real_type>(u), beta,
-                           ConstVecView<real_type>(q), beta * beta, p);
+            obs::traced("update", [&] {
+                // u = r + beta q in one sweep (was copy + axpy).
+                blas::zaxpby(real_type{1}, ConstVecView<real_type>(r), beta,
+                             ConstVecView<real_type>(q), u);
+                // p = u + beta q + beta^2 p in one sweep (was two axpbys).
+                blas::axpbypcz(real_type{1}, ConstVecView<real_type>(u), beta,
+                               ConstVecView<real_type>(q), beta * beta, p);
+            });
         }
-        prec.apply(ConstVecView<real_type>(p), u_hat);
-        spmv(a, ConstVecView<real_type>(u_hat), v);
-        const real_type sigma = blas::dot(ConstVecView<real_type>(r_hat),
-                                          ConstVecView<real_type>(v));
+        obs::traced("precond_apply",
+                    [&] { prec.apply(ConstVecView<real_type>(p), u_hat); });
+        obs::traced("spmv",
+                    [&] { spmv(a, ConstVecView<real_type>(u_hat), v); });
+        const real_type sigma = obs::traced("reduction", [&] {
+            return blas::dot(ConstVecView<real_type>(r_hat),
+                             ConstVecView<real_type>(v));
+        });
         if (sigma == real_type{0}) {
-            return {iter, r_norm, false};
+            // alpha = rho / sigma undefined: rho-side breakdown.
+            return {iter, r_norm, false, FailureClass::breakdown_rho};
         }
         const real_type alpha = rho / sigma;
-        // q = u - alpha v in one sweep (was copy + axpy).
-        blas::zaxpby(real_type{1}, ConstVecView<real_type>(u), -alpha,
-                     ConstVecView<real_type>(v), q);
-        // u_hat = M^-1 (u + q); x += alpha u_hat; r -= alpha A u_hat
-        blas::zaxpby(real_type{1}, ConstVecView<real_type>(u), real_type{1},
-                     ConstVecView<real_type>(q), t);
-        prec.apply(ConstVecView<real_type>(t), u_hat);
+        obs::traced("update", [&] {
+            // q = u - alpha v in one sweep (was copy + axpy).
+            blas::zaxpby(real_type{1}, ConstVecView<real_type>(u), -alpha,
+                         ConstVecView<real_type>(v), q);
+            // u_hat = M^-1 (u + q); x += alpha u_hat; r -= alpha A u_hat
+            blas::zaxpby(real_type{1}, ConstVecView<real_type>(u),
+                         real_type{1}, ConstVecView<real_type>(q), t);
+        });
+        obs::traced("precond_apply",
+                    [&] { prec.apply(ConstVecView<real_type>(t), u_hat); });
         blas::axpy(alpha, ConstVecView<real_type>(u_hat), x);
-        spmv(a, ConstVecView<real_type>(u_hat), t);
+        obs::traced("spmv",
+                    [&] { spmv(a, ConstVecView<real_type>(u_hat), t); });
         // r -= alpha * t fused with ||r||.
-        r_norm = blas::axpy_nrm2(-alpha, ConstVecView<real_type>(t), r);
+        r_norm = obs::traced("update", [&] {
+            return blas::axpy_nrm2(-alpha, ConstVecView<real_type>(t), r);
+        });
         rho_old = rho;
+        if (history != nullptr) {
+            history->push_back(r_norm);
+        }
     }
-    return {max_iters, r_norm, stop.done(r_norm, b_norm)};
+    {
+        const bool done = stop.done(r_norm, b_norm);
+        return {max_iters, r_norm, done,
+                classify_exhausted(r_norm, r0, done)};
+    }
 }
 
 }  // namespace bsis

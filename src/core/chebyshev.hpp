@@ -9,9 +9,11 @@
 #pragma once
 
 #include <cmath>
+#include <vector>
 
 #include "blas/kernels.hpp"
 #include "core/workspace.hpp"
+#include "obs/telemetry.hpp"
 #include "util/error.hpp"
 #include "util/types.hpp"
 
@@ -72,13 +74,16 @@ ChebyshevBounds gershgorin_bounds(const MatrixView& a, Workspace& ws,
 }
 
 /// Preconditioned Chebyshev iteration; `prec` should be the Jacobi
-/// preconditioner matching the bounds' diagonal scaling.
+/// preconditioner matching the bounds' diagonal scaling. `history`, when
+/// non-null, receives the residual norm at the top of every iteration
+/// (same contract as `bicgstab_kernel`).
 template <typename MatrixView, typename Prec, typename Stop>
 EntryResult chebyshev_kernel(const MatrixView& a, ConstVecView<real_type> b,
                              VecView<real_type> x, const Prec& prec,
                              const Stop& stop, int max_iters,
                              const ChebyshevBounds& bounds, Workspace& ws,
-                             int work_offset = 0)
+                             int work_offset = 0,
+                             std::vector<real_type>* history = nullptr)
 {
     BSIS_ENSURE_ARG(bounds.eig_min > 0 &&
                         bounds.eig_max >= bounds.eig_min,
@@ -92,16 +97,26 @@ EntryResult chebyshev_kernel(const MatrixView& a, ConstVecView<real_type> b,
     const real_type delta = (bounds.eig_max - bounds.eig_min) / 2;
     const real_type b_norm = blas::nrm2(b);
 
-    spmv(a, ConstVecView<real_type>(x), r);
+    obs::traced("spmv", [&] { spmv(a, ConstVecView<real_type>(x), r); });
     blas::axpby(real_type{1}, b, real_type{-1}, r);
-    real_type r_norm = blas::nrm2(ConstVecView<real_type>(r));
+    real_type r_norm = obs::traced(
+        "reduction", [&] { return blas::nrm2(ConstVecView<real_type>(r)); });
+    const real_type r0 = r_norm;
 
+    if (history != nullptr) {
+        history->clear();
+        history->push_back(r_norm);
+    }
     real_type alpha = 0;
     for (int iter = 0; iter < max_iters; ++iter) {
         if (stop.done(r_norm, b_norm)) {
-            return {iter, r_norm, true};
+            return {iter, r_norm, true, FailureClass::converged};
         }
-        prec.apply(ConstVecView<real_type>(r), z);
+        if (!std::isfinite(r_norm)) {
+            return {iter, r_norm, false, FailureClass::non_finite};
+        }
+        obs::traced("precond_apply",
+                    [&] { prec.apply(ConstVecView<real_type>(r), z); });
         if (iter == 0) {
             blas::copy(ConstVecView<real_type>(z), p);
             alpha = 1 / theta;
@@ -110,14 +125,28 @@ EntryResult chebyshev_kernel(const MatrixView& a, ConstVecView<real_type> b,
                 iter == 1 ? real_type{0.5} * (delta * alpha) * (delta * alpha)
                           : (delta * alpha / 2) * (delta * alpha / 2);
             alpha = 1 / (theta - beta / alpha);
-            blas::axpby(real_type{1}, ConstVecView<real_type>(z), beta, p);
+            obs::traced("update", [&] {
+                blas::axpby(real_type{1}, ConstVecView<real_type>(z), beta,
+                            p);
+            });
         }
         blas::axpy(alpha, ConstVecView<real_type>(p), x);
-        spmv(a, ConstVecView<real_type>(p), q);
-        blas::axpy(-alpha, ConstVecView<real_type>(q), r);
-        r_norm = blas::nrm2(ConstVecView<real_type>(r));
+        obs::traced("spmv",
+                    [&] { spmv(a, ConstVecView<real_type>(p), q); });
+        obs::traced("update",
+                    [&] { blas::axpy(-alpha, ConstVecView<real_type>(q), r); });
+        r_norm = obs::traced("reduction", [&] {
+            return blas::nrm2(ConstVecView<real_type>(r));
+        });
+        if (history != nullptr) {
+            history->push_back(r_norm);
+        }
     }
-    return {max_iters, r_norm, stop.done(r_norm, b_norm)};
+    {
+        const bool done = stop.done(r_norm, b_norm);
+        return {max_iters, r_norm, done,
+                classify_exhausted(r_norm, r0, done)};
+    }
 }
 
 }  // namespace bsis

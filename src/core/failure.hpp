@@ -1,0 +1,103 @@
+// Per-system failure taxonomy (solve forensics).
+//
+// The paper's Listing 1 LogType tells the caller only WHETHER each system
+// of the batch converged; for a production XGC run the outer implicit loop
+// needs to know WHY a solve failed -- a Krylov breakdown calls for a
+// direct-solve retry, a non-finite residual means the physics assembled a
+// poisoned operator, stagnation points at the preconditioner. Every solver
+// kernel classifies its own exit; the class travels through EntryResult,
+// BatchLogStage, and BatchLog to the obs metrics (`solve.fail.*`) and the
+// flight recorder.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <string>
+
+#include "util/types.hpp"
+
+namespace bsis {
+
+/// Why a system's solve ended. `converged` is the success class; all
+/// others describe a failure mode. The breakdown classes split the Krylov
+/// "serious breakdown" by which coefficient became undefined: the
+/// rho-side inner products (rho, the alpha denominator) or the
+/// omega-side ones (omega itself, its t.t denominator).
+enum class FailureClass : std::uint8_t {
+    converged = 0,     ///< stopping criterion met
+    max_iters,         ///< iteration limit hit while still making progress
+    breakdown_rho,     ///< rho-side inner product vanished (Krylov space
+                       ///  cannot be extended / alpha undefined)
+    breakdown_omega,   ///< omega-side coefficient vanished (stabilization
+                       ///  step undefined)
+    stagnated,         ///< iteration limit hit with no residual progress
+    non_finite,        ///< residual became NaN/Inf (poisoned input or
+                       ///  overflow); detected promptly, solve abandoned
+};
+
+inline constexpr int num_failure_classes = 6;
+
+/// Counts per FailureClass, indexed by the enum value.
+using FailureCounts = std::array<std::int64_t, num_failure_classes>;
+
+inline const char* failure_class_name(FailureClass c)
+{
+    switch (c) {
+    case FailureClass::converged:
+        return "converged";
+    case FailureClass::max_iters:
+        return "max_iters";
+    case FailureClass::breakdown_rho:
+        return "breakdown_rho";
+    case FailureClass::breakdown_omega:
+        return "breakdown_omega";
+    case FailureClass::stagnated:
+        return "stagnated";
+    case FailureClass::non_finite:
+        return "non_finite";
+    }
+    return "unknown";
+}
+
+/// Inverse of failure_class_name; returns false when `name` matches no
+/// class (out param untouched). Used by the bundle replay path.
+inline bool failure_class_from_name(const std::string& name,
+                                    FailureClass& out)
+{
+    for (int i = 0; i < num_failure_classes; ++i) {
+        const auto c = static_cast<FailureClass>(i);
+        if (name == failure_class_name(c)) {
+            out = c;
+            return true;
+        }
+    }
+    return false;
+}
+
+/// A solve that exhausts its iteration budget is `stagnated` rather than
+/// `max_iters` when the final residual kept at least this fraction of the
+/// initial residual -- i.e. the whole run bought less than 1% reduction.
+/// Classification only; the exit point of the solve is unchanged, so the
+/// numerical results stay bit-identical across paths.
+inline constexpr real_type stagnation_threshold = real_type{0.99};
+
+/// Classifies an iteration-limit exit from the final residual norm and the
+/// initial residual norm `r0`. All kernels and all three execution paths
+/// share this rule, so a system classifies identically wherever it runs.
+inline FailureClass classify_exhausted(real_type r_norm, real_type r0,
+                                       bool converged)
+{
+    if (converged) {
+        return FailureClass::converged;
+    }
+    if (!std::isfinite(r_norm)) {
+        return FailureClass::non_finite;
+    }
+    if (!(r_norm < stagnation_threshold * r0)) {
+        return FailureClass::stagnated;
+    }
+    return FailureClass::max_iters;
+}
+
+}  // namespace bsis

@@ -10,6 +10,7 @@
 
 #include "blas/kernels.hpp"
 #include "core/workspace.hpp"
+#include "obs/telemetry.hpp"
 #include "util/error.hpp"
 #include "util/types.hpp"
 
@@ -41,12 +42,17 @@ struct GmresScratch {
     }
 };
 
+/// `history`, when non-null, receives the initial residual norm plus the
+/// Givens residual estimate |g[j+1]| after every inner iteration (the
+/// per-iteration convergence signal GMRES actually steers by; the true
+/// residual is only recomputed at restarts).
 template <typename MatrixView, typename Prec, typename Stop>
 EntryResult gmres_kernel(const MatrixView& a, ConstVecView<real_type> b,
                          VecView<real_type> x, const Prec& prec,
                          const Stop& stop, int max_iters, int restart,
                          Workspace& ws, GmresScratch& scratch,
-                         int work_offset = 0)
+                         int work_offset = 0,
+                         std::vector<real_type>* history = nullptr)
 {
     BSIS_ENSURE_ARG(restart >= 1, "restart must be >= 1");
     auto w = ws.slot(work_offset + 0);
@@ -68,16 +74,25 @@ EntryResult gmres_kernel(const MatrixView& a, ConstVecView<real_type> b,
     const real_type b_norm = blas::nrm2(b);
     int total_iters = 0;
 
-    spmv(a, ConstVecView<real_type>(x), r);
+    obs::traced("spmv", [&] { spmv(a, ConstVecView<real_type>(x), r); });
     blas::axpby(real_type{1}, b, real_type{-1}, r);
-    real_type beta = blas::nrm2(ConstVecView<real_type>(r));
+    real_type beta = obs::traced(
+        "reduction", [&] { return blas::nrm2(ConstVecView<real_type>(r)); });
+    const real_type r0 = beta;
 
+    if (history != nullptr) {
+        history->clear();
+        history->push_back(beta);
+    }
     while (total_iters < max_iters) {
         if (stop.done(beta, b_norm)) {
-            return {total_iters, beta, true};
+            return {total_iters, beta, true, FailureClass::converged};
+        }
+        if (!std::isfinite(beta)) {
+            return {total_iters, beta, false, FailureClass::non_finite};
         }
         if (beta == real_type{0}) {
-            return {total_iters, beta, true};
+            return {total_iters, beta, true, FailureClass::converged};
         }
         // v_0 = r / beta
         blas::copy(ConstVecView<real_type>(r), basis(0));
@@ -88,17 +103,24 @@ EntryResult gmres_kernel(const MatrixView& a, ConstVecView<real_type> b,
         int j = 0;
         bool happy = false;
         for (; j < restart && total_iters < max_iters; ++j) {
-            prec.apply(ConstVecView<real_type>(basis(j)), z);
-            spmv(a, ConstVecView<real_type>(z), w);
+            obs::traced("precond_apply", [&] {
+                prec.apply(ConstVecView<real_type>(basis(j)), z);
+            });
+            obs::traced("spmv",
+                        [&] { spmv(a, ConstVecView<real_type>(z), w); });
             // Modified Gram-Schmidt orthogonalization.
-            for (int i = 0; i <= j; ++i) {
-                const real_type hij =
-                    blas::dot(ConstVecView<real_type>(w),
-                              ConstVecView<real_type>(basis(i)));
-                h_at(i, j) = hij;
-                blas::axpy(-hij, ConstVecView<real_type>(basis(i)), w);
-            }
-            const real_type h_next = blas::nrm2(ConstVecView<real_type>(w));
+            obs::traced("reduction", [&] {
+                for (int i = 0; i <= j; ++i) {
+                    const real_type hij =
+                        blas::dot(ConstVecView<real_type>(w),
+                                  ConstVecView<real_type>(basis(i)));
+                    h_at(i, j) = hij;
+                    blas::axpy(-hij, ConstVecView<real_type>(basis(i)), w);
+                }
+            });
+            const real_type h_next = obs::traced("reduction", [&] {
+                return blas::nrm2(ConstVecView<real_type>(w));
+            });
             h_at(j + 1, j) = h_next;
             if (h_next != real_type{0}) {
                 blas::copy(ConstVecView<real_type>(w), basis(j + 1));
@@ -127,6 +149,9 @@ EntryResult gmres_kernel(const MatrixView& a, ConstVecView<real_type> b,
             ++total_iters;
             const real_type res_est =
                 std::abs(g[static_cast<std::size_t>(j) + 1]);
+            if (history != nullptr) {
+                history->push_back(res_est);
+            }
             if (stop.done(res_est, b_norm) || h_next == real_type{0}) {
                 ++j;
                 happy = true;
@@ -142,22 +167,31 @@ EntryResult gmres_kernel(const MatrixView& a, ConstVecView<real_type> b,
             y[static_cast<std::size_t>(i)] = sum / h_at(i, i);
         }
         // x += M^-1 (V y)
-        blas::fill(w, real_type{0});
-        for (int i = 0; i < j; ++i) {
-            blas::axpy(y[static_cast<std::size_t>(i)],
-                       ConstVecView<real_type>(basis(i)), w);
-        }
-        prec.apply(ConstVecView<real_type>(w), z);
+        obs::traced("update", [&] {
+            blas::fill(w, real_type{0});
+            for (int i = 0; i < j; ++i) {
+                blas::axpy(y[static_cast<std::size_t>(i)],
+                           ConstVecView<real_type>(basis(i)), w);
+            }
+        });
+        obs::traced("precond_apply",
+                    [&] { prec.apply(ConstVecView<real_type>(w), z); });
         blas::axpy(real_type{1}, ConstVecView<real_type>(z), x);
         // True residual for the restart / convergence decision.
-        spmv(a, ConstVecView<real_type>(x), r);
+        obs::traced("spmv",
+                    [&] { spmv(a, ConstVecView<real_type>(x), r); });
         blas::axpby(real_type{1}, b, real_type{-1}, r);
-        beta = blas::nrm2(ConstVecView<real_type>(r));
+        beta = obs::traced("reduction", [&] {
+            return blas::nrm2(ConstVecView<real_type>(r));
+        });
         if (happy && stop.done(beta, b_norm)) {
-            return {total_iters, beta, true};
+            return {total_iters, beta, true, FailureClass::converged};
         }
     }
-    return {total_iters, beta, stop.done(beta, b_norm)};
+    {
+        const bool done = stop.done(beta, b_norm);
+        return {total_iters, beta, done, classify_exhausted(beta, r0, done)};
+    }
 }
 
 }  // namespace bsis

@@ -194,6 +194,7 @@ void bicgstab_lockstep(const SourceBatch& a, const EllSlabPattern& pattern,
     real_type act[W] = {};  // 1.0 active, 0.0 parked: the coefficient mask
     real_type b_norm[W] = {};
     real_type r_norm[W] = {};
+    real_type r0[W] = {};
     real_type rho_old[W] = {};
     real_type alpha[W] = {};
     real_type omega[W] = {};
@@ -201,8 +202,9 @@ void bicgstab_lockstep(const SourceBatch& a, const EllSlabPattern& pattern,
     // Record the lane's outcome and write its solution column back to the
     // caller's entry-major x (the scalar path writes x in place; here the
     // column is the working copy).
-    auto finish = [&](int l, int iters, real_type rn, bool conv) {
-        stage.record(thread, sys[l], iters, rn, conv);
+    auto finish = [&](int l, int iters, real_type rn, bool conv,
+                      FailureClass fc) {
+        stage.record(thread, sys[l], iters, rn, conv, fc);
         if (history != nullptr) {
             history->finalize(sys[l], iters, rn, conv);
         }
@@ -248,6 +250,7 @@ void bicgstab_lockstep(const SourceBatch& a, const EllSlabPattern& pattern,
             v[idx] = real_type{0};
         }
         r_norm[l] = std::sqrt(sum);
+        r0[l] = r_norm[l];
         rho_old[l] = real_type{1};
         alpha[l] = real_type{1};
         omega[l] = real_type{1};
@@ -264,7 +267,10 @@ void bicgstab_lockstep(const SourceBatch& a, const EllSlabPattern& pattern,
         // Top of the lockstep iteration: park converged / exhausted lanes
         // and refill them until each lane either has work or the queue is
         // dry. A freshly refilled system may converge immediately (zero
-        // right-hand side with a zero guess), so the checks loop.
+        // right-hand side with a zero guess), so the checks loop. The
+        // check order (done, non-finite, exhausted) mirrors the scalar
+        // kernel's loop top so a system classifies identically on both
+        // paths.
         for (int l = 0; l < W; ++l) {
             for (;;) {
                 if (!active[l]) {
@@ -273,11 +279,21 @@ void bicgstab_lockstep(const SourceBatch& a, const EllSlabPattern& pattern,
                     }
                 }
                 if (stop.done(r_norm[l], b_norm[l])) {
-                    finish(l, iter[l], r_norm[l], true);
+                    finish(l, iter[l], r_norm[l], true,
+                           FailureClass::converged);
+                    continue;
+                }
+                if (!std::isfinite(r_norm[l])) {
+                    // A poisoned lane used to retire looking exactly like
+                    // a clean max-iter exit; park it promptly with its
+                    // real cause instead.
+                    finish(l, iter[l], r_norm[l], false,
+                           FailureClass::non_finite);
                     continue;
                 }
                 if (iter[l] >= max_iters) {
-                    finish(l, max_iters, r_norm[l], false);
+                    finish(l, max_iters, r_norm[l], false,
+                           classify_exhausted(r_norm[l], r0[l], false));
                     continue;
                 }
                 break;
@@ -303,7 +319,10 @@ void bicgstab_lockstep(const SourceBatch& a, const EllSlabPattern& pattern,
         for (int l = 0; l < W; ++l) {
             if (active[l]) {
                 if (rho[l] == real_type{0} || omega[l] == real_type{0}) {
-                    finish(l, iter[l], r_norm[l], false);
+                    finish(l, iter[l], r_norm[l], false,
+                           rho[l] == real_type{0}
+                               ? FailureClass::breakdown_rho
+                               : FailureClass::breakdown_omega);
                 } else {
                     beta[l] = (rho[l] / rho_old[l]) * (alpha[l] / omega[l]);
                 }
@@ -335,7 +354,8 @@ void bicgstab_lockstep(const SourceBatch& a, const EllSlabPattern& pattern,
         for (int l = 0; l < W; ++l) {
             if (active[l]) {
                 if (r_hat_v[l] == real_type{0}) {
-                    finish(l, iter[l], r_norm[l], false);
+                    finish(l, iter[l], r_norm[l], false,
+                           FailureClass::breakdown_rho);
                 } else {
                     alpha[l] = rho[l] / r_hat_v[l];
                 }
@@ -408,12 +428,14 @@ void bicgstab_lockstep(const SourceBatch& a, const EllSlabPattern& pattern,
                 continue;
             }
             if (early[l]) {
-                finish(l, iter[l] + 1, s_norm[l], true);
+                finish(l, iter[l] + 1, s_norm[l], true,
+                       FailureClass::converged);
             } else if (tt0[l]) {
                 // t.t == 0 after a failed ||s|| check: the scalar kernel
                 // returns {iter+1, s_norm, stop.done(s_norm, b_norm)},
                 // and the stop check just failed.
-                finish(l, iter[l] + 1, s_norm[l], false);
+                finish(l, iter[l] + 1, s_norm[l], false,
+                       FailureClass::breakdown_omega);
             } else {
                 r_norm[l] = rn_new[l];
                 rho_old[l] = rho[l];
@@ -456,10 +478,12 @@ void cg_lockstep(const SourceBatch& a, const EllSlabPattern& pattern,
     real_type act[W] = {};
     real_type b_norm[W] = {};
     real_type r_norm[W] = {};
+    real_type r0[W] = {};
     real_type rz[W] = {};
 
-    auto finish = [&](int l, int iters, real_type rn, bool conv) {
-        stage.record(thread, sys[l], iters, rn, conv);
+    auto finish = [&](int l, int iters, real_type rn, bool conv,
+                      FailureClass fc) {
+        stage.record(thread, sys[l], iters, rn, conv, fc);
         if (history != nullptr) {
             history->finalize(sys[l], iters, rn, conv);
         }
@@ -504,6 +528,7 @@ void cg_lockstep(const SourceBatch& a, const EllSlabPattern& pattern,
             p[idx] = zj;
         }
         r_norm[l] = std::sqrt(sum);
+        r0[l] = r_norm[l];
         rz[l] = lockstep::lane_dot(r, z, n, W, l);
         iter[l] = 0;
         active[l] = true;
@@ -523,15 +548,23 @@ void cg_lockstep(const SourceBatch& a, const EllSlabPattern& pattern,
                     }
                 }
                 if (stop.done(r_norm[l], b_norm[l])) {
-                    finish(l, iter[l], r_norm[l], true);
+                    finish(l, iter[l], r_norm[l], true,
+                           FailureClass::converged);
+                    continue;
+                }
+                if (!std::isfinite(r_norm[l])) {
+                    finish(l, iter[l], r_norm[l], false,
+                           FailureClass::non_finite);
                     continue;
                 }
                 if (iter[l] >= max_iters) {
-                    finish(l, max_iters, r_norm[l], false);
+                    finish(l, max_iters, r_norm[l], false,
+                           classify_exhausted(r_norm[l], r0[l], false));
                     continue;
                 }
                 if (rz[l] == real_type{0}) {
-                    finish(l, iter[l], r_norm[l], false);
+                    finish(l, iter[l], r_norm[l], false,
+                           FailureClass::breakdown_rho);
                     continue;
                 }
                 break;
@@ -557,7 +590,8 @@ void cg_lockstep(const SourceBatch& a, const EllSlabPattern& pattern,
         for (int l = 0; l < W; ++l) {
             if (active[l]) {
                 if (pq[l] <= real_type{0}) {
-                    finish(l, iter[l], r_norm[l], false);
+                    finish(l, iter[l], r_norm[l], false,
+                           FailureClass::breakdown_rho);
                 } else {
                     alpha[l] = rz[l] / pq[l];
                 }

@@ -8,6 +8,7 @@
 
 #include <vector>
 
+#include "core/failure.hpp"
 #include "util/types.hpp"
 
 namespace bsis {
@@ -20,7 +21,9 @@ public:
     explicit BatchLog(size_type num_batch)
         : iters_(static_cast<std::size_t>(num_batch), 0),
           res_norms_(static_cast<std::size_t>(num_batch), 0.0),
-          converged_(static_cast<std::size_t>(num_batch), false)
+          converged_(static_cast<std::size_t>(num_batch), false),
+          failures_(static_cast<std::size_t>(num_batch),
+                    FailureClass::max_iters)
     {}
 
     size_type num_batch() const
@@ -29,11 +32,22 @@ public:
     }
 
     void record(size_type system, int iterations, real_type res_norm,
-                bool converged)
+                bool converged, FailureClass failure)
     {
         iters_[static_cast<std::size_t>(system)] = iterations;
         res_norms_[static_cast<std::size_t>(system)] = res_norm;
         converged_[static_cast<std::size_t>(system)] = converged;
+        failures_[static_cast<std::size_t>(system)] = failure;
+    }
+
+    /// Legacy entry point (pre-taxonomy): derives the class from the
+    /// converged bit alone.
+    void record(size_type system, int iterations, real_type res_norm,
+                bool converged)
+    {
+        record(system, iterations, res_norm, converged,
+               converged ? FailureClass::converged
+                         : FailureClass::max_iters);
     }
 
     int iterations(size_type system) const
@@ -49,6 +63,21 @@ public:
     bool converged(size_type system) const
     {
         return converged_[static_cast<std::size_t>(system)];
+    }
+
+    FailureClass failure(size_type system) const
+    {
+        return failures_[static_cast<std::size_t>(system)];
+    }
+
+    /// Per-class tallies over the whole batch (index = FailureClass value).
+    FailureCounts failure_counts() const
+    {
+        FailureCounts counts{};
+        for (const auto f : failures_) {
+            ++counts[static_cast<std::size_t>(f)];
+        }
+        return counts;
     }
 
     /// Vacuously true for an empty batch, matching the executors' empty
@@ -94,6 +123,7 @@ private:
     std::vector<int> iters_;
     std::vector<real_type> res_norms_;
     std::vector<char> converged_;
+    std::vector<FailureClass> failures_;
 };
 
 /// Per-thread staging buffer for BatchLog writes.
@@ -111,17 +141,28 @@ public:
     {}
 
     void record(int thread, size_type system, int iterations,
-                real_type res_norm, bool converged)
+                real_type res_norm, bool converged, FailureClass failure)
     {
         buffers_[static_cast<std::size_t>(thread)].entries.push_back(
-            {system, iterations, res_norm, converged});
+            {system, iterations, res_norm, converged, failure});
+    }
+
+    /// Legacy entry point (pre-taxonomy): derives the class from the
+    /// converged bit alone.
+    void record(int thread, size_type system, int iterations,
+                real_type res_norm, bool converged)
+    {
+        record(thread, system, iterations, res_norm, converged,
+               converged ? FailureClass::converged
+                         : FailureClass::max_iters);
     }
 
     void merge_into(BatchLog& log) const
     {
         for (const auto& buf : buffers_) {
             for (const auto& e : buf.entries) {
-                log.record(e.system, e.iterations, e.res_norm, e.converged);
+                log.record(e.system, e.iterations, e.res_norm, e.converged,
+                           e.failure);
             }
         }
     }
@@ -132,6 +173,7 @@ private:
         int iterations;
         real_type res_norm;
         bool converged;
+        FailureClass failure;
     };
     /// Aligned so neighbouring threads' vector headers (the end pointer
     /// bumped on every push_back) do not share a cache line either.

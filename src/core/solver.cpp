@@ -11,10 +11,12 @@
 #include "core/chebyshev.hpp"
 #include "core/cg.hpp"
 #include "core/cgs.hpp"
+#include "core/forensics.hpp"
 #include "core/gmres.hpp"
 #include "core/lockstep.hpp"
 #include "core/richardson.hpp"
 #include "core/workspace.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/telemetry.hpp"
 #include "util/error.hpp"
 #include "util/timer.hpp"
@@ -246,14 +248,11 @@ void run_batch(const BatchMatrix& a, const BatchVector<real_type>& b,
             }
         }
 
-        // Residual trajectory staging for the kernels that expose one;
-        // other solvers keep finalize-only histories.
+        // Residual trajectory staging; every kernel exposes a history
+        // parameter, so all solvers record when the caller asked for one.
         std::vector<real_type> traj;
-        std::vector<real_type>* traj_ptr =
-            history != nullptr && (settings.solver == SolverType::bicgstab ||
-                                   settings.solver == SolverType::cg)
-                ? &traj
-                : nullptr;
+        std::vector<real_type>* traj_ptr = history != nullptr ? &traj
+                                                              : nullptr;
 
         EntryResult result;
         switch (settings.solver) {
@@ -268,11 +267,11 @@ void run_batch(const BatchMatrix& a, const BatchVector<real_type>& b,
             break;
         case SolverType::bicg:
             result = bicg_kernel(av, bv, xv, prec, stop,
-                                 settings.max_iterations, ws);
+                                 settings.max_iterations, ws, 0, traj_ptr);
             break;
         case SolverType::cgs:
             result = cgs_kernel(av, bv, xv, prec, stop,
-                                settings.max_iterations, ws);
+                                settings.max_iterations, ws, 0, traj_ptr);
             break;
         case SolverType::cg:
             result = cg_kernel(av, bv, xv, prec, stop,
@@ -282,24 +281,28 @@ void run_batch(const BatchMatrix& a, const BatchVector<real_type>& b,
             result = gmres_kernel(
                 av, bv, xv, prec, stop, settings.max_iterations,
                 settings.gmres_restart, ws,
-                gmres_scratch[static_cast<std::size_t>(this_thread())]);
+                gmres_scratch[static_cast<std::size_t>(this_thread())], 0,
+                traj_ptr);
             break;
         case SolverType::richardson:
             result = richardson_kernel(av, bv, xv, prec, stop,
                                        settings.max_iterations, ws,
-                                       settings.richardson_omega);
+                                       settings.richardson_omega, 0,
+                                       traj_ptr);
             break;
         case SolverType::chebyshev: {
             const auto bounds = gershgorin_bounds(
                 av, ws, chebyshev_work_vectors,
                 settings.precond != PrecondType::identity);
             result = chebyshev_kernel(av, bv, xv, prec, stop,
-                                      settings.max_iterations, bounds, ws);
+                                      settings.max_iterations, bounds, ws, 0,
+                                      traj_ptr);
             break;
         }
         }
         stage.record(this_thread(), i, result.iterations,
-                     result.residual_norm, result.converged);
+                     result.residual_norm, result.converged,
+                     result.failure);
         if (history != nullptr) {
             for (std::size_t k = 0; k < traj.size(); ++k) {
                 history->record(i, static_cast<int>(k), traj[k]);
@@ -355,10 +358,47 @@ void record_solve_metrics(const BatchSolveResult& result)
         unconverged += result.log.converged(i) ? 0 : 1;
     }
     m.add_named("solve.unconverged", unconverged);
+    // Per-class failure tallies. Every class counter is always registered
+    // (even at zero) so dashboards see a stable metric set.
+    const FailureCounts fails = result.log.failure_counts();
+    m.add_named("solve.fail.max_iters",
+                fails[static_cast<std::size_t>(FailureClass::max_iters)]);
+    m.add_named("solve.fail.breakdown_rho",
+                fails[static_cast<std::size_t>(FailureClass::breakdown_rho)]);
+    m.add_named(
+        "solve.fail.breakdown_omega",
+        fails[static_cast<std::size_t>(FailureClass::breakdown_omega)]);
+    m.add_named("solve.fail.stagnated",
+                fails[static_cast<std::size_t>(FailureClass::stagnated)]);
+    m.add_named("solve.fail.non_finite",
+                fails[static_cast<std::size_t>(FailureClass::non_finite)]);
     m.observe_named("solve.wall_seconds", result.wall_seconds);
     m.set_named("solve.last_wall_seconds", result.wall_seconds);
     m.set_named("solve.simd_lanes",
                 static_cast<double>(result.work.simd_lanes));
+}
+
+/// Dumps every non-converged system of the finished solve to the armed
+/// recorder. Cold path: runs once per batch, after the parallel region.
+/// `x0` is the initial guess the solve actually used (zeros unless the
+/// caller warm-started).
+template <typename BatchMatrix>
+void capture_failures(const BatchMatrix& a, const BatchVector<real_type>& b,
+                      const BatchVector<real_type>& x0,
+                      const SolverSettings& settings,
+                      const BatchSolveResult& result)
+{
+    auto* recorder = settings.flight_recorder;
+    for (size_type i = 0; i < result.log.num_batch(); ++i) {
+        if (result.log.converged(i)) {
+            continue;
+        }
+        const auto meta = make_bundle_meta(
+            settings, i, result.log,
+            result.history.active() ? &result.history : nullptr);
+        recorder->capture(to_coo(a.entry(i)), b.entry(i), x0.entry(i),
+                          meta);
+    }
 }
 
 }  // namespace
@@ -395,11 +435,25 @@ BatchSolveResult solve_batch(const BatchMatrix& a,
         const int w = effective_lockstep_width(settings.lockstep_width);
         result.work.simd_lanes = w > 0 ? w : 1;
     }
-    if (settings.record_convergence) {
+    // The flight recorder wants the failing systems' residual
+    // trajectories in the bundle sidecar, so an armed recorder forces the
+    // history on even when the caller did not ask for it.
+    const bool want_history =
+        settings.record_convergence || settings.flight_recorder != nullptr;
+    if (want_history) {
         result.history.reset(a.num_batch(), settings.convergence_capacity);
     }
-    obs::ConvergenceHistory* history =
-        settings.record_convergence ? &result.history : nullptr;
+    obs::ConvergenceHistory* history = want_history ? &result.history
+                                                    : nullptr;
+    // Snapshot the initial guess before the solve overwrites x: the bundle
+    // must reproduce the exact starting state. Zeros unless warm-started
+    // (run_batch zeroes x per entry in that case).
+    BatchVector<real_type> x0_snapshot;
+    if (settings.flight_recorder != nullptr) {
+        x0_snapshot = settings.use_initial_guess
+                          ? x
+                          : BatchVector<real_type>(a.num_batch(), x.len());
+    }
     obs::ScopedSpan batch_span("solve_batch", "solver",
                                static_cast<std::int64_t>(a.num_batch()));
     Timer timer;
@@ -420,6 +474,9 @@ BatchSolveResult solve_batch(const BatchMatrix& a,
     result.wall_seconds = timer.seconds();
     if (obs::metrics_enabled()) {
         record_solve_metrics(result);
+    }
+    if (settings.flight_recorder != nullptr) {
+        capture_failures(a, b, x0_snapshot, settings, result);
     }
     return result;
 }

@@ -21,6 +21,10 @@
 
 namespace bsis {
 
+namespace obs {
+class FlightRecorder;
+}  // namespace obs
+
 /// Runtime solver composition, the analogue of assembling template
 /// arguments in the paper's Listing 2.
 struct SolverSettings {
@@ -59,6 +63,12 @@ struct SolverSettings {
     /// default: the hot loops then skip the recording branch entirely.
     bool record_convergence = false;
     int convergence_capacity = 64;
+    /// When non-null, every system that does not converge is captured as a
+    /// replayable bundle (matrix, rhs, initial guess, settings, residual
+    /// history) -- see obs::FlightRecorder. The recorder is owned by the
+    /// caller and may serve many solves; capture happens after the solve,
+    /// off the hot path.
+    obs::FlightRecorder* flight_recorder = nullptr;
 };
 
 /// Outcome of a batched solve.

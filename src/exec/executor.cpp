@@ -138,6 +138,7 @@ GpuSolveReport SimGpuExecutor::solve_impl(const BatchMatrix& a,
     report.wall_seconds = timer.seconds();
     report.log = std::move(result.log);
     report.history = std::move(result.history);
+    report.failures = report.log.failure_counts();
 
     // 4. Per-block cost model and block schedule. Co-residency only
     // throttles a block when the batch actually fills the CUs that far.
@@ -220,6 +221,26 @@ GpuSolveReport SimGpuExecutor::solve_impl(const BatchMatrix& a,
             m.set_named("gpusim.l1_hit_rate", report.profile.l1_hit_rate());
             m.set_named("gpusim.l2_hit_rate", report.profile.l2_hit_rate());
         }
+        m.add_named(
+            "gpusim.fail.max_iters",
+            report.failures[static_cast<std::size_t>(
+                FailureClass::max_iters)]);
+        m.add_named(
+            "gpusim.fail.breakdown_rho",
+            report.failures[static_cast<std::size_t>(
+                FailureClass::breakdown_rho)]);
+        m.add_named(
+            "gpusim.fail.breakdown_omega",
+            report.failures[static_cast<std::size_t>(
+                FailureClass::breakdown_omega)]);
+        m.add_named(
+            "gpusim.fail.stagnated",
+            report.failures[static_cast<std::size_t>(
+                FailureClass::stagnated)]);
+        m.add_named(
+            "gpusim.fail.non_finite",
+            report.failures[static_cast<std::size_t>(
+                FailureClass::non_finite)]);
     }
 
     // 5. Sanitized trace replay (opt-in): re-trace the fused kernel for

@@ -48,6 +48,10 @@ struct GpuSolveReport {
     /// Residual trajectories, populated when
     /// `SolverSettings::record_convergence` was set.
     obs::ConvergenceHistory history;
+    /// Per-batch failure-class summary (index = FailureClass value): how
+    /// many systems converged, broke down, stagnated, went non-finite, or
+    /// ran out of iterations.
+    FailureCounts failures{};
 
     double total_device_seconds() const
     {

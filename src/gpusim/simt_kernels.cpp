@@ -18,6 +18,7 @@ constexpr std::uint64_t region_row_ptrs = (std::uint64_t{2} << 32) + 0x3900;
 constexpr std::uint64_t region_values = (std::uint64_t{4} << 32) + 0x6c80;
 constexpr std::uint64_t region_b = (std::uint64_t{8} << 32) + 0x9e00;
 constexpr std::uint64_t region_spill = (std::uint64_t{16} << 32) + 0xd580;
+constexpr std::uint64_t region_log = (std::uint64_t{32} << 32) + 0x10e00;
 
 std::uint64_t round_up(std::uint64_t x, std::uint64_t align)
 {
@@ -50,6 +51,7 @@ AddressMap AddressMap::for_system(size_type system_index, index_type rows,
                            std::max(num_spill_vectors, 1)) *
                            rows * sizeof(real_type),
                        256);
+    map.log = region_log + sys * round_up(log_record_bytes, 256);
     return map;
 }
 
@@ -84,6 +86,8 @@ void register_map_buffers(Sanitizer& sanitizer, const AddressMap& map,
             "spill", map.spill,
             static_cast<size_type>(num_spill_vectors) * rows * vb);
     }
+    sanitizer.register_buffer("log", map.log,
+                              static_cast<size_type>(log_record_bytes));
 }
 
 namespace {
@@ -599,6 +603,15 @@ void trace_bicgstab(BlockTracer& tracer, const AddressMap& map,
         trace_axpy_nrm2(tracer, rows, {s, t}, r,  // r update, ||r||
                         reduce_scratch);
     }
+
+    // Exit write-back of the per-system log record: lane 0 stores
+    // {iterations, residual_norm, failure class} -- the same taxonomy the
+    // host-side kernels classify -- as three 8-byte words. This is what a
+    // real GPU kernel must emit for the flight recorder to work off-device.
+    tracer.instr(1);
+    tracer.store_global({map.log}, 8);
+    tracer.store_global({map.log + 8}, 8);
+    tracer.store_global({map.log + 16}, 8);
 }
 
 }  // namespace bsis::gpusim

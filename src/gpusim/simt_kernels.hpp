@@ -52,6 +52,7 @@ struct AddressMap {
     std::uint64_t row_ptrs = 0;  ///< shared row pointers (CSR only)
     std::uint64_t b = 0;         ///< right-hand side
     std::uint64_t spill = 0;     ///< base of this system's spilled vectors
+    std::uint64_t log = 0;       ///< per-system convergence log record
     index_type rows = 0;
 
     static AddressMap for_system(size_type system_index, index_type rows,
@@ -72,10 +73,15 @@ struct AddressMap {
 /// Pass this to Sanitizer::set_shared_limit for bounds checking.
 size_type traced_shared_bytes(const StorageConfig& config, int num_warps);
 
+/// Bytes of the per-system convergence log record the traced solver
+/// writes back on exit: {iterations, residual_norm, failure class}, one
+/// 8-byte word each.
+inline constexpr std::uint64_t log_record_bytes = 24;
+
 /// Registers the global regions of `map` with `sanitizer` for
 /// out-of-bounds checking: the sparsity pattern (`row_ptrs` only when
-/// `csr_pattern`), per-system values, the right-hand side, and the spilled
-/// solver vectors.
+/// `csr_pattern`), per-system values, the right-hand side, the spilled
+/// solver vectors, and the per-system log record.
 void register_map_buffers(Sanitizer& sanitizer, const AddressMap& map,
                           index_type rows, index_type nnz_stored,
                           bool csr_pattern, int num_spill_vectors);

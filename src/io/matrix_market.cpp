@@ -1,6 +1,7 @@
 #include "io/matrix_market.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iomanip>
@@ -33,6 +34,24 @@ std::vector<std::string> read_banner(std::istream& is)
         throw ParseError("matrix_market", "missing %%MatrixMarket banner");
     }
     return tokens;
+}
+
+/// Parses one real value, accepting the "nan" / "inf" spellings that
+/// operator>> rejects -- flight-recorder bundles of diverged solves
+/// legitimately contain non-finite values.
+bool parse_real(std::istream& is, real_type& out)
+{
+    std::string tok;
+    if (!(is >> tok)) {
+        return false;
+    }
+    char* end = nullptr;
+    const double v = std::strtod(tok.c_str(), &end);
+    if (end == tok.c_str() || *end != '\0') {
+        return false;
+    }
+    out = static_cast<real_type>(v);
+    return true;
 }
 
 std::string next_data_line(std::istream& is)
@@ -84,8 +103,8 @@ Coo read_matrix(std::istream& is)
         index_type r = 0;
         index_type c = 0;
         real_type v = 0;
-        if (!(entry >> r >> c >> v) || r < 1 || r > rows || c < 1 ||
-            c > cols) {
+        if (!(entry >> r >> c) || !parse_real(entry, v) || r < 1 ||
+            r > rows || c < 1 || c > cols) {
             throw ParseError("read_matrix",
                              "bad entry at nonzero " + std::to_string(k));
         }
@@ -128,7 +147,7 @@ std::vector<real_type> read_vector(std::istream& is)
     for (index_type i = 0; i < rows; ++i) {
         std::istringstream entry(next_data_line(is));
         real_type value = 0;
-        if (!(entry >> value)) {
+        if (!parse_real(entry, value)) {
             throw ParseError("read_vector",
                              "bad value at row " + std::to_string(i));
         }

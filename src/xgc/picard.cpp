@@ -143,6 +143,23 @@ PicardReport implicit_collision_step(CollisionWorkload& workload,
                     static_cast<double>(report.nonlinear_change));
         m.set_named("xgc.max_conservation_error",
                     static_cast<double>(report.max_conservation_error()));
+        FailureCounts fails{};
+        for (const auto& log : report.linear_logs) {
+            const auto counts = log.failure_counts();
+            for (std::size_t c = 0; c < counts.size(); ++c) {
+                fails[c] += counts[c];
+            }
+        }
+        m.add_named("xgc.fail.max_iters",
+                    fails[static_cast<int>(FailureClass::max_iters)]);
+        m.add_named("xgc.fail.breakdown_rho",
+                    fails[static_cast<int>(FailureClass::breakdown_rho)]);
+        m.add_named("xgc.fail.breakdown_omega",
+                    fails[static_cast<int>(FailureClass::breakdown_omega)]);
+        m.add_named("xgc.fail.stagnated",
+                    fails[static_cast<int>(FailureClass::stagnated)]);
+        m.add_named("xgc.fail.non_finite",
+                    fails[static_cast<int>(FailureClass::non_finite)]);
     }
     return report;
 }
