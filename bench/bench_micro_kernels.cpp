@@ -89,6 +89,77 @@ void BM_Dot(benchmark::State& state)
 }
 BENCHMARK(BM_Dot);
 
+// The pipelined solvers' fused multi-output reductions against the
+// equivalent sequence of separate dot/nrm2 calls over the same vectors:
+// one sweep touching three vectors vs four sweeps touching two each.
+void BM_Dot4Fused(benchmark::State& state)
+{
+    auto& f = fixture();
+    const auto x = f.workload.distributions().entry(0);
+    const auto y = f.workload.distributions().entry(1);
+    const auto z = ConstVecView<real_type>(f.x.entry(0));
+    for (auto _ : state) {
+        real_type d_xx, d_xy, d_yz, d_xz;
+        blas::dot4<real_type>(x, y, z, d_xx, d_xy, d_yz, d_xz);
+        benchmark::DoNotOptimize(d_xx);
+        benchmark::DoNotOptimize(d_xy);
+        benchmark::DoNotOptimize(d_yz);
+        benchmark::DoNotOptimize(d_xz);
+    }
+    state.SetItemsProcessed(state.iterations() * x.len);
+}
+BENCHMARK(BM_Dot4Fused);
+
+void BM_Dot4Separate(benchmark::State& state)
+{
+    auto& f = fixture();
+    const auto x = f.workload.distributions().entry(0);
+    const auto y = f.workload.distributions().entry(1);
+    const auto z = ConstVecView<real_type>(f.x.entry(0));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(blas::dot<real_type>(x, x));
+        benchmark::DoNotOptimize(blas::dot<real_type>(x, y));
+        benchmark::DoNotOptimize(blas::dot<real_type>(y, z));
+        benchmark::DoNotOptimize(blas::dot<real_type>(x, z));
+    }
+    state.SetItemsProcessed(state.iterations() * x.len);
+}
+BENCHMARK(BM_Dot4Separate);
+
+void BM_Dot3Nrm2Fused(benchmark::State& state)
+{
+    auto& f = fixture();
+    const auto x = f.workload.distributions().entry(0);
+    const auto y = f.workload.distributions().entry(1);
+    const auto z = ConstVecView<real_type>(f.x.entry(0));
+    for (auto _ : state) {
+        real_type d_xy, d_xx, d_xz, z_norm;
+        blas::dot3_nrm2<real_type>(x, y, z, d_xy, d_xx, d_xz, z_norm);
+        benchmark::DoNotOptimize(d_xy);
+        benchmark::DoNotOptimize(d_xx);
+        benchmark::DoNotOptimize(d_xz);
+        benchmark::DoNotOptimize(z_norm);
+    }
+    state.SetItemsProcessed(state.iterations() * x.len);
+}
+BENCHMARK(BM_Dot3Nrm2Fused);
+
+void BM_Dot3Nrm2Separate(benchmark::State& state)
+{
+    auto& f = fixture();
+    const auto x = f.workload.distributions().entry(0);
+    const auto y = f.workload.distributions().entry(1);
+    const auto z = ConstVecView<real_type>(f.x.entry(0));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(blas::dot<real_type>(x, y));
+        benchmark::DoNotOptimize(blas::dot<real_type>(x, x));
+        benchmark::DoNotOptimize(blas::dot<real_type>(x, z));
+        benchmark::DoNotOptimize(blas::nrm2<real_type>(z));
+    }
+    state.SetItemsProcessed(state.iterations() * x.len);
+}
+BENCHMARK(BM_Dot3Nrm2Separate);
+
 void BM_Axpy(benchmark::State& state)
 {
     auto& f = fixture();

@@ -18,7 +18,9 @@
 #include <cmath>
 #include <cstring>
 #include <fstream>
+#include <functional>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -62,9 +64,48 @@ struct DeviceCase {
     std::string device;
     int warp_size = 0;
     std::string format;
+    std::string variant;
     double kernel_seconds = 0;
     double per_iteration_us = 0;
 };
+
+/// A host case prepared for round-robin timing: the closure runs one solve.
+struct HostRun {
+    HostCase c;
+    std::function<BatchSolveResult()> run;
+    std::vector<double> walls;
+};
+
+/// Builds the timing closure for one host configuration. The solution
+/// vector lives in the closure so repeated runs reuse the same storage.
+template <typename BatchMatrix>
+HostRun make_host_run(const char* format, const BatchMatrix& a,
+                      const BatchVector<real_type>& b, bool fused,
+                      int lockstep_width, bool pipelined)
+{
+    SolverSettings settings;
+    settings.solver = SolverType::bicgstab;
+    settings.precond = PrecondType::jacobi;
+    settings.fused_kernels = fused;
+    settings.lockstep_width = lockstep_width;
+    settings.pipelined = pipelined;
+    HostRun r;
+    r.c.format = format;
+    if (pipelined) {
+        r.c.variant = lockstep_width > 0
+                          ? "pipelined-lockstep" +
+                                std::to_string(lockstep_width)
+                          : "pipelined";
+    } else {
+        r.c.variant = lockstep_width > 0
+                          ? "lockstep" + std::to_string(lockstep_width)
+                          : (fused ? "fused" : "unfused");
+    }
+    auto x = std::make_shared<BatchVector<real_type>>(a.num_batch(),
+                                                      a.rows());
+    r.run = [&a, &b, settings, x] { return solve_batch(a, b, *x, settings); };
+    return r;
+}
 
 template <typename BatchMatrix>
 HostCase time_host(const char* format, bool fused, const BatchMatrix& a,
@@ -134,6 +175,59 @@ bool lockstep_matches_scalar(const BatchMatrix& a,
             if (std::abs(rs - rl) > 1e-6 * scale) {
                 std::cerr << "lockstep mismatch: system " << i
                           << " residual " << rs << " vs " << rl << "\n";
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+/// Per-entry equivalence of the pipelined variant against the classic
+/// fused kernels at the same lockstep width: identical converged flags,
+/// iteration counts within one, and (at equal counts) residual norms
+/// within a small relative tolerance.
+template <typename BatchMatrix>
+bool pipelined_matches_classic(const BatchMatrix& a,
+                               const BatchVector<real_type>& b, int width)
+{
+    SolverSettings settings;
+    settings.solver = SolverType::bicgstab;
+    settings.precond = PrecondType::jacobi;
+    settings.fused_kernels = true;
+    settings.lockstep_width = width;
+    BatchVector<real_type> x_classic(a.num_batch(), a.rows());
+    BatchVector<real_type> x_pipe(a.num_batch(), a.rows());
+    const auto classic = solve_batch(a, b, x_classic, settings);
+    settings.pipelined = true;
+    const auto pipe = solve_batch(a, b, x_pipe, settings);
+    for (size_type i = 0; i < a.num_batch(); ++i) {
+        if (classic.log.converged(i) != pipe.log.converged(i)) {
+            std::cerr << "pipelined mismatch: system " << i
+                      << " converged flags differ\n";
+            return false;
+        }
+        const int di =
+            std::abs(classic.log.iterations(i) - pipe.log.iterations(i));
+        if (di > 1) {
+            std::cerr << "pipelined mismatch: system " << i << " iterations "
+                      << classic.log.iterations(i) << " vs "
+                      << pipe.log.iterations(i) << "\n";
+            return false;
+        }
+        if (di == 0) {
+            // The pipelined kernel reports the recurrence-maintained norm,
+            // the classic kernel a measured one: agreement is expected to
+            // rounding of the recurrence, not bit-for-bit. Converged
+            // residuals sit at the cancellation floor of the recurrence,
+            // so allow an absolute slack well under the stop tolerance.
+            const double rc = classic.log.residual_norm(i);
+            const double rp = pipe.log.residual_norm(i);
+            const double scale = std::max({std::abs(rc), std::abs(rp),
+                                           1e-300});
+            if (std::abs(rc - rp) >
+                1e-4 * scale + 1e-3 * settings.tolerance) {
+                std::cerr << "pipelined mismatch: system " << i
+                          << " residual " << rc << " vs " << rp << "\n";
                 return false;
             }
         }
@@ -218,7 +312,8 @@ void write_json(const std::string& path, bool smoke, size_type num_systems,
         const auto& c = devices[i];
         out << "    {\"device\": \"" << c.device
             << "\", \"warp_size\": " << c.warp_size << ", \"format\": \""
-            << c.format << "\", \"kernel_seconds\": " << c.kernel_seconds
+            << c.format << "\", \"variant\": \"" << c.variant
+            << "\", \"kernel_seconds\": " << c.kernel_seconds
             << ", \"per_iteration_us\": " << c.per_iteration_us << "}"
             << (i + 1 < devices.size() ? "," : "") << "\n";
     }
@@ -270,18 +365,50 @@ int main(int argc, char** argv)
               << " rows, " << width << " nnz/row, " << reps
               << " repetitions" << (smoke ? " (smoke)" : "") << "\n";
 
-    std::vector<HostCase> host;
-    host.push_back(time_host("csr", true, csr, b, reps));
-    host.push_back(time_host("csr", false, csr, b, reps));
-    host.push_back(time_host("ell", true, ell, b, reps));
-    host.push_back(time_host("ell", false, ell, b, reps));
-    host.push_back(time_host("sellp", true, sellp, b, reps));
+    // Host cases are timed round-robin -- one repetition of every case per
+    // sweep -- so machine drift (frequency scaling, background load) hits
+    // all variants alike instead of inflating whichever case's block it
+    // lands in. An earlier committed baseline showed csr/fused slower than
+    // csr/unfused for exactly that reason: each case's repetitions ran
+    // back-to-back, so case ordering coupled with drift.
+    std::vector<HostRun> runs;
+    runs.push_back(make_host_run("csr", csr, b, true, 0, false));
+    runs.push_back(make_host_run("csr", csr, b, false, 0, false));
+    runs.push_back(make_host_run("ell", ell, b, true, 0, false));
+    runs.push_back(make_host_run("ell", ell, b, false, 0, false));
+    runs.push_back(make_host_run("sellp", sellp, b, true, 0, false));
     // SIMD batch-lockstep rows: W systems per thread over interleaved
     // layouts, against the scalar fused rows above.
-    host.push_back(time_host("csr", true, csr, b, reps, 4));
-    host.push_back(time_host("csr", true, csr, b, reps, 8));
-    host.push_back(time_host("ell", true, ell, b, reps, 8));
-    host.push_back(time_host("sellp", true, sellp, b, reps, 8));
+    runs.push_back(make_host_run("csr", csr, b, true, 4, false));
+    runs.push_back(make_host_run("csr", csr, b, true, 8, false));
+    runs.push_back(make_host_run("ell", ell, b, true, 8, false));
+    runs.push_back(make_host_run("sellp", sellp, b, true, 8, false));
+    // Pipelined rows: one reduction point per iteration, scalar and
+    // lockstep, against the classic fused rows above.
+    runs.push_back(make_host_run("csr", csr, b, true, 0, true));
+    runs.push_back(make_host_run("csr", csr, b, true, 8, true));
+    runs.push_back(make_host_run("ell", ell, b, true, 8, true));
+
+    // One untimed warm-up solve per case so workspace-pool allocation and
+    // cache warming do not land in the first sample.
+    for (auto& r : runs) {
+        r.run();
+    }
+    for (int rep = 0; rep < reps; ++rep) {
+        for (auto& r : runs) {
+            const auto result = r.run();
+            r.walls.push_back(result.wall_seconds);
+            if (rep + 1 == reps) {
+                r.c.mean_iterations = mean_iterations(result.log);
+                r.c.all_converged = result.log.all_converged();
+            }
+        }
+    }
+    std::vector<HostCase> host;
+    for (auto& r : runs) {
+        r.c.median_wall_seconds = median(r.walls);
+        host.push_back(r.c);
+    }
 
     Table table({"format", "variant", "median_wall_s", "mean_iters",
                  "converged"});
@@ -305,25 +432,32 @@ int main(int argc, char** argv)
     for (const auto* spec : specs) {
         SimGpuExecutor exec(*spec);
         for (int f = 0; f < 2; ++f) {
-            BatchVector<real_type> x(csr.num_batch(), rows);
-            const auto report =
-                f == 0 ? exec.solve(csr, b, x, settings)
-                       : exec.solve(ell, b, x, settings);
-            DeviceCase c;
-            c.device = spec->name;
-            c.warp_size = spec->warp_size;
-            c.format = f == 0 ? "csr" : "ell";
-            c.kernel_seconds = report.kernel_seconds;
-            c.per_iteration_us = report.block_cost.per_iteration_us;
-            devices.push_back(c);
+            for (const bool pipelined : {false, true}) {
+                settings.pipelined = pipelined;
+                BatchVector<real_type> x(csr.num_batch(), rows);
+                const auto report =
+                    f == 0 ? exec.solve(csr, b, x, settings)
+                           : exec.solve(ell, b, x, settings);
+                DeviceCase c;
+                c.device = spec->name;
+                c.warp_size = spec->warp_size;
+                c.format = f == 0 ? "csr" : "ell";
+                c.variant = pipelined ? "pipelined" : "classic";
+                c.kernel_seconds = report.kernel_seconds;
+                c.per_iteration_us = report.block_cost.per_iteration_us;
+                devices.push_back(c);
+            }
         }
     }
-    Table modeled({"device", "warp", "format", "kernel_s", "iter_us"});
+    settings.pipelined = false;
+    Table modeled({"device", "warp", "format", "variant", "kernel_s",
+                   "iter_us"});
     for (const auto& c : devices) {
         modeled.new_row()
             .add(c.device)
             .add(c.warp_size)
             .add(c.format)
+            .add(c.variant)
             .add(c.kernel_seconds, 6)
             .add(c.per_iteration_us, 4);
     }
@@ -421,6 +555,31 @@ int main(int argc, char** argv)
         std::cerr << "regression bench: lockstep/scalar mismatch\n";
         return 1;
     }
+    // The pipelined variant must match the classic fused kernels per entry
+    // at both the scalar and the lockstep widths.
+    if (!pipelined_matches_classic(csr, b, 0) ||
+        !pipelined_matches_classic(csr, b, 8) ||
+        !pipelined_matches_classic(ell, b, 8)) {
+        std::cerr << "regression bench: pipelined/classic mismatch\n";
+        return 1;
+    }
+    // The modeled per-iteration cost must drop for the pipelined traced
+    // kernel on every device/format pair (fewer reduction rounds).
+    for (const auto& c : devices) {
+        if (c.variant != "pipelined") {
+            continue;
+        }
+        for (const auto& classic : devices) {
+            if (classic.variant == "classic" && classic.device == c.device &&
+                classic.format == c.format &&
+                !(c.per_iteration_us < classic.per_iteration_us)) {
+                std::cerr << "regression bench: pipelined modeled iteration "
+                             "cost does not drop on "
+                          << c.device << "/" << c.format << "\n";
+                return 1;
+            }
+        }
+    }
     // And the point of the lockstep path is to beat the scalar fused path
     // on the full-size batch (smoke batches are too small/noisy to gate).
     const auto find_case = [&](const char* fmt, const char* variant) {
@@ -441,6 +600,20 @@ int main(int argc, char** argv)
     if (!smoke && !(lockstep_best < scalar_fused)) {
         std::cerr << "regression bench: lockstep (W>=4) is not faster than "
                      "the scalar fused path\n";
+        return 1;
+    }
+    // The point of pipelining on the host is fewer, fatter sweeps: the
+    // pipelined lockstep8 row must beat classic lockstep8 on the full-size
+    // workload (smoke batches are too small/noisy to gate).
+    const double classic_l8 = find_case("csr", "lockstep8");
+    const double pipelined_l8 = find_case("csr", "pipelined-lockstep8");
+    std::cout << "pipelined lockstep8 (csr) " << pipelined_l8
+              << " s vs classic lockstep8 " << classic_l8 << " s  ("
+              << (pipelined_l8 > 0 ? classic_l8 / pipelined_l8 : 0.0)
+              << "x)\n";
+    if (!smoke && !(pipelined_l8 < classic_l8)) {
+        std::cerr << "regression bench: pipelined lockstep8 is not faster "
+                     "than classic lockstep8\n";
         return 1;
     }
     return 0;

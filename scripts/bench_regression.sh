@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
 # Perf-regression run: builds, then times the canonical 992-row collision
-# batch (BiCGStab+Jacobi, CSR and ELL, fused and unfused host kernels,
-# modeled warp-32/warp-64 devices) and writes BENCH_solvers.json at the
-# repo root for commit-over-commit comparison.
+# batch (BiCGStab+Jacobi, CSR and ELL, fused/unfused/pipelined host
+# kernels, modeled warp-32/warp-64 devices) and writes BENCH_solvers.json
+# at the repo root for commit-over-commit comparison.
 #
 # Baseline refresh cadence: BENCH_solvers.json is COMMITTED and serves as
 # the telemetry-overhead gate's reference (the csr/fused median with
@@ -35,5 +35,29 @@ fi
 
 "$BUILD_DIR/bench/bench_regression" --out BENCH_solvers.json \
     "${BASELINE_ARGS[@]}"
+
+# Pipelined gate, re-checked here from the written JSON in case the bench
+# binary's internal gate is ever relaxed: on a full-size run, the
+# pipelined lockstep8 row must beat classic lockstep8 (the variant's whole
+# point is fewer, fatter sweeps per iteration).
+if [ "${BSIS_QUICK:-0}" != "1" ]; then
+  python3 - <<'EOF'
+import json, sys
+doc = json.load(open("BENCH_solvers.json"))
+if doc.get("smoke"):
+    sys.exit(0)
+rows = {(c["format"], c["variant"]): c["median_wall_seconds"]
+        for c in doc["host"]}
+classic = rows.get(("csr", "lockstep8"))
+pipelined = rows.get(("csr", "pipelined-lockstep8"))
+if classic is None or pipelined is None:
+    sys.exit("bench_regression.sh: missing lockstep8 rows in JSON")
+if not pipelined < classic:
+    sys.exit("bench_regression.sh: pipelined lockstep8 (%g s) does not "
+             "beat classic lockstep8 (%g s)" % (pipelined, classic))
+print("bench_regression.sh: pipelined lockstep8 gate OK "
+      "(%g s vs %g s)" % (pipelined, classic))
+EOF
+fi
 
 echo "bench_regression.sh: wrote $(pwd)/BENCH_solvers.json"

@@ -35,6 +35,13 @@ trap 'rm -rf "$FORENSICS_DIR"' EXIT
 "$BUILD_DIR/tools/replay_entry" --selftest "$FORENSICS_DIR/bundles" \
     > /dev/null
 
+# Pipelined variants: classic-vs-pipelined equivalence across solvers,
+# preconditioners, formats and execution paths, recurrence-drift bounds,
+# failure-classification parity on seeded breakdown/NaN batches, and the
+# barrier/utilization deltas of the traced pipelined kernel.
+echo "== pipelined test tier =="
+ctest --test-dir "$BUILD_DIR" -L pipelined --output-on-failure
+
 # The perf smoke run also covers the SIMD batch-lockstep rows
 # (lockstep4/lockstep8) and cross-checks them against the scalar path
 # per entry; the full-size lockstep-vs-scalar speedup gate only runs in

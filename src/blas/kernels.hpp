@@ -203,6 +203,61 @@ inline void dot2(ConstVecView<T> x, ConstVecView<T> y1, ConstVecView<T> y2,
     d2 = sum2;
 }
 
+/// Quad reduction in one sweep over three vectors: d_xx := x . x,
+/// d_xy := x . y, d_yz := y . z, d_xz := x . z. The pipelined BiCGStab
+/// end-of-iteration sweep: with x = t, y = s, z = r_hat it yields t.t and
+/// t.s (the omega pair, bit-identical to the classic dot2 since the
+/// accumulation order per result is unchanged) plus s.r_hat and t.r_hat,
+/// from which the NEXT iteration's rho = s.r_hat - omega * t.r_hat follows
+/// without a separate r.r_hat sweep.
+template <typename T>
+inline void dot4(ConstVecView<T> x, ConstVecView<T> y, ConstVecView<T> z,
+                 T& d_xx, T& d_xy, T& d_yz, T& d_xz)
+{
+    BSIS_ASSERT(x.len == y.len && x.len == z.len);
+    T sum_xx{};
+    T sum_xy{};
+    T sum_yz{};
+    T sum_xz{};
+    for (index_type i = 0; i < x.len; ++i) {
+        sum_xx += x[i] * x[i];
+        sum_xy += x[i] * y[i];
+        sum_yz += y[i] * z[i];
+        sum_xz += x[i] * z[i];
+    }
+    d_xx = sum_xx;
+    d_xy = sum_xy;
+    d_yz = sum_yz;
+    d_xz = sum_xz;
+}
+
+/// Triple dot + norm in one sweep: d_xy := x . y, d_xx := x . x,
+/// d_xz := x . z, and z_norm := ||z||_2. The pipelined CG reduction sweep
+/// (x = q, y = p, z = r): q.p is alpha's denominator, and q.q / q.r feed
+/// the residual-norm recurrence ||r - alpha q||^2 = ||r||^2 - 2 alpha q.r
+/// + alpha^2 q.q, re-anchored by the freshly measured ||r|| each
+/// iteration so recurrence rounding never compounds.
+template <typename T>
+inline void dot3_nrm2(ConstVecView<T> x, ConstVecView<T> y, ConstVecView<T> z,
+                      T& d_xy, T& d_xx, T& d_xz, T& z_norm)
+{
+    BSIS_ASSERT(x.len == y.len && x.len == z.len);
+    T sum_xy{};
+    T sum_xx{};
+    T sum_xz{};
+    T sum_zz{};
+    for (index_type i = 0; i < x.len; ++i) {
+        sum_xy += x[i] * y[i];
+        sum_xx += x[i] * x[i];
+        sum_xz += x[i] * z[i];
+        sum_zz += z[i] * z[i];
+    }
+    d_xy = sum_xy;
+    d_xx = sum_xx;
+    d_xz = sum_xz;
+    z_norm = std::sqrt(sum_zz);
+}
+
 /// Paired update: y1 := alpha * x1 + beta * y1 and y2 := alpha * x2 +
 /// beta * y2 in one loop (the BiCG primal/shadow direction updates, which
 /// share their scalars).
@@ -337,6 +392,75 @@ inline void dot2_lanes(const T* x, const T* y1, const T* y2, index_type n,
     for (int l = 0; l < W; ++l) {
         d1[l] = sum1[l];
         d2[l] = sum2[l];
+    }
+}
+
+/// z(:, l) := alpha[l] * x(:, l) + beta[l] * y(:, l) (plain lockstep
+/// two-term update; a parked lane passes (0, 0) and its column is simply
+/// zeroed, which is safe for the pipelined residual update exactly as for
+/// the masked zaxpby_nrm2_lanes s/r updates).
+template <int W, typename T>
+inline void zaxpby_lanes(const T* alpha, const T* x, const T* beta,
+                         const T* y, T* z, index_type n)
+{
+    for (index_type i = 0; i < n; ++i) {
+#pragma omp simd
+        for (int l = 0; l < W; ++l) {
+            z[i * W + l] = alpha[l] * x[i * W + l] + beta[l] * y[i * W + l];
+        }
+    }
+}
+
+/// z(:, l) := alpha[l] * x(:, l) + beta[l] * y(:, l), with
+/// norm[l] := ||z(:, l)||_2 and d[l] := z(:, l) . w(:, l), in one sweep:
+/// the pipelined lockstep s-update, which needs ||s|| for the early-exit
+/// test and s . r_hat for the next iteration's rho recurrence.
+template <int W, typename T>
+inline void zaxpby_nrm2_dot_lanes(const T* alpha, const T* x, const T* beta,
+                                  const T* y, const T* w, T* z, index_type n,
+                                  T* norm, T* d)
+{
+    T sum[W] = {};
+    T sumd[W] = {};
+    for (index_type i = 0; i < n; ++i) {
+#pragma omp simd
+        for (int l = 0; l < W; ++l) {
+            const T zi = alpha[l] * x[i * W + l] + beta[l] * y[i * W + l];
+            z[i * W + l] = zi;
+            sum[l] += zi * zi;
+            sumd[l] += zi * w[i * W + l];
+        }
+    }
+    for (int l = 0; l < W; ++l) {
+        norm[l] = std::sqrt(sum[l]);
+        d[l] = sumd[l];
+    }
+}
+
+/// Lockstep analogue of dot3_nrm2: d_xy[l] := x . y, d_xx[l] := x . x,
+/// d_xz[l] := x . z, z_norm[l] := ||z||_2, per lane, in one sweep.
+template <int W, typename T>
+inline void dot3_nrm2_lanes(const T* x, const T* y, const T* z, index_type n,
+                            T* d_xy, T* d_xx, T* d_xz, T* z_norm)
+{
+    T sum_xy[W] = {};
+    T sum_xx[W] = {};
+    T sum_xz[W] = {};
+    T sum_zz[W] = {};
+    for (index_type i = 0; i < n; ++i) {
+#pragma omp simd
+        for (int l = 0; l < W; ++l) {
+            sum_xy[l] += x[i * W + l] * y[i * W + l];
+            sum_xx[l] += x[i * W + l] * x[i * W + l];
+            sum_xz[l] += x[i * W + l] * z[i * W + l];
+            sum_zz[l] += z[i * W + l] * z[i * W + l];
+        }
+    }
+    for (int l = 0; l < W; ++l) {
+        d_xy[l] = sum_xy[l];
+        d_xx[l] = sum_xx[l];
+        d_xz[l] = sum_xz[l];
+        z_norm[l] = std::sqrt(sum_zz[l]);
     }
 }
 

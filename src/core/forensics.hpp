@@ -194,6 +194,7 @@ inline obs::FailureBundleMeta make_bundle_meta(
     meta.richardson_omega = settings.richardson_omega;
     meta.used_initial_guess = settings.use_initial_guess;
     meta.fused_kernels = settings.fused_kernels;
+    meta.pipelined = settings.pipelined;
     meta.lockstep_width = settings.lockstep_width;
     meta.system_index = static_cast<std::int64_t>(system);
     meta.iterations = log.iterations(system);
@@ -224,6 +225,7 @@ inline bool apply_bundle_meta(const obs::FailureBundleMeta& meta,
     settings.richardson_omega = meta.richardson_omega;
     settings.use_initial_guess = meta.used_initial_guess;
     settings.fused_kernels = meta.fused_kernels;
+    settings.pipelined = meta.pipelined;
     return true;
 }
 

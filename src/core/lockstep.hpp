@@ -36,6 +36,7 @@
 #include "blas/batch_vector.hpp"
 #include "blas/kernels.hpp"
 #include "core/logger.hpp"
+#include "core/pipelined.hpp"
 #include "core/workspace.hpp"
 #include "matrix/ell_slab.hpp"
 #include "obs/convergence.hpp"
@@ -448,6 +449,289 @@ void bicgstab_lockstep(const SourceBatch& a, const EllSlabPattern& pattern,
     }
 }
 
+/// Pipelined lockstep BiCGStab: the lane protocol of `bicgstab_lockstep`
+/// with the per-iteration reduction structure of
+/// `pipelined_bicgstab_kernel`. The three STANDALONE lane-group reduction
+/// sweeps disappear entirely: r_hat.v fuses into the first SpMV sweep
+/// (the freshly produced v is dotted in registers), the t-side quad
+/// reduction fuses into the second SpMV sweep, and s.r_hat rides the
+/// s-update sweep -- so a W-wide group serializes on lane scalars at TWO
+/// points per iteration (after each SpMV) instead of five. rho and the
+/// residual norm are carried by the single-iteration recurrences.
+template <int W, bool UseJacobi, typename SourceBatch, typename Stop>
+void bicgstab_lockstep_pipelined(
+    const SourceBatch& a, const EllSlabPattern& pattern,
+    const BatchVector<real_type>& b, BatchVector<real_type>& x,
+    bool zero_guess, const Stop& stop, int max_iters, Workspace& ws,
+    std::atomic<size_type>& next_system, BatchLogStage& stage, int thread,
+    obs::ConvergenceHistory* history = nullptr)
+{
+    const index_type n = pattern.rows;
+    const size_type nbatch = a.num_batch();
+
+    real_type* r = ws.slot(0).data;
+    real_type* r_hat = ws.slot(1).data;
+    real_type* p = ws.slot(2).data;
+    real_type* p_hat = ws.slot(3).data;
+    real_type* v = ws.slot(4).data;
+    real_type* s = ws.slot(5).data;
+    real_type* s_hat = ws.slot(6).data;
+    real_type* t = ws.slot(7).data;
+    real_type* xg = ws.slot(8).data;
+    real_type* bg = ws.slot(9).data;
+    real_type* inv_diag = ws.slot(10).data;
+    real_type* slab = ws.slot(lockstep_bicgstab_base_slots).data;
+    const EllSlabView<real_type> av{n, pattern.nnz_per_row,
+                                    pattern.col_idxs.data(), slab, W};
+
+    size_type sys[W] = {};
+    int iter[W] = {};
+    bool active[W] = {};
+    real_type act[W] = {};
+    real_type b_norm[W] = {};
+    real_type r_norm[W] = {};
+    real_type r0[W] = {};
+    real_type rho[W] = {};
+    real_type rho_old[W] = {};
+    real_type alpha[W] = {};
+    real_type omega[W] = {};
+
+    auto finish = [&](int l, int iters, real_type rn, bool conv,
+                      FailureClass fc) {
+        stage.record(thread, sys[l], iters, rn, conv, fc);
+        if (history != nullptr) {
+            history->finalize(sys[l], iters, rn, conv);
+        }
+        unpack_lane(ConstLaneGroupView<real_type>(xg, n, W), l,
+                    x.entry(sys[l]));
+        active[l] = false;
+        act[l] = real_type{0};
+    };
+
+    auto refill = [&](int l) -> bool {
+        const size_type i = next_system.fetch_add(1);
+        if (i >= nbatch) {
+            return false;
+        }
+        obs::ScopedSpan span("lane_refill", "solver",
+                             static_cast<std::int64_t>(i));
+        sys[l] = i;
+        const auto src = a.entry(i);
+        pack_slab_lane(src, pattern, slab, W, l);
+        if constexpr (UseJacobi) {
+            lockstep::pack_inv_diag_lane(src, n, inv_diag, W, l);
+        }
+        pack_lane(b.entry(i), LaneGroupView<real_type>{bg, n, W}, l);
+        b_norm[l] = lockstep::lane_nrm2(bg, n, W, l);
+        if (zero_guess) {
+            zero_lane(LaneGroupView<real_type>{xg, n, W}, l);
+        } else {
+            pack_lane(ConstVecView<real_type>(x.entry(i)),
+                      LaneGroupView<real_type>{xg, n, W}, l);
+        }
+        spmv_slab_lane(av, l, xg, r);
+        real_type sum{};
+        for (index_type j = 0; j < n; ++j) {
+            const std::size_t idx = static_cast<std::size_t>(j) * W + l;
+            const real_type rj = bg[idx] - r[idx];
+            r[idx] = rj;
+            sum += rj * rj;
+            r_hat[idx] = rj;
+            p[idx] = real_type{0};
+            v[idx] = real_type{0};
+        }
+        r_norm[l] = std::sqrt(sum);
+        r0[l] = r_norm[l];
+        // First rho is measured (r_hat = r here, matching the scalar
+        // pipelined kernel's setup dot); later rhos come from the
+        // recurrence at the bottom of the iteration.
+        rho[l] = lockstep::lane_dot(r, r_hat, n, W, l);
+        rho_old[l] = real_type{1};
+        alpha[l] = real_type{1};
+        omega[l] = real_type{1};
+        iter[l] = 0;
+        active[l] = true;
+        act[l] = real_type{1};
+        if (history != nullptr) {
+            history->record(i, 0, r_norm[l]);
+        }
+        return true;
+    };
+
+    while (true) {
+        // Loop-top checks in the scalar pipelined kernel's order: done,
+        // non-finite, exhausted, then the rho/omega breakdown split (rho
+        // is already known here -- that is the pipelining).
+        for (int l = 0; l < W; ++l) {
+            for (;;) {
+                if (!active[l]) {
+                    if (!refill(l)) {
+                        break;
+                    }
+                }
+                if (stop.done(r_norm[l], b_norm[l])) {
+                    finish(l, iter[l], r_norm[l], true,
+                           FailureClass::converged);
+                    continue;
+                }
+                if (!std::isfinite(r_norm[l])) {
+                    finish(l, iter[l], r_norm[l], false,
+                           FailureClass::non_finite);
+                    continue;
+                }
+                if (iter[l] >= max_iters) {
+                    finish(l, max_iters, r_norm[l], false,
+                           classify_exhausted(r_norm[l], r0[l], false));
+                    continue;
+                }
+                if (rho[l] == real_type{0} || omega[l] == real_type{0}) {
+                    finish(l, iter[l], r_norm[l], false,
+                           rho[l] == real_type{0}
+                               ? FailureClass::breakdown_rho
+                               : FailureClass::breakdown_omega);
+                    continue;
+                }
+                break;
+            }
+        }
+        bool any_active = false;
+        for (int l = 0; l < W; ++l) {
+            any_active = any_active || active[l];
+        }
+        if (!any_active) {
+            break;
+        }
+
+        real_type ca[W];
+        real_type cb[W];
+        real_type cc[W];
+
+        real_type beta[W] = {};
+        for (int l = 0; l < W; ++l) {
+            if (active[l]) {
+                beta[l] = (rho[l] / rho_old[l]) * (alpha[l] / omega[l]);
+            }
+        }
+        // p = r + beta * (p - omega * v); parked lanes pass (0, 0, 1).
+        for (int l = 0; l < W; ++l) {
+            ca[l] = act[l];
+            cb[l] = active[l] ? -beta[l] * omega[l] : real_type{0};
+            cc[l] = active[l] ? beta[l] : real_type{1};
+        }
+        obs::traced("update",
+                    [&] { blas::axpbypcz_lanes<W>(ca, r, cb, v, cc, p, n); });
+        obs::traced("precond_apply", [&] {
+            if constexpr (UseJacobi) {
+                blas::mul_elementwise_lanes<W>(inv_diag, p, act, p_hat, n);
+            } else {
+                blas::copy_lanes<W>(p, act, p_hat, n);
+            }
+        });
+        // v = A p_hat with r_hat . v fused into the producing sweep: the
+        // first lane-group synchronization point of the iteration.
+        real_type r_hat_v[W];
+        obs::traced("spmv", [&] {
+            spmv_lanes_dot<W>(av, p_hat, r_hat, v, r_hat_v);
+        });
+        for (int l = 0; l < W; ++l) {
+            if (active[l]) {
+                if (r_hat_v[l] == real_type{0}) {
+                    finish(l, iter[l], r_norm[l], false,
+                           FailureClass::breakdown_rho);
+                } else {
+                    alpha[l] = rho[l] / r_hat_v[l];
+                }
+            }
+        }
+        // s = r - alpha * v fused with ||s|| AND s . r_hat (the rho
+        // recurrence operand rides the update sweep).
+        real_type s_norm[W];
+        real_type s_rhat[W];
+        for (int l = 0; l < W; ++l) {
+            ca[l] = act[l];
+            cb[l] = active[l] ? -alpha[l] : real_type{0};
+        }
+        obs::traced("update", [&] {
+            blas::zaxpby_nrm2_dot_lanes<W>(ca, r, cb, v, r_hat, s, n,
+                                           s_norm, s_rhat);
+        });
+        bool early[W] = {};
+        for (int l = 0; l < W; ++l) {
+            if (active[l]) {
+                early[l] = stop.done(s_norm[l], b_norm[l]);
+            }
+        }
+        obs::traced("precond_apply", [&] {
+            if constexpr (UseJacobi) {
+                blas::mul_elementwise_lanes<W>(inv_diag, s, act, s_hat, n);
+            } else {
+                blas::copy_lanes<W>(s, act, s_hat, n);
+            }
+        });
+        // t = A s_hat with t.t, t.s, t.r_hat fused into the producing
+        // sweep (t.t / t.s bit-identical to the classic dual dot): the
+        // second and last synchronization point.
+        real_type t_t[W];
+        real_type t_s[W];
+        real_type t_rhat[W];
+        obs::traced("spmv", [&] {
+            spmv_lanes_dot3<W>(av, s_hat, s, r_hat, t, t_t, t_s, t_rhat);
+        });
+        bool tt0[W] = {};
+        for (int l = 0; l < W; ++l) {
+            if (active[l] && !early[l]) {
+                if (t_t[l] == real_type{0}) {
+                    tt0[l] = true;
+                } else {
+                    omega[l] = t_s[l] / t_t[l];
+                }
+            }
+        }
+        // x += alpha * p_hat + omega * s_hat (omega zeroed for early-exit
+        // and t.t-breakdown lanes, as in the classic lockstep kernel).
+        for (int l = 0; l < W; ++l) {
+            ca[l] = active[l] ? alpha[l] : real_type{0};
+            cb[l] = active[l] && !early[l] && !tt0[l] ? omega[l]
+                                                      : real_type{0};
+            cc[l] = real_type{1};
+        }
+        obs::traced("update", [&] {
+            blas::axpbypcz_lanes<W>(ca, p_hat, cb, s_hat, cc, xg, n);
+        });
+        // r = s - omega * t, PLAIN: ||r|| and the next rho come from the
+        // recurrences below, not from this sweep.
+        for (int l = 0; l < W; ++l) {
+            const bool cont = active[l] && !early[l] && !tt0[l];
+            ca[l] = cont ? real_type{1} : real_type{0};
+            cb[l] = cont ? -omega[l] : real_type{0};
+        }
+        obs::traced("update",
+                    [&] { blas::zaxpby_lanes<W>(ca, s, cb, t, r, n); });
+        for (int l = 0; l < W; ++l) {
+            if (!active[l]) {
+                continue;
+            }
+            if (early[l]) {
+                finish(l, iter[l] + 1, s_norm[l], true,
+                       FailureClass::converged);
+            } else if (tt0[l]) {
+                finish(l, iter[l] + 1, s_norm[l], false,
+                       FailureClass::breakdown_omega);
+            } else {
+                r_norm[l] = recurrence_norm(
+                    s_norm[l] * s_norm[l] - 2 * omega[l] * t_s[l] +
+                    omega[l] * omega[l] * t_t[l]);
+                rho_old[l] = rho[l];
+                rho[l] = s_rhat[l] - omega[l] * t_rhat[l];
+                ++iter[l];
+                if (history != nullptr) {
+                    history->record(sys[l], iter[l], r_norm[l]);
+                }
+            }
+        }
+    }
+}
+
 /// Runs one thread's lockstep CG group to queue exhaustion (same lane
 /// protocol as `bicgstab_lockstep`; lane semantics match `cg_kernel`).
 template <int W, bool UseJacobi, typename SourceBatch, typename Stop>
@@ -657,12 +941,236 @@ void cg_lockstep(const SourceBatch& a, const EllSlabPattern& pattern,
     }
 }
 
+/// Pipelined lockstep CG: the lane protocol of `cg_lockstep` with the
+/// reduction structure of `pipelined_cg_kernel`. The p.q and residual-norm
+/// reductions merge into one dot3_nrm2 sweep and the r-update sweep loses
+/// its fused norm (the recurrence supplies it), leaving two lane-scalar
+/// synchronization points per iteration (after the merged reduction and
+/// after the r.z dot) instead of three. alpha / beta are built from the
+/// same dot values as the classic kernel, so the lane iterates evolve
+/// bit-identically; only stop decisions ride the recurrence norm.
+template <int W, bool UseJacobi, typename SourceBatch, typename Stop>
+void cg_lockstep_pipelined(const SourceBatch& a,
+                           const EllSlabPattern& pattern,
+                           const BatchVector<real_type>& b,
+                           BatchVector<real_type>& x, bool zero_guess,
+                           const Stop& stop, int max_iters, Workspace& ws,
+                           std::atomic<size_type>& next_system,
+                           BatchLogStage& stage, int thread,
+                           obs::ConvergenceHistory* history = nullptr)
+{
+    const index_type n = pattern.rows;
+    const size_type nbatch = a.num_batch();
+
+    real_type* r = ws.slot(0).data;
+    real_type* z = ws.slot(1).data;
+    real_type* p = ws.slot(2).data;
+    real_type* q = ws.slot(3).data;
+    real_type* xg = ws.slot(4).data;
+    real_type* bg = ws.slot(5).data;
+    real_type* inv_diag = ws.slot(6).data;
+    real_type* slab = ws.slot(lockstep_cg_base_slots).data;
+    const EllSlabView<real_type> av{n, pattern.nnz_per_row,
+                                    pattern.col_idxs.data(), slab, W};
+
+    size_type sys[W] = {};
+    int iter[W] = {};
+    bool active[W] = {};
+    real_type act[W] = {};
+    real_type b_norm[W] = {};
+    real_type r_norm[W] = {};
+    real_type r0[W] = {};
+    real_type rz[W] = {};
+
+    auto finish = [&](int l, int iters, real_type rn, bool conv,
+                      FailureClass fc) {
+        stage.record(thread, sys[l], iters, rn, conv, fc);
+        if (history != nullptr) {
+            history->finalize(sys[l], iters, rn, conv);
+        }
+        unpack_lane(ConstLaneGroupView<real_type>(xg, n, W), l,
+                    x.entry(sys[l]));
+        active[l] = false;
+        act[l] = real_type{0};
+    };
+
+    auto refill = [&](int l) -> bool {
+        const size_type i = next_system.fetch_add(1);
+        if (i >= nbatch) {
+            return false;
+        }
+        obs::ScopedSpan span("lane_refill", "solver",
+                             static_cast<std::int64_t>(i));
+        sys[l] = i;
+        const auto src = a.entry(i);
+        pack_slab_lane(src, pattern, slab, W, l);
+        if constexpr (UseJacobi) {
+            lockstep::pack_inv_diag_lane(src, n, inv_diag, W, l);
+        }
+        pack_lane(b.entry(i), LaneGroupView<real_type>{bg, n, W}, l);
+        b_norm[l] = lockstep::lane_nrm2(bg, n, W, l);
+        if (zero_guess) {
+            zero_lane(LaneGroupView<real_type>{xg, n, W}, l);
+        } else {
+            pack_lane(ConstVecView<real_type>(x.entry(i)),
+                      LaneGroupView<real_type>{xg, n, W}, l);
+        }
+        // r = b - A x; z = M^-1 r; p = z; rz = r . z.
+        spmv_slab_lane(av, l, xg, r);
+        real_type sum{};
+        for (index_type j = 0; j < n; ++j) {
+            const std::size_t idx = static_cast<std::size_t>(j) * W + l;
+            const real_type rj = bg[idx] - r[idx];
+            r[idx] = rj;
+            sum += rj * rj;
+            const real_type zj =
+                UseJacobi ? inv_diag[idx] * rj : rj;
+            z[idx] = zj;
+            p[idx] = zj;
+        }
+        r_norm[l] = std::sqrt(sum);
+        r0[l] = r_norm[l];
+        rz[l] = lockstep::lane_dot(r, z, n, W, l);
+        iter[l] = 0;
+        active[l] = true;
+        act[l] = real_type{1};
+        if (history != nullptr) {
+            history->record(i, 0, r_norm[l]);
+        }
+        return true;
+    };
+
+    while (true) {
+        for (int l = 0; l < W; ++l) {
+            for (;;) {
+                if (!active[l]) {
+                    if (!refill(l)) {
+                        break;
+                    }
+                }
+                if (stop.done(r_norm[l], b_norm[l])) {
+                    finish(l, iter[l], r_norm[l], true,
+                           FailureClass::converged);
+                    continue;
+                }
+                if (!std::isfinite(r_norm[l])) {
+                    finish(l, iter[l], r_norm[l], false,
+                           FailureClass::non_finite);
+                    continue;
+                }
+                if (iter[l] >= max_iters) {
+                    finish(l, max_iters, r_norm[l], false,
+                           classify_exhausted(r_norm[l], r0[l], false));
+                    continue;
+                }
+                if (rz[l] == real_type{0}) {
+                    finish(l, iter[l], r_norm[l], false,
+                           FailureClass::breakdown_rho);
+                    continue;
+                }
+                break;
+            }
+        }
+        bool any_active = false;
+        for (int l = 0; l < W; ++l) {
+            any_active = any_active || active[l];
+        }
+        if (!any_active) {
+            break;
+        }
+
+        real_type ca[W];
+        real_type cb[W];
+        real_type cc[W];
+        real_type alpha[W] = {};
+
+        // q = A p, then the merged reduction: q.p, q.q, q.r and the
+        // measured ||r|| in one sweep.
+        obs::traced("spmv", [&] { spmv_lanes<W>(av, p, q); });
+        real_type pq[W];
+        real_type qq[W];
+        real_type qr[W];
+        real_type r_meas[W];
+        obs::traced("reduction", [&] {
+            blas::dot3_nrm2_lanes<W>(q, p, r, n, pq, qq, qr, r_meas);
+        });
+        for (int l = 0; l < W; ++l) {
+            if (active[l]) {
+                if (pq[l] <= real_type{0}) {
+                    finish(l, iter[l], r_norm[l], false,
+                           FailureClass::breakdown_rho);
+                } else {
+                    alpha[l] = rz[l] / pq[l];
+                }
+            }
+        }
+        // x += alpha * p.
+        for (int l = 0; l < W; ++l) {
+            ca[l] = active[l] ? alpha[l] : real_type{0};
+            cb[l] = real_type{0};
+            cc[l] = real_type{1};
+        }
+        obs::traced("update", [&] {
+            blas::axpbypcz_lanes<W>(ca, p, cb, p, cc, xg, n);
+        });
+        // r -= alpha * q, PLAIN (the norm comes from the recurrence,
+        // re-anchored at this iteration's measured ||r||).
+        for (int l = 0; l < W; ++l) {
+            ca[l] = active[l] ? -alpha[l] : real_type{0};
+            cb[l] = real_type{1};
+        }
+        obs::traced("update",
+                    [&] { blas::zaxpby_lanes<W>(ca, q, cb, r, r, n); });
+        for (int l = 0; l < W; ++l) {
+            if (active[l]) {
+                r_norm[l] = recurrence_norm(
+                    r_meas[l] * r_meas[l] - 2 * alpha[l] * qr[l] +
+                    alpha[l] * alpha[l] * qq[l]);
+            }
+        }
+        // z = M^-1 r; beta = (r . z)_new / rz; p = z + beta * p.
+        obs::traced("precond_apply", [&] {
+            if constexpr (UseJacobi) {
+                blas::mul_elementwise_lanes<W>(inv_diag, r, act, z, n);
+            } else {
+                blas::copy_lanes<W>(r, act, z, n);
+            }
+        });
+        real_type rz_new[W];
+        obs::traced("reduction",
+                    [&] { blas::dot_lanes<W>(r, z, n, rz_new); });
+        real_type beta[W] = {};
+        for (int l = 0; l < W; ++l) {
+            if (active[l]) {
+                beta[l] = rz_new[l] / rz[l];
+            }
+        }
+        for (int l = 0; l < W; ++l) {
+            ca[l] = act[l];
+            cb[l] = real_type{0};
+            cc[l] = active[l] ? beta[l] : real_type{1};
+        }
+        obs::traced("update", [&] {
+            blas::axpbypcz_lanes<W>(ca, z, cb, z, cc, p, n);
+        });
+        for (int l = 0; l < W; ++l) {
+            if (active[l]) {
+                rz[l] = rz_new[l];
+                ++iter[l];
+                if (history != nullptr) {
+                    history->record(sys[l], iter[l], r_norm[l]);
+                }
+            }
+        }
+    }
+}
+
 /// Batch driver for the lockstep path: builds the shared slab pattern,
 /// sizes the (separate, rows*W-length) workspace pool, and runs one
 /// lockstep group per OpenMP thread against a shared work queue. Per-entry
 /// results are staged per thread and merged into the log afterwards.
-template <int W, bool UseJacobi, bool UseCg, typename SourceBatch,
-          typename Stop>
+template <int W, bool UseJacobi, bool UseCg, bool Pipelined = false,
+          typename SourceBatch, typename Stop>
 void run_batch_lockstep(const SourceBatch& a, const BatchVector<real_type>& b,
                         BatchVector<real_type>& x, bool zero_guess,
                         const Stop& stop, int max_iters, WorkspacePool& pool,
@@ -687,10 +1195,18 @@ void run_batch_lockstep(const SourceBatch& a, const BatchVector<real_type>& b,
             // lane-group analogue of the scalar path's per-entry span.
             obs::ScopedSpan group_span("lockstep_group", "solver", W);
             auto& ws = pool.at(thread);
-            if constexpr (UseCg) {
+            if constexpr (UseCg && Pipelined) {
+                cg_lockstep_pipelined<W, UseJacobi>(
+                    a, pattern, b, x, zero_guess, stop, max_iters, ws,
+                    next_system, stage, thread, history);
+            } else if constexpr (UseCg) {
                 cg_lockstep<W, UseJacobi>(a, pattern, b, x, zero_guess,
                                           stop, max_iters, ws, next_system,
                                           stage, thread, history);
+            } else if constexpr (Pipelined) {
+                bicgstab_lockstep_pipelined<W, UseJacobi>(
+                    a, pattern, b, x, zero_guess, stop, max_iters, ws,
+                    next_system, stage, thread, history);
             } else {
                 bicgstab_lockstep<W, UseJacobi>(a, pattern, b, x, zero_guess,
                                                 stop, max_iters, ws,

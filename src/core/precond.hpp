@@ -5,6 +5,12 @@
 //   static constexpr index_type work_vectors  -- per-system scratch slots
 //   generate(matrix_view, work)               -- per-system setup
 //   apply(in, out)                            -- out := M^-1 in
+//   apply_dot(in, out)                        -- apply + returns in . out
+//
+// apply_dot fuses the dot product the pipelined kernels need (e.g. CG's
+// r . z) into the apply sweep itself; the elementwise preconditioners
+// accumulate in the same ascending order as blas::dot over the finished
+// output, so the fused result is bit-identical to apply + dot.
 #pragma once
 
 #include <cmath>
@@ -34,6 +40,18 @@ public:
     {
         blas::copy(in, out);
     }
+
+    real_type apply_dot(ConstVecView<real_type> in,
+                        VecView<real_type> out) const
+    {
+        BSIS_ASSERT(in.len == out.len);
+        real_type sum{};
+        for (index_type i = 0; i < in.len; ++i) {
+            out[i] = in[i];
+            sum += in[i] * in[i];
+        }
+        return sum;
+    }
 };
 
 /// Scalar Jacobi: out := diag(A)^-1 in. The paper's production choice for
@@ -59,6 +77,19 @@ public:
     void apply(ConstVecView<real_type> in, VecView<real_type> out) const
     {
         blas::mul_elementwise(ConstVecView<real_type>(inv_diag_), in, out);
+    }
+
+    real_type apply_dot(ConstVecView<real_type> in,
+                        VecView<real_type> out) const
+    {
+        BSIS_ASSERT(in.len == out.len);
+        real_type sum{};
+        for (index_type i = 0; i < in.len; ++i) {
+            const real_type oi = inv_diag_[i] * in[i];
+            out[i] = oi;
+            sum += in[i] * oi;
+        }
+        return sum;
     }
 
 private:
@@ -135,6 +166,16 @@ public:
                 out[start + r] = sum;
             }
         }
+    }
+
+    /// Block application has no elementwise sweep to piggyback on; fall
+    /// back to apply followed by a separate dot (still the same value the
+    /// pipelined kernels would measure).
+    real_type apply_dot(ConstVecView<real_type> in,
+                        VecView<real_type> out) const
+    {
+        apply(in, out);
+        return blas::dot(in, ConstVecView<real_type>(out));
     }
 
 private:

@@ -14,6 +14,7 @@
 #include "core/forensics.hpp"
 #include "core/gmres.hpp"
 #include "core/lockstep.hpp"
+#include "core/pipelined.hpp"
 #include "core/richardson.hpp"
 #include "core/workspace.hpp"
 #include "obs/flight_recorder.hpp"
@@ -118,13 +119,25 @@ void run_lockstep_width(const BatchMatrix& a, const BatchVector<real_type>& b,
                         obs::ConvergenceHistory* history)
 {
     if (settings.solver == SolverType::cg) {
-        run_batch_lockstep<W, UseJacobi, true>(
-            a, b, x, !settings.use_initial_guess, stop,
-            settings.max_iterations, pool, log, history);
+        if (settings.pipelined) {
+            run_batch_lockstep<W, UseJacobi, true, true>(
+                a, b, x, !settings.use_initial_guess, stop,
+                settings.max_iterations, pool, log, history);
+        } else {
+            run_batch_lockstep<W, UseJacobi, true, false>(
+                a, b, x, !settings.use_initial_guess, stop,
+                settings.max_iterations, pool, log, history);
+        }
     } else {
-        run_batch_lockstep<W, UseJacobi, false>(
-            a, b, x, !settings.use_initial_guess, stop,
-            settings.max_iterations, pool, log, history);
+        if (settings.pipelined) {
+            run_batch_lockstep<W, UseJacobi, false, true>(
+                a, b, x, !settings.use_initial_guess, stop,
+                settings.max_iterations, pool, log, history);
+        } else {
+            run_batch_lockstep<W, UseJacobi, false, false>(
+                a, b, x, !settings.use_initial_guess, stop,
+                settings.max_iterations, pool, log, history);
+        }
     }
 }
 
@@ -257,13 +270,17 @@ void run_batch(const BatchMatrix& a, const BatchVector<real_type>& b,
         EntryResult result;
         switch (settings.solver) {
         case SolverType::bicgstab:
-            result = settings.fused_kernels
-                         ? bicgstab_kernel(av, bv, xv, prec, stop,
-                                           settings.max_iterations, ws, 0,
-                                           traj_ptr)
-                         : bicgstab_kernel_unfused(av, bv, xv, prec, stop,
+            result = !settings.fused_kernels
+                         ? bicgstab_kernel_unfused(av, bv, xv, prec, stop,
                                                    settings.max_iterations,
-                                                   ws, 0, traj_ptr);
+                                                   ws, 0, traj_ptr)
+                     : settings.pipelined
+                         ? pipelined_bicgstab_kernel(
+                               av, bv, xv, prec, stop,
+                               settings.max_iterations, ws, 0, traj_ptr)
+                         : bicgstab_kernel(av, bv, xv, prec, stop,
+                                           settings.max_iterations, ws, 0,
+                                           traj_ptr);
             break;
         case SolverType::bicg:
             result = bicg_kernel(av, bv, xv, prec, stop,
@@ -274,8 +291,13 @@ void run_batch(const BatchMatrix& a, const BatchVector<real_type>& b,
                                 settings.max_iterations, ws, 0, traj_ptr);
             break;
         case SolverType::cg:
-            result = cg_kernel(av, bv, xv, prec, stop,
-                               settings.max_iterations, ws, 0, traj_ptr);
+            result = settings.fused_kernels && settings.pipelined
+                         ? pipelined_cg_kernel(av, bv, xv, prec, stop,
+                                               settings.max_iterations, ws,
+                                               0, traj_ptr)
+                         : cg_kernel(av, bv, xv, prec, stop,
+                                     settings.max_iterations, ws, 0,
+                                     traj_ptr);
             break;
         case SolverType::gmres:
             result = gmres_kernel(
@@ -423,7 +445,8 @@ BatchSolveResult solve_batch(const BatchMatrix& a,
     result.work = work_profile(settings.solver, settings.precond,
                                settings.gmres_restart,
                                settings.block_jacobi_size,
-                               settings.fused_kernels);
+                               settings.fused_kernels,
+                               settings.fused_kernels && settings.pipelined);
     // Price the SIMD lanes the lockstep path will actually use (the same
     // eligibility checks as try_run_lockstep, evaluated up front so the
     // cost model sees the width even before the solve runs).

@@ -46,6 +46,17 @@ struct SolverSettings {
     /// composition instead of the fused single-pass kernels. Only the
     /// fusion A/B benches and tests flip this; results agree to rounding.
     bool fused_kernels = true;
+    /// When true, BiCGStab and CG run the pipelined recurrences (Rupp et
+    /// al.): per-iteration standalone reductions collapse into one or two
+    /// multi-output sweeps and the residual norm / rho are maintained by
+    /// single-iteration recurrences anchored to freshly measured values.
+    /// A/B-able like `fused_kernels` (and requires it -- the pipelined
+    /// variants ARE fused kernels; with `fused_kernels == false` the flag
+    /// is ignored). Applies to the scalar, lockstep, and gpusim paths;
+    /// other solvers ignore it. Stopping decisions may differ from the
+    /// classic kernels by one iteration; failure classification is
+    /// structurally identical.
+    bool pipelined = false;
     /// SIMD batch-lockstep width: each OpenMP thread advances this many
     /// batch entries through the fused iteration in lockstep over
     /// batch-interleaved storage. 0 (the default) keeps the scalar

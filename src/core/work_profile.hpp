@@ -49,6 +49,17 @@ struct SolverWorkProfile {
     double fused_extra_dots = 0;  ///< additional reduction results
                                   ///< piggybacked on an existing sweep
                                   ///< (e.g. the dual-dot's second result)
+    double fused_extra_dot_vectors = 0;  ///< extra operand vectors read by
+                                         ///< the standalone reduction
+                                         ///< sweeps beyond the two a plain
+                                         ///< dot streams (the pipelined
+                                         ///< multi-output sweeps widen
+                                         ///< their reads instead of adding
+                                         ///< sweeps)
+    double fused_extra_combines = 0;  ///< cross-warp combine rounds added
+                                      ///< to sweeps that are NOT priced as
+                                      ///< reduction sweeps (a dot fused
+                                      ///< into an update or precond sweep)
 
     /// SIMD lanes of the host batch-lockstep path: the number of batch
     /// entries one CPU thread advances per iteration over interleaved
@@ -83,11 +94,16 @@ inline int precond_work_vectors(PrecondType precond,
 /// default, matching the host kernels since the kernel-fusion PR) the
 /// profile also carries the fused sweep structure; `fused = false`
 /// describes the reference one-sweep-per-BLAS-call composition, used by
-/// the fusion ablations.
+/// the fusion ablations. `pipelined` (BiCGStab / CG only, requires
+/// `fused`) switches to the pipelined kernels' sweep structure: fewer
+/// standalone reduction sweeps, paid for with wider reduction reads
+/// (`fused_extra_dot_vectors`) and combine rounds on non-reduction sweeps
+/// (`fused_extra_combines`).
 inline SolverWorkProfile work_profile(SolverType solver, PrecondType precond,
                                       int gmres_restart = 30,
                                       int block_jacobi_size = 4,
-                                      bool fused = true)
+                                      bool fused = true,
+                                      bool pipelined = false)
 {
     const int prec_vecs = precond_work_vectors(precond, block_jacobi_size);
     const double prec_ops = 1.0;
@@ -97,7 +113,17 @@ inline SolverWorkProfile work_profile(SolverType solver, PrecondType precond,
         // Algorithm 1: 2 SpMV, 2 preconditioner applications, 6 reductions
         // (||r||, rho, r_hat.v, ||s||, t.s, t.t), ~6 vector updates.
         p = {2, 2 * prec_ops, 6, 6, 1, 1, 3, 9 + prec_vecs};
-        if (fused) {
+        if (fused && pipelined) {
+            // Pipelined sweeps: p, x, and r updates (the r norm comes from
+            // the recurrence, so its sweep is pure); s update with fused
+            // norm; r_hat.v dot plus ONE dot4 sweep reading three vectors
+            // (one more than a plain dot) and producing four results.
+            p.fused_update_sweeps = 3;
+            p.fused_norm_update_sweeps = 1;
+            p.fused_dot_sweeps = 2;
+            p.fused_extra_dots = 3;
+            p.fused_extra_dot_vectors = 1;
+        } else if (fused) {
             // Fused sweeps: p and x updates (pure), s and r updates with
             // fused norms, rho / r_hat.v / dual-dot reduction sweeps; the
             // dual-dot's second result rides along.
@@ -134,7 +160,18 @@ inline SolverWorkProfile work_profile(SolverType solver, PrecondType precond,
         break;
     case SolverType::cg:
         p = {1, prec_ops, 3, 3, 1, 2, 2, 5 + prec_vecs};
-        if (fused) {
+        if (fused && pipelined) {
+            // Pipelined sweeps: x, r, p updates (all pure -- the norm is
+            // recurrence-maintained); ONE dot3_nrm2 sweep reading three
+            // vectors and producing four results; the r.z dot rides the
+            // preconditioner sweep as an extra combine round.
+            p.fused_update_sweeps = 3;
+            p.fused_norm_update_sweeps = 0;
+            p.fused_dot_sweeps = 1;
+            p.fused_extra_dots = 3;
+            p.fused_extra_dot_vectors = 1;
+            p.fused_extra_combines = 1;
+        } else if (fused) {
             // x and p updates; r update with fused norm; p.q and r.z
             // reduction sweeps.
             p.fused_update_sweeps = 2;

@@ -203,7 +203,7 @@ GpuSolveReport SimGpuExecutor::solve_impl(const BatchMatrix& a,
         }
         report.profile = gpusim::profile_bicgstab(
             device_, report.storage, report.block_threads, pattern,
-            shape.rows, block_iters, sizing);
+            shape.rows, block_iters, sizing, settings.pipelined);
         report.profiled = true;
     }
     if (obs::metrics_enabled()) {
@@ -250,13 +250,17 @@ GpuSolveReport SimGpuExecutor::solve_impl(const BatchMatrix& a,
     if (sanitize_ && settings.solver == SolverType::bicgstab &&
         a.num_batch() > 0) {
         report.sanitized = true;
+        const bool pipelined =
+            settings.pipelined && settings.fused_kernels;
         const auto inputs = trace_inputs(a);
         gpusim::Sanitizer sanitizer;
         const int num_warps =
             (report.block_threads + device_.warp_size - 1) /
             device_.warp_size;
-        sanitizer.set_shared_limit(
-            gpusim::traced_shared_bytes(report.storage, num_warps));
+        // The pipelined kernel's widest combine publishes three partials
+        // per warp; the classic kernels publish at most two.
+        sanitizer.set_shared_limit(gpusim::traced_shared_bytes(
+            report.storage, num_warps, pipelined ? 3 : 2));
         const auto blocks = std::min<size_type>(2, a.num_batch());
         for (size_type blk = 0; blk < blocks; ++blk) {
             gpusim::MemoryHierarchy mem(
@@ -274,11 +278,12 @@ GpuSolveReport SimGpuExecutor::solve_impl(const BatchMatrix& a,
                 sanitizer, map, shape.rows, inputs.nnz_stored,
                 inputs.format == gpusim::TracedFormat::csr,
                 report.storage.num_global);
-            gpusim::trace_bicgstab(
-                tracer, map, inputs.format, *inputs.row_ptrs,
-                *inputs.csr_cols, *inputs.ell_cols, shape.rows,
-                inputs.nnz_per_row,
-                std::max(1, report.log.iterations(blk)), report.storage);
+            const auto trace = pipelined ? gpusim::trace_pipelined_bicgstab
+                                         : gpusim::trace_bicgstab;
+            trace(tracer, map, inputs.format, *inputs.row_ptrs,
+                  *inputs.csr_cols, *inputs.ell_cols, shape.rows,
+                  inputs.nnz_per_row,
+                  std::max(1, report.log.iterations(blk)), report.storage);
         }
         report.sanitizer = sanitizer.report();
         if (obs::metrics_enabled()) {

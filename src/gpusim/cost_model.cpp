@@ -158,17 +158,26 @@ BlockCost block_cost(const DeviceSpec& device, const SystemShape& shape,
     if (work.has_fused_shape()) {
         // Fused kernel: price SWEEPS, not BLAS calls. A norm fused into an
         // update sweep reuses that sweep's traffic and pays only the
-        // cross-warp combine latency; the dual-dot's second result
-        // likewise piggybacks on the first's sweep.
+        // cross-warp combine latency. Extra reduction RESULTS sharing a
+        // sweep that already combines (the dual-dot's second result, the
+        // pipelined dot4's extra outputs) cost a fraction of a combine
+        // round -- their partials ride the same scratch publish/barrier
+        // sequence; extra reduction VECTORS (a third operand streamed by a
+        // multi-output sweep) cost that vector's stream time; a dot fused
+        // into a NON-reduction sweep (pipelined CG's r.z on the
+        // preconditioner sweep) adds a full combine round there.
         const double combine_us =
             device.reduction_latency_us + spill_penalty;
+        const double vec_stream_us = n * bytes_per_value / (vec_rate * 1e3);
         cost.iter_update_us =
             (work.fused_update_sweeps + work.fused_norm_update_sweeps) *
-            cost.axpy_us;
+                cost.axpy_us +
+            work.fused_extra_combines * combine_us;
         cost.iter_reduction_us =
             work.fused_dot_sweeps * cost.dot_us +
-            (work.fused_norm_update_sweeps + work.fused_extra_dots) *
-                combine_us;
+            work.fused_extra_dot_vectors * vec_stream_us +
+            work.fused_norm_update_sweeps * combine_us +
+            work.fused_extra_dots * 0.25 * combine_us;
     } else {
         cost.iter_reduction_us = work.dots_per_iter * cost.dot_us;
         cost.iter_update_us = work.axpys_per_iter * cost.axpy_us;

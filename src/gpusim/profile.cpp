@@ -41,7 +41,7 @@ KernelProfile profile_bicgstab(const DeviceSpec& device,
                                const ProfilePattern& pattern,
                                index_type rows,
                                const std::vector<int>& block_iterations,
-                               const CacheSizing& sizing)
+                               const CacheSizing& sizing, bool pipelined)
 {
     BSIS_ENSURE_ARG(pattern.row_ptrs != nullptr &&
                         pattern.csr_col_idxs != nullptr &&
@@ -55,9 +55,11 @@ KernelProfile profile_bicgstab(const DeviceSpec& device,
         const auto map = AddressMap::for_system(
             static_cast<size_type>(blk), rows, pattern.nnz_stored,
             config.num_global);
-        trace_bicgstab(tracer, map, pattern.format, *pattern.row_ptrs,
-                       *pattern.csr_col_idxs, *pattern.ell_col_idxs, rows,
-                       pattern.nnz_per_row, block_iterations[blk], config);
+        const auto trace =
+            pipelined ? trace_pipelined_bicgstab : trace_bicgstab;
+        trace(tracer, map, pattern.format, *pattern.row_ptrs,
+              *pattern.csr_col_idxs, *pattern.ell_col_idxs, rows,
+              pattern.nnz_per_row, block_iterations[blk], config);
         profile.counters += tracer.counters();
         ++profile.blocks_traced;
         // Next block lands on a different CU in general.

@@ -68,13 +68,16 @@ struct ProfilePattern {
 /// `block_iterations` (block k maps system k's operand addresses and runs
 /// block_iterations[k] iterations) against a fresh L1/L2 pair sized by
 /// `sizing`. The L1 is invalidated between blocks -- consecutive blocks
-/// land on different CUs in general -- while L2 contents persist.
+/// land on different CUs in general -- while L2 contents persist. With
+/// `pipelined` the traced kernel is trace_pipelined_bicgstab (one or two
+/// reduction points per iteration) instead of the classic fused kernel.
 KernelProfile profile_bicgstab(const DeviceSpec& device,
                                const StorageConfig& config,
                                index_type block_threads,
                                const ProfilePattern& pattern,
                                index_type rows,
                                const std::vector<int>& block_iterations,
-                               const CacheSizing& sizing);
+                               const CacheSizing& sizing,
+                               bool pipelined = false);
 
 }  // namespace bsis::gpusim

@@ -55,12 +55,15 @@ AddressMap AddressMap::for_system(size_type system_index, index_type rows,
     return map;
 }
 
-size_type traced_shared_bytes(const StorageConfig& config, int num_warps)
+size_type traced_shared_bytes(const StorageConfig& config, int num_warps,
+                              int scratch_slots_per_warp)
 {
-    // Two scratch slots per warp: the fused dual-dot publishes two partials
-    // per warp in one pass.
+    // Per-warp scratch slots for the cross-warp combines: the classic
+    // fused dual-dot publishes two partials per warp in one pass, the
+    // pipelined three-result sweep publishes three.
     return config.shared_bytes +
-           static_cast<size_type>(num_warps) * 2 *
+           static_cast<size_type>(num_warps) *
+               static_cast<size_type>(scratch_slots_per_warp) *
                static_cast<size_type>(sizeof(real_type));
 }
 
@@ -234,17 +237,23 @@ void cross_warp_combine(BlockTracer& tracer, std::uint64_t scratch_base,
     tracer.barrier();  // scratch may be reused after this point
 }
 
-}  // namespace
-
-void trace_spmv_csr(BlockTracer& tracer, const AddressMap& map,
-                    const std::vector<index_type>& row_ptrs,
-                    const std::vector<index_type>& col_idxs,
-                    std::uint64_t x_base, std::uint64_t y_base)
+/// Common CSR SpMV trace body. With fused reductions (`self_dot` or
+/// non-empty `dot_bases`) each row's write is followed by the per-row
+/// reduction reads/flops and the kernel closes with one cross-warp
+/// combine; otherwise with the plain trailing barrier.
+void spmv_csr_core(BlockTracer& tracer, const AddressMap& map,
+                   const std::vector<index_type>& row_ptrs,
+                   const std::vector<index_type>& col_idxs,
+                   std::uint64_t x_base, std::uint64_t y_base,
+                   bool self_dot,
+                   const std::vector<std::uint64_t>& dot_bases,
+                   std::uint64_t scratch_base)
 {
-    tracer.set_kernel("spmv_csr");
     const auto rows = static_cast<index_type>(row_ptrs.size()) - 1;
     const int warp = tracer.warp_size();
     const int warps = tracer.num_warps();
+    const int num_results =
+        (self_dot ? 1 : 0) + static_cast<int>(dot_bases.size());
     std::vector<std::uint64_t> scratch;
     std::vector<std::uint64_t> gather;
 
@@ -267,21 +276,58 @@ void trace_spmv_csr(BlockTracer& tracer, const AddressMap& map,
                      gather);
             tracer.flop(active, 2);  // fused multiply-add per lane
         }
-        warp_reduce(tracer, static_cast<int>(std::min<index_type>(
-                                warp, std::max<index_type>(nnz, 1))));
+        // Fused cross-dots ride the per-lane partials BEFORE the row
+        // reduce: y_r * w[r] = sum_lanes(partial * w[r]), so the row's
+        // active lanes broadcast-load w[r] and fma it onto their own dot
+        // accumulators -- same lane activity as the SpMV fma itself, and
+        // the per-lane accumulators reduce only once at the very end.
+        const int red_active = static_cast<int>(std::min<index_type>(
+            warp, std::max<index_type>(nnz, 1)));
+        for (const auto base : dot_bases) {
+            scratch.assign(static_cast<std::size_t>(red_active),
+                           base + static_cast<std::uint64_t>(r) *
+                                      sizeof(real_type));
+            if (is_shared_addr(base)) {
+                tracer.load_shared(scratch, sizeof(real_type));
+            } else {
+                tracer.load_global(scratch, sizeof(real_type));
+            }
+            tracer.flop(red_active, 2);
+        }
+        warp_reduce(tracer, red_active);
         vec_write(tracer, y_base, r, 1, scratch);
+        // The self-dot needs the reduced row value: the leader squares it
+        // onto its accumulator (registers only, no load).
+        if (self_dot) {
+            tracer.flop(1, 2);
+        }
     }
-    tracer.barrier();
+    if (num_results == 0) {
+        tracer.barrier();
+        return;
+    }
+    // Cross-dot accumulators are per-lane; the self-dot already lives in
+    // a single lane per warp and goes straight to the combine.
+    for (std::size_t j = 0; j < dot_bases.size(); ++j) {
+        warp_reduce(tracer, warp);
+    }
+    cross_warp_combine(tracer, scratch_base, num_results);
 }
 
-void trace_spmv_ell(BlockTracer& tracer, const AddressMap& map,
-                    index_type rows, index_type nnz_per_row,
-                    const std::vector<index_type>& ell_col_idxs,
-                    std::uint64_t x_base, std::uint64_t y_base)
+/// Common ELL SpMV trace body; see spmv_csr_core for the fused-reduction
+/// tail.
+void spmv_ell_core(BlockTracer& tracer, const AddressMap& map,
+                   index_type rows, index_type nnz_per_row,
+                   const std::vector<index_type>& ell_col_idxs,
+                   std::uint64_t x_base, std::uint64_t y_base,
+                   bool self_dot,
+                   const std::vector<std::uint64_t>& dot_bases,
+                   std::uint64_t scratch_base)
 {
-    tracer.set_kernel("spmv_ell");
     const int warp = tracer.warp_size();
     const int warps = tracer.num_warps();
+    const int num_results =
+        (self_dot ? 1 : 0) + static_cast<int>(dot_bases.size());
     std::vector<std::uint64_t> scratch;
     std::vector<std::uint64_t> gather;
     std::vector<index_type> cols(static_cast<std::size_t>(warp));
@@ -318,8 +364,72 @@ void trace_spmv_ell(BlockTracer& tracer, const AddressMap& map,
         const int active =
             static_cast<int>(std::min<index_type>(warp, rows - r0));
         vec_write(tracer, y_base, r0, active, scratch);
+        // Fused reductions on the freshly produced values (see
+        // spmv_csr_core), coalesced across the chunk's lanes.
+        if (self_dot) {
+            tracer.flop(active, 2);
+        }
+        for (const auto base : dot_bases) {
+            vec_read(tracer, base, r0, active, scratch);
+            tracer.flop(active, 2);
+        }
     }
-    tracer.barrier();
+    if (num_results == 0) {
+        tracer.barrier();
+        return;
+    }
+    for (int j = 0; j < num_results; ++j) {
+        warp_reduce(tracer, warp);
+    }
+    cross_warp_combine(tracer, scratch_base, num_results);
+}
+
+}  // namespace
+
+void trace_spmv_csr(BlockTracer& tracer, const AddressMap& map,
+                    const std::vector<index_type>& row_ptrs,
+                    const std::vector<index_type>& col_idxs,
+                    std::uint64_t x_base, std::uint64_t y_base)
+{
+    tracer.set_kernel("spmv_csr");
+    spmv_csr_core(tracer, map, row_ptrs, col_idxs, x_base, y_base, false,
+                  {}, shared_space);
+}
+
+void trace_spmv_csr_dots(BlockTracer& tracer, const AddressMap& map,
+                         const std::vector<index_type>& row_ptrs,
+                         const std::vector<index_type>& col_idxs,
+                         std::uint64_t x_base, std::uint64_t y_base,
+                         bool self_dot,
+                         const std::vector<std::uint64_t>& dot_bases,
+                         std::uint64_t scratch_base)
+{
+    tracer.set_kernel("spmv_csr_dots");
+    spmv_csr_core(tracer, map, row_ptrs, col_idxs, x_base, y_base,
+                  self_dot, dot_bases, scratch_base);
+}
+
+void trace_spmv_ell(BlockTracer& tracer, const AddressMap& map,
+                    index_type rows, index_type nnz_per_row,
+                    const std::vector<index_type>& ell_col_idxs,
+                    std::uint64_t x_base, std::uint64_t y_base)
+{
+    tracer.set_kernel("spmv_ell");
+    spmv_ell_core(tracer, map, rows, nnz_per_row, ell_col_idxs, x_base,
+                  y_base, false, {}, shared_space);
+}
+
+void trace_spmv_ell_dots(BlockTracer& tracer, const AddressMap& map,
+                         index_type rows, index_type nnz_per_row,
+                         const std::vector<index_type>& ell_col_idxs,
+                         std::uint64_t x_base, std::uint64_t y_base,
+                         bool self_dot,
+                         const std::vector<std::uint64_t>& dot_bases,
+                         std::uint64_t scratch_base)
+{
+    tracer.set_kernel("spmv_ell_dots");
+    spmv_ell_core(tracer, map, rows, nnz_per_row, ell_col_idxs, x_base,
+                  y_base, self_dot, dot_bases, scratch_base);
 }
 
 void trace_spmv_ell_multi(BlockTracer& tracer, const AddressMap& map,
@@ -484,6 +594,37 @@ void trace_axpy_nrm2(BlockTracer& tracer, index_type n,
     cross_warp_combine(tracer, scratch_base, 1);
 }
 
+void trace_axpy_nrm2_dot(BlockTracer& tracer, index_type n,
+                         const std::vector<std::uint64_t>& read_bases,
+                         std::uint64_t out_base, std::uint64_t dot_base,
+                         std::uint64_t scratch_base)
+{
+    tracer.set_kernel("axpy_nrm2_dot");
+    const int warp = tracer.warp_size();
+    const int warps = tracer.num_warps();
+    std::vector<std::uint64_t> scratch;
+    // Streaming update sweep accumulating BOTH the squared norm of the
+    // written value and its product against `dot_base`: the written
+    // element is in registers, so the two reductions cost one extra
+    // operand read and two fmas.
+    for (index_type i0 = 0; i0 < n; i0 += warp) {
+        tracer.set_warp(static_cast<int>((i0 / warp) % warps));
+        const int active =
+            static_cast<int>(std::min<index_type>(warp, n - i0));
+        for (const auto base : read_bases) {
+            vec_read(tracer, base, i0, active, scratch);
+        }
+        tracer.flop(active, 2);  // the update
+        vec_write(tracer, out_base, i0, active, scratch);
+        tracer.flop(active, 2);  // norm accumulation
+        vec_read(tracer, dot_base, i0, active, scratch);
+        tracer.flop(active, 2);  // dot accumulation
+    }
+    warp_reduce(tracer, warp);
+    warp_reduce(tracer, warp);
+    cross_warp_combine(tracer, scratch_base, 2);
+}
+
 void trace_axpy(BlockTracer& tracer, index_type n,
                 const std::vector<std::uint64_t>& read_bases,
                 std::uint64_t out_base)
@@ -505,19 +646,22 @@ void trace_axpy(BlockTracer& tracer, index_type n,
     tracer.barrier();
 }
 
-void trace_bicgstab(BlockTracer& tracer, const AddressMap& map,
-                    TracedFormat format,
-                    const std::vector<index_type>& row_ptrs,
-                    const std::vector<index_type>& csr_col_idxs,
-                    const std::vector<index_type>& ell_col_idxs,
-                    index_type rows, index_type nnz_per_row, int iterations,
-                    const StorageConfig& config)
+namespace {
+
+/// Solver vector addresses resolved from a storage config: each slot's
+/// shared-memory offset or spilled global region, in slot order. Shared
+/// vector i sits at byte offset i * padded_length * sizeof(real_type);
+/// the cross-warp reduction scratch follows the last shared vector.
+struct BicgstabSlots {
+    std::uint64_t p_hat, v, s_hat, t, r, r_hat, p, s, x;
+    std::uint64_t inv_diag;
+    std::uint64_t reduce_scratch;
+    bool has_jacobi;
+};
+
+BicgstabSlots resolve_bicgstab_slots(const AddressMap& map,
+                                     const StorageConfig& config)
 {
-    tracer.set_kernel("bicgstab");
-    // Resolve every solver vector to its shared-memory offset or a spilled
-    // global region, in slot order. Shared vector i sits at byte offset
-    // i * padded_length * sizeof(real_type); the cross-warp reduction
-    // scratch follows the last shared vector.
     BSIS_ENSURE_ARG(!config.slots.empty(), "storage config not built");
     const auto vector_bytes =
         static_cast<std::uint64_t>(config.padded_length) *
@@ -532,8 +676,6 @@ void trace_bicgstab(BlockTracer& tracer, const AddressMap& map,
                       vector_bytes
                 : map.spill_vec(spill++);
     }
-    const std::uint64_t reduce_scratch =
-        static_cast<std::uint64_t>(config.num_shared) * vector_bytes;
     const auto vec = [&](const char* name) {
         for (std::size_t i = 0; i < config.slots.size(); ++i) {
             if (config.slots[i].name == name) {
@@ -543,18 +685,59 @@ void trace_bicgstab(BlockTracer& tracer, const AddressMap& map,
         throw BadArgument("trace_bicgstab",
                           std::string("unknown slot ") + name);
     };
-    const auto p_hat = vec("p_hat");
-    const auto v = vec("v");
-    const auto s_hat = vec("s_hat");
-    const auto t = vec("t");
-    const auto r = vec("r");
-    const auto r_hat = vec("r_hat");
-    const auto p = vec("p");
-    const auto s = vec("s");
-    const auto x = vec("x");
-    const bool has_jacobi = config.slots.back().cls == SlotClass::precond;
-    const std::uint64_t inv_diag =
-        has_jacobi ? base.back() : shared_space;
+    BicgstabSlots s{};
+    s.p_hat = vec("p_hat");
+    s.v = vec("v");
+    s.s_hat = vec("s_hat");
+    s.t = vec("t");
+    s.r = vec("r");
+    s.r_hat = vec("r_hat");
+    s.p = vec("p");
+    s.s = vec("s");
+    s.x = vec("x");
+    s.has_jacobi = config.slots.back().cls == SlotClass::precond;
+    s.inv_diag = s.has_jacobi ? base.back() : shared_space;
+    s.reduce_scratch =
+        static_cast<std::uint64_t>(config.num_shared) * vector_bytes;
+    return s;
+}
+
+/// Exit write-back of the per-system log record: lane 0 stores
+/// {iterations, residual_norm, failure class} -- the same taxonomy the
+/// host-side kernels classify -- as three 8-byte words. This is what a
+/// real GPU kernel must emit for the flight recorder to work off-device.
+void trace_log_writeback(BlockTracer& tracer, const AddressMap& map)
+{
+    tracer.instr(1);
+    tracer.store_global({map.log}, 8);
+    tracer.store_global({map.log + 8}, 8);
+    tracer.store_global({map.log + 16}, 8);
+}
+
+}  // namespace
+
+void trace_bicgstab(BlockTracer& tracer, const AddressMap& map,
+                    TracedFormat format,
+                    const std::vector<index_type>& row_ptrs,
+                    const std::vector<index_type>& csr_col_idxs,
+                    const std::vector<index_type>& ell_col_idxs,
+                    index_type rows, index_type nnz_per_row, int iterations,
+                    const StorageConfig& config)
+{
+    tracer.set_kernel("bicgstab");
+    const auto slots = resolve_bicgstab_slots(map, config);
+    const auto p_hat = slots.p_hat;
+    const auto v = slots.v;
+    const auto s_hat = slots.s_hat;
+    const auto t = slots.t;
+    const auto r = slots.r;
+    const auto r_hat = slots.r_hat;
+    const auto p = slots.p;
+    const auto s = slots.s;
+    const auto x = slots.x;
+    const bool has_jacobi = slots.has_jacobi;
+    const std::uint64_t inv_diag = slots.inv_diag;
+    const std::uint64_t reduce_scratch = slots.reduce_scratch;
 
     const auto spmv = [&](std::uint64_t in, std::uint64_t out) {
         if (format == TracedFormat::csr) {
@@ -604,14 +787,81 @@ void trace_bicgstab(BlockTracer& tracer, const AddressMap& map,
                         reduce_scratch);
     }
 
-    // Exit write-back of the per-system log record: lane 0 stores
-    // {iterations, residual_norm, failure class} -- the same taxonomy the
-    // host-side kernels classify -- as three 8-byte words. This is what a
-    // real GPU kernel must emit for the flight recorder to work off-device.
-    tracer.instr(1);
-    tracer.store_global({map.log}, 8);
-    tracer.store_global({map.log + 8}, 8);
-    tracer.store_global({map.log + 16}, 8);
+    trace_log_writeback(tracer, map);
+}
+
+void trace_pipelined_bicgstab(BlockTracer& tracer, const AddressMap& map,
+                              TracedFormat format,
+                              const std::vector<index_type>& row_ptrs,
+                              const std::vector<index_type>& csr_col_idxs,
+                              const std::vector<index_type>& ell_col_idxs,
+                              index_type rows, index_type nnz_per_row,
+                              int iterations, const StorageConfig& config)
+{
+    tracer.set_kernel("pipelined_bicgstab");
+    const auto slots = resolve_bicgstab_slots(map, config);
+    const auto p_hat = slots.p_hat;
+    const auto v = slots.v;
+    const auto s_hat = slots.s_hat;
+    const auto t = slots.t;
+    const auto r = slots.r;
+    const auto r_hat = slots.r_hat;
+    const auto p = slots.p;
+    const auto s = slots.s;
+    const auto x = slots.x;
+    const bool has_jacobi = slots.has_jacobi;
+    const std::uint64_t inv_diag = slots.inv_diag;
+    const std::uint64_t reduce_scratch = slots.reduce_scratch;
+
+    const auto spmv_dots = [&](std::uint64_t in, std::uint64_t out,
+                               bool self_dot,
+                               const std::vector<std::uint64_t>& dots) {
+        if (format == TracedFormat::csr) {
+            trace_spmv_csr_dots(tracer, map, row_ptrs, csr_col_idxs, in,
+                                out, self_dot, dots, reduce_scratch);
+        } else {
+            trace_spmv_ell_dots(tracer, map, rows, nnz_per_row,
+                                ell_col_idxs, in, out, self_dot, dots,
+                                reduce_scratch);
+        }
+    };
+    const auto precond = [&](std::uint64_t in, std::uint64_t out) {
+        if (has_jacobi) {
+            trace_axpy(tracer, rows, {inv_diag, in}, out);
+        } else {
+            trace_axpy(tracer, rows, {in}, out);
+        }
+    };
+
+    // Setup matches the classic kernel plus the initial rho = r.r_hat
+    // (afterwards rho lives in the recurrence).
+    if (has_jacobi) {
+        trace_axpy(tracer, rows, {map.values}, inv_diag);
+    }
+    spmv_dots(x, t, false, {});
+    trace_axpy_nrm2(tracer, rows, {map.b, t}, r, reduce_scratch);
+    trace_axpy(tracer, rows, {r}, r_hat);
+    trace_dot(tracer, rows, r, r_hat, reduce_scratch);
+
+    // Pipelined iteration: no standalone rho reduction (recurrence);
+    // r_hat.v rides the SpMV producing v; ||s|| and s.r_hat ride the s
+    // update; t.t / t.s / t.r_hat ride the SpMV producing t in ONE
+    // three-result combine; the x and r updates stream with no reduction
+    // at all (||r|| comes from the recurrence). 14 block barriers per
+    // iteration versus the classic kernel's 21.
+    for (int it = 0; it < iterations; ++it) {
+        trace_axpy(tracer, rows, {r, p, v}, p);       // p update
+        precond(p, p_hat);
+        spmv_dots(p_hat, v, false, {r_hat});          // v = A p_hat, r_hat.v
+        trace_axpy_nrm2_dot(tracer, rows, {r, v}, s,  // s, ||s||, s.r_hat
+                            r_hat, reduce_scratch);
+        precond(s, s_hat);
+        spmv_dots(s_hat, t, true, {s, r_hat});        // t, t.t, t.s, t.r_hat
+        trace_axpy(tracer, rows, {x, p_hat, s_hat}, x);
+        trace_axpy(tracer, rows, {s, t}, r);          // pure streaming sweep
+    }
+
+    trace_log_writeback(tracer, map);
 }
 
 }  // namespace bsis::gpusim

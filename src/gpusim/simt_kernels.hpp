@@ -68,10 +68,13 @@ struct AddressMap {
 };
 
 /// Shared bytes the traced solver actually touches for `config`: the
-/// configured vectors plus TWO cross-warp reduction scratch slots per warp
-/// (the fused dual-dot publishes two partials per warp in one pass).
-/// Pass this to Sanitizer::set_shared_limit for bounds checking.
-size_type traced_shared_bytes(const StorageConfig& config, int num_warps);
+/// configured vectors plus `scratch_slots_per_warp` cross-warp reduction
+/// scratch slots per warp. The classic fused kernels need TWO (the dual-
+/// dot publishes two partials per warp in one pass); the pipelined kernel
+/// needs THREE (its widest sweep combines three results). Pass this to
+/// Sanitizer::set_shared_limit for bounds checking.
+size_type traced_shared_bytes(const StorageConfig& config, int num_warps,
+                              int scratch_slots_per_warp = 2);
 
 /// Bytes of the per-system convergence log record the traced solver
 /// writes back on exit: {iterations, residual_norm, failure class}, one
@@ -143,6 +146,40 @@ void trace_axpy_nrm2(BlockTracer& tracer, index_type n,
                      std::uint64_t out_base,
                      std::uint64_t scratch_base = shared_space);
 
+/// Warp-per-row CSR SpMV with reductions fused into the sweep: alongside
+/// y = A x the kernel accumulates, per row, the products of the freshly
+/// produced y element (still in registers) against each vector in
+/// `dot_bases` -- plus y's own square when `self_dot` -- and finishes with
+/// ONE cross-warp combine publishing all results instead of the plain
+/// kernel's trailing barrier. This is the pipelined solver's key move: a
+/// dot fused into the sweep that PRODUCES its operand costs only the
+/// other operand's row reads.
+void trace_spmv_csr_dots(BlockTracer& tracer, const AddressMap& map,
+                         const std::vector<index_type>& row_ptrs,
+                         const std::vector<index_type>& col_idxs,
+                         std::uint64_t x_base, std::uint64_t y_base,
+                         bool self_dot,
+                         const std::vector<std::uint64_t>& dot_bases,
+                         std::uint64_t scratch_base = shared_space);
+
+/// Thread-per-row ELL SpMV with fused reductions; see trace_spmv_csr_dots.
+void trace_spmv_ell_dots(BlockTracer& tracer, const AddressMap& map,
+                         index_type rows, index_type nnz_per_row,
+                         const std::vector<index_type>& ell_col_idxs,
+                         std::uint64_t x_base, std::uint64_t y_base,
+                         bool self_dot,
+                         const std::vector<std::uint64_t>& dot_bases,
+                         std::uint64_t scratch_base = shared_space);
+
+/// Fused update + norm + dot: the trace_axpy sweep with the squared norm
+/// of the written value AND its product against `dot_base` accumulated in
+/// registers, closed by one combine round publishing both results (the
+/// pipelined s-update: s, ||s||, and s.r_hat in one sweep).
+void trace_axpy_nrm2_dot(BlockTracer& tracer, index_type n,
+                         const std::vector<std::uint64_t>& read_bases,
+                         std::uint64_t out_base, std::uint64_t dot_base,
+                         std::uint64_t scratch_base = shared_space);
+
 /// Which SpMV kernel a traced solve uses.
 enum class TracedFormat { csr, ell };
 
@@ -156,5 +193,20 @@ void trace_bicgstab(BlockTracer& tracer, const AddressMap& map,
                     const std::vector<index_type>& ell_col_idxs,
                     index_type rows, index_type nnz_per_row, int iterations,
                     const StorageConfig& config);
+
+/// Pipelined fused BiCGStab solve of one system (the traced twin of
+/// pipelined_bicgstab_kernel): the standalone rho reduction disappears
+/// into the recurrence, r_hat.v fuses into the SpMV that produces v, the
+/// omega/rho reductions fuse into the SpMV that produces t (a three-result
+/// combine), and the r update runs as a pure streaming sweep. 14 block
+/// barriers per iteration versus the classic kernel's 21. Needs THREE
+/// reduction scratch slots per warp (traced_shared_bytes(..., 3)).
+void trace_pipelined_bicgstab(BlockTracer& tracer, const AddressMap& map,
+                              TracedFormat format,
+                              const std::vector<index_type>& row_ptrs,
+                              const std::vector<index_type>& csr_col_idxs,
+                              const std::vector<index_type>& ell_col_idxs,
+                              index_type rows, index_type nnz_per_row,
+                              int iterations, const StorageConfig& config);
 
 }  // namespace bsis::gpusim

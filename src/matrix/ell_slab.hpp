@@ -195,6 +195,87 @@ inline void spmv_lanes(const EllSlabView<T>& a, const T* x, T* y)
     }
 }
 
+/// Lockstep SpMV with a dot fused into the producing sweep:
+/// y(:, l) := A_l x(:, l) and d[l] := w(:, l) . y(:, l). The freshly
+/// computed y row is dotted against w while it is still in registers, so
+/// the dot costs one extra read of w instead of a full separate sweep over
+/// two vectors. Rows accumulate in ascending order -- the same order as
+/// dot_lanes over the finished y -- so the result is bit-identical to the
+/// unfused spmv_lanes + dot_lanes pair.
+template <int W, typename T>
+inline void spmv_lanes_dot(const EllSlabView<T>& a, const T* x, const T* w,
+                           T* y, T* d)
+{
+    BSIS_ASSERT(a.width == W);
+    T acc[W] = {};
+    for (index_type r = 0; r < a.rows; ++r) {
+        T sum[W] = {};
+        for (index_type k = 0; k < a.nnz_per_row; ++k) {
+            const std::size_t slot = static_cast<std::size_t>(k) * a.rows + r;
+            const index_type c = a.col_idxs[slot];
+            const T* vals = a.values + slot * W;
+            const T* xs = x + static_cast<std::size_t>(c) * W;
+#pragma omp simd
+            for (int l = 0; l < W; ++l) {
+                sum[l] += vals[l] * xs[l];
+            }
+        }
+        const T* ws = w + static_cast<std::size_t>(r) * W;
+#pragma omp simd
+        for (int l = 0; l < W; ++l) {
+            y[static_cast<std::size_t>(r) * W + l] = sum[l];
+            acc[l] += ws[l] * sum[l];
+        }
+    }
+    for (int l = 0; l < W; ++l) {
+        d[l] = acc[l];
+    }
+}
+
+/// Lockstep SpMV with the pipelined BiCGStab triple reduction fused in:
+/// y(:, l) := A_l x(:, l), d_yy[l] := y . y, d_yw[l] := y . w,
+/// d_yv[l] := y . v. With y = t, w = s, v = r_hat this replaces the
+/// dot2(t, t, s) sweep AND supplies t . r_hat for the rho recurrence, all
+/// while t is register-resident. Accumulation order per result matches
+/// dot2_lanes / dot_lanes over the finished y bit for bit.
+template <int W, typename T>
+inline void spmv_lanes_dot3(const EllSlabView<T>& a, const T* x, const T* w,
+                            const T* v, T* y, T* d_yy, T* d_yw, T* d_yv)
+{
+    BSIS_ASSERT(a.width == W);
+    T acc_yy[W] = {};
+    T acc_yw[W] = {};
+    T acc_yv[W] = {};
+    for (index_type r = 0; r < a.rows; ++r) {
+        T sum[W] = {};
+        for (index_type k = 0; k < a.nnz_per_row; ++k) {
+            const std::size_t slot = static_cast<std::size_t>(k) * a.rows + r;
+            const index_type c = a.col_idxs[slot];
+            const T* vals = a.values + slot * W;
+            const T* xs = x + static_cast<std::size_t>(c) * W;
+#pragma omp simd
+            for (int l = 0; l < W; ++l) {
+                sum[l] += vals[l] * xs[l];
+            }
+        }
+        const T* ws = w + static_cast<std::size_t>(r) * W;
+        const T* vs = v + static_cast<std::size_t>(r) * W;
+#pragma omp simd
+        for (int l = 0; l < W; ++l) {
+            const T yi = sum[l];
+            y[static_cast<std::size_t>(r) * W + l] = yi;
+            acc_yy[l] += yi * yi;
+            acc_yw[l] += yi * ws[l];
+            acc_yv[l] += yi * vs[l];
+        }
+    }
+    for (int l = 0; l < W; ++l) {
+        d_yy[l] = acc_yy[l];
+        d_yw[l] = acc_yw[l];
+        d_yv[l] = acc_yv[l];
+    }
+}
+
 /// Scalar SpMV of one lane's column of the slab: y[r] := A_l x[r]. Used by
 /// the per-lane refill setup (initial residual of a freshly loaded system)
 /// where only one lane's data is valid.

@@ -78,6 +78,7 @@ void write_meta(std::ostream& os, const FailureBundleMeta& meta)
        << (meta.used_initial_guess ? "true" : "false");
     os << ",\n  \"fused_kernels\": "
        << (meta.fused_kernels ? "true" : "false");
+    os << ",\n  \"pipelined\": " << (meta.pipelined ? "true" : "false");
     os << ",\n  \"lockstep_width\": " << meta.lockstep_width;
     os << ",\n  \"system_index\": " << meta.system_index;
     os << ",\n  \"iterations\": " << meta.iterations;
@@ -259,6 +260,8 @@ FailureBundleMeta parse_meta(const std::string& text)
             meta.used_initial_guess = sc.parse_bool();
         } else if (key == "fused_kernels") {
             meta.fused_kernels = sc.parse_bool();
+        } else if (key == "pipelined") {
+            meta.pipelined = sc.parse_bool();
         } else if (key == "lockstep_width") {
             meta.lockstep_width = static_cast<int>(sc.parse_number());
         } else if (key == "system_index") {

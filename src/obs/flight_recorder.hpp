@@ -41,6 +41,7 @@ struct FailureBundleMeta {
     real_type richardson_omega = 0.0;
     bool used_initial_guess = false;
     bool fused_kernels = true;
+    bool pipelined = false;
     int lockstep_width = 0;
     std::int64_t system_index = 0;  ///< index within the captured batch
     int iterations = 0;             ///< iterations the failing solve ran

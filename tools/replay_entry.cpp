@@ -21,6 +21,10 @@
 //   --format=NAME    matrix format: csr (default), ell, sellp, dense
 //   --lockstep=W     lockstep width for the lockstep path (default 8)
 //   --max-iters=N    override the captured iteration cap
+//   --pipelined      replay with the pipelined kernel variant on every
+//                    path, plus a classic-variant scalar baseline row, so
+//                    the side-by-side diff covers the variant boundary
+//                    (classification must agree across variants too)
 #include <cmath>
 #include <cstring>
 #include <iostream>
@@ -95,6 +99,9 @@ struct ReplayOptions {
     std::string precond_override;
     int lockstep_width = 8;
     int max_iters_override = -1;
+    /// Replay with the pipelined kernels (solver-variant override); a
+    /// classic-variant scalar row joins the diff as the baseline.
+    bool pipelined = false;
 };
 
 /// Re-runs one bundle through all three paths. Returns true when every
@@ -123,6 +130,10 @@ bool replay_bundle(const std::string& bundle_dir, const ReplayOptions& opt,
     if (opt.max_iters_override >= 0) {
         settings.max_iterations = opt.max_iters_override;
     }
+    if (opt.pipelined) {
+        settings.pipelined = true;
+        settings.fused_kernels = true;  // the pipelined variants are fused
+    }
 
     const auto n = static_cast<index_type>(bundle.a.rows);
     auto csr = io::from_coo({bundle.a});
@@ -138,9 +149,18 @@ bool replay_bundle(const std::string& bundle_dir, const ReplayOptions& opt,
               << bundle.meta.failure << " after " << bundle.meta.iterations
               << " iterations (solver " << solver_name(settings.solver)
               << ", precond " << precond_name(settings.precond)
-              << ", format " << opt.format << ")\n";
+              << ", format " << opt.format
+              << (opt.pipelined ? ", variant pipelined" : "") << ")\n";
 
     std::vector<PathOutcome> outcomes;
+    if (opt.pipelined) {
+        // Cross-variant baseline: the classic kernels on the scalar path.
+        // Classification must agree across the variant boundary as well.
+        auto classic = settings;
+        classic.pipelined = false;
+        outcomes.push_back(
+            run_host_path("scalar-classic", csr, b, x0, classic, 0));
+    }
     if (opt.format == "ell") {
         const auto ell = to_ell(csr);
         outcomes.push_back(run_host_path("scalar", ell, b, x0, settings, 0));
@@ -306,6 +326,24 @@ int selftest(const std::string& dir)
                       << " but the bundle recorded " << recorded << '\n';
             ++failures;
         }
+        // Cross-variant replay: the pipelined kernels must classify the
+        // same failure, and the diff table now includes a classic-variant
+        // scalar baseline so the agreement check spans the variant
+        // boundary.
+        ReplayOptions pipelined_opt;
+        pipelined_opt.pipelined = true;
+        std::string replayed_pipelined;
+        std::cout << '\n';
+        if (!replay_bundle(bundle_dir, pipelined_opt, &replayed_pipelined)) {
+            std::cerr << "selftest: pipelined variant disagrees for "
+                      << bundle_dir << '\n';
+            ++failures;
+        } else if (replayed_pipelined != recorded) {
+            std::cerr << "selftest: pipelined replay classified "
+                      << replayed_pipelined << " but the bundle recorded "
+                      << recorded << '\n';
+            ++failures;
+        }
     }
     std::cout << "\nselftest: " << (failures == 0 ? "PASS" : "FAIL")
               << '\n';
@@ -333,12 +371,14 @@ int main(int argc, char** argv)
             opt.lockstep_width = std::atoi(arg + 11);
         } else if (std::strncmp(arg, "--max-iters=", 12) == 0) {
             opt.max_iters_override = std::atoi(arg + 12);
+        } else if (std::strcmp(arg, "--pipelined") == 0) {
+            opt.pipelined = true;
         } else if (arg[0] != '-' && bundle_dir.empty()) {
             bundle_dir = arg;
         } else {
             std::cerr << "usage: replay_entry BUNDLE_DIR [--solver=NAME] "
                          "[--precond=NAME] [--format=csr|ell|sellp|dense] "
-                         "[--lockstep=W] [--max-iters=N]\n"
+                         "[--lockstep=W] [--max-iters=N] [--pipelined]\n"
                          "       replay_entry --selftest DIR\n";
             return 2;
         }
