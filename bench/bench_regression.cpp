@@ -336,6 +336,7 @@ int main(int argc, char** argv)
     bool smoke = bench::quick_mode();
     std::string out_path = "BENCH_solvers.json";
     std::string baseline_path;
+    std::string metrics_out_path;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--smoke") == 0) {
             smoke = true;
@@ -344,9 +345,12 @@ int main(int argc, char** argv)
         } else if (std::strcmp(argv[i], "--baseline") == 0 &&
                    i + 1 < argc) {
             baseline_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--metrics-out") == 0 &&
+                   i + 1 < argc) {
+            metrics_out_path = argv[++i];
         } else {
             std::cerr << "usage: bench_regression [--smoke] [--out <path>]"
-                         " [--baseline <path>]\n";
+                         " [--baseline <path>] [--metrics-out <path>]\n";
             return 1;
         }
     }
@@ -486,6 +490,22 @@ int main(int argc, char** argv)
             time_host("csr", true, csr, b, reps).median_wall_seconds;
         obs::set_metrics_enabled(false);
         obs::set_trace_enabled(false);
+        // The telemetry-live repetitions just recorded the full
+        // attribution of the canonical workload (phase roofline gauges,
+        // drift checks); --metrics-out hands that snapshot to
+        // tools/solve_report so the perf-regression script can gate on
+        // drift alarms.
+        if (!metrics_out_path.empty()) {
+            obs::sync_trace_dropped_gauge();
+            if (obs::metrics().write_json(metrics_out_path)) {
+                std::cout << "[metrics snapshot written to "
+                          << metrics_out_path << "]\n";
+            } else {
+                std::cerr << "bench_regression: cannot write metrics to "
+                          << metrics_out_path << "\n";
+                return 1;
+            }
+        }
         obs::trace().clear();
         obs::metrics().reset_values();
         if (telemetry.disabled_median_wall_seconds > 0) {

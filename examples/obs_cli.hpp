@@ -8,6 +8,16 @@
 //                        system of an armed solve is dumped as a replay
 //                        bundle (A.mtx, b.mtx, x0.mtx, meta.json) under
 //                        DIR, up to a bounded budget
+//   --report=FILE        metrics registry on; the human-readable
+//                        performance-attribution report (per-phase
+//                        bandwidth/roofline table, drift summary,
+//                        failure classes) rendered to FILE at exit --
+//                        the same document `tools/solve_report` builds
+//                        from a metrics snapshot
+//   --drift-dump=DIR     arm the drift annotation dump: every solve
+//                        whose measured-vs-modeled phase comparison
+//                        alarms writes a drift_<seq>_<prefix>.json
+//                        describing the disagreement under DIR
 //
 // Construct an ObsCli early in main with argc/argv: it consumes the
 // recognized flags (compacting argv so positional parsing downstream is
@@ -18,11 +28,15 @@
 #pragma once
 
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <map>
 #include <memory>
 #include <string>
 
+#include "obs/attribution.hpp"
 #include "obs/flight_recorder.hpp"
+#include "obs/report.hpp"
 #include "obs/telemetry.hpp"
 
 namespace bsis::examples {
@@ -41,6 +55,11 @@ public:
                        0) {
                 recorder_ =
                     std::make_unique<obs::FlightRecorder>(argv[i] + 19);
+            } else if (std::strncmp(argv[i], "--report=", 9) == 0) {
+                report_path_ = argv[i] + 9;
+            } else if (std::strncmp(argv[i], "--drift-dump=", 13) == 0) {
+                drift_dump_ = true;
+                obs::set_drift_dump_dir(argv[i] + 13);
             } else {
                 argv[out++] = argv[i];
             }
@@ -49,7 +68,7 @@ public:
         if (!trace_path_.empty()) {
             obs::set_trace_enabled(true);
         }
-        if (!metrics_path_.empty()) {
+        if (!metrics_path_.empty() || !report_path_.empty()) {
             obs::set_metrics_enabled(true);
         }
     }
@@ -59,10 +78,11 @@ public:
 
     ~ObsCli() { flush(); }
 
-    /// Whether either telemetry flag was given.
+    /// Whether any telemetry flag was given.
     bool active() const
     {
-        return !trace_path_.empty() || !metrics_path_.empty();
+        return !trace_path_.empty() || !metrics_path_.empty() ||
+               !report_path_.empty();
     }
 
     /// The armed flight recorder, or nullptr when --capture-failures was
@@ -73,6 +93,31 @@ public:
     /// Idempotent; the destructor calls it for the common case.
     void flush()
     {
+        if (!report_path_.empty()) {
+            obs::sync_trace_dropped_gauge();
+            obs::MetricsDocument doc;
+            if (!obs::parse_metrics_json(obs::metrics().snapshot_json(),
+                                         doc)) {
+                std::cerr << "[obs] failed to build report snapshot\n";
+            } else {
+                std::map<std::string, obs::TraceSpanStats> spans;
+                obs::summarize_trace_json(obs::trace().chrome_trace_json(),
+                                          spans);
+                const auto report = obs::render_solve_report(doc, spans);
+                std::ofstream out(report_path_);
+                if (out && (out << report.text)) {
+                    std::cout << "[obs] report written to " << report_path_
+                              << '\n';
+                } else {
+                    std::cerr << "[obs] failed to write report to "
+                              << report_path_ << '\n';
+                }
+            }
+            report_path_.clear();
+            if (metrics_path_.empty()) {
+                obs::set_metrics_enabled(false);
+            }
+        }
         if (!trace_path_.empty()) {
             obs::set_trace_enabled(false);
             if (obs::trace().write_chrome_trace(trace_path_)) {
@@ -86,6 +131,7 @@ public:
             trace_path_.clear();
         }
         if (!metrics_path_.empty()) {
+            obs::sync_trace_dropped_gauge();
             obs::set_metrics_enabled(false);
             if (obs::metrics().write_json(metrics_path_)) {
                 std::cout << "[obs] metrics written to " << metrics_path_
@@ -95,6 +141,10 @@ public:
                           << metrics_path_ << '\n';
             }
             metrics_path_.clear();
+        }
+        if (drift_dump_) {
+            obs::set_drift_dump_dir("");
+            drift_dump_ = false;
         }
         if (recorder_ != nullptr) {
             std::cout << "[obs] flight recorder: " << recorder_->captured()
@@ -108,6 +158,8 @@ public:
 private:
     std::string trace_path_;
     std::string metrics_path_;
+    std::string report_path_;
+    bool drift_dump_ = false;
     std::unique_ptr<obs::FlightRecorder> recorder_;
 };
 

@@ -14,7 +14,9 @@
 // the metrics registry (solve counters, iteration histograms, gpusim
 // profiler counters) at exit; --capture-failures=DIR arms the flight
 // recorder so every non-converged linear system is dumped as a replay
-// bundle for tools/replay_entry.
+// bundle for tools/replay_entry; --report=FILE renders the performance-
+// attribution report (per-phase bandwidth/roofline table, drift summary,
+// failure classes -- the tools/solve_report document) at exit.
 #include <cmath>
 #include <cstdlib>
 #include <iostream>

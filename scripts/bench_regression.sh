@@ -34,7 +34,17 @@ else
 fi
 
 "$BUILD_DIR/bench/bench_regression" --out BENCH_solvers.json \
-    "${BASELINE_ARGS[@]}"
+    --metrics-out "$BUILD_DIR/BENCH_metrics.json" "${BASELINE_ARGS[@]}"
+
+# Performance-attribution gate: render the telemetry-live repetitions'
+# metrics snapshot through tools/solve_report and fail on drift alarms
+# (the cost model no longer explaining the measured phase mix) or on a
+# phase bandwidth outside (0, peak].
+echo "-- solve_report drift/bandwidth gate"
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target solve_report
+"$BUILD_DIR/tools/solve_report" "$BUILD_DIR/BENCH_metrics.json" \
+    --out="$BUILD_DIR/BENCH_report.txt" --gate-drift --gate-bandwidth
+echo "   report at $BUILD_DIR/BENCH_report.txt"
 
 # Pipelined gate, re-checked here from the written JSON in case the bench
 # binary's internal gate is ever relaxed: on a full-size run, the

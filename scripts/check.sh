@@ -23,6 +23,12 @@ ctest --test-dir "$BUILD_DIR" -L sanitizer --output-on-failure
 echo "== observability test tier =="
 ctest --test-dir "$BUILD_DIR" -L obs --output-on-failure
 
+# Attribution: the work ledger's byte/flop hand counts, roofline
+# attribution, drift detection, the continuous-profiler window, and the
+# measured-bandwidth sanity bounds of real solves on all three paths.
+echo "== attribution test tier =="
+ctest --test-dir "$BUILD_DIR" -L attribution --output-on-failure
+
 # Forensics: the failure taxonomy, cross-path classification agreement,
 # the flight recorder, and bundle replay -- plus the replay tool's own
 # end-to-end loop (force a breakdown, capture the bundle, replay it

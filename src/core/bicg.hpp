@@ -42,20 +42,21 @@ EntryResult bicg_kernel(const MatrixView& a, ConstVecView<real_type> b,
 
     const real_type b_norm = blas::nrm2(b);
 
-    obs::traced("spmv", [&] { spmv(a, ConstVecView<real_type>(x), r); });
+    obs::traced(obs::Phase::spmv, "spmv", [&] { spmv(a, ConstVecView<real_type>(x), r); });
     blas::axpby(real_type{1}, b, real_type{-1}, r);
     blas::copy(ConstVecView<real_type>(r), r_hat);
     real_type r_norm = obs::traced(
-        "reduction", [&] { return blas::nrm2(ConstVecView<real_type>(r)); });
+        obs::Phase::reduction, "reduction",
+        [&] { return blas::nrm2(ConstVecView<real_type>(r)); });
     const real_type r0 = r_norm;
 
-    obs::traced("precond_apply", [&] {
+    obs::traced(obs::Phase::precond, "precond_apply", [&] {
         prec.apply(ConstVecView<real_type>(r), z);
         prec.apply(ConstVecView<real_type>(r_hat), z_hat);  // M symmetric
     });
     blas::copy(ConstVecView<real_type>(z), p);
     blas::copy(ConstVecView<real_type>(z_hat), p_hat);
-    real_type rho = obs::traced("reduction", [&] {
+    real_type rho = obs::traced(obs::Phase::reduction, "reduction", [&] {
         return blas::dot(ConstVecView<real_type>(z),
                          ConstVecView<real_type>(r_hat));
     });
@@ -74,11 +75,11 @@ EntryResult bicg_kernel(const MatrixView& a, ConstVecView<real_type> b,
         if (rho == real_type{0}) {
             return {iter, r_norm, false, FailureClass::breakdown_rho};
         }
-        obs::traced("spmv", [&] {
+        obs::traced(obs::Phase::spmv, "spmv", [&] {
             spmv(a, ConstVecView<real_type>(p), q);
             spmv_transpose(a, ConstVecView<real_type>(p_hat), q_hat);
         });
-        const real_type pq = obs::traced("reduction", [&] {
+        const real_type pq = obs::traced(obs::Phase::reduction, "reduction", [&] {
             return blas::dot(ConstVecView<real_type>(p_hat),
                              ConstVecView<real_type>(q));
         });
@@ -89,23 +90,23 @@ EntryResult bicg_kernel(const MatrixView& a, ConstVecView<real_type> b,
         const real_type alpha = rho / pq;
         blas::axpy(alpha, ConstVecView<real_type>(p), x);
         // r -= alpha * q fused with ||r||; shadow residual in a plain axpy.
-        r_norm = obs::traced("update", [&] {
+        r_norm = obs::traced(obs::Phase::update, "update", [&] {
             const real_type rn =
                 blas::axpy_nrm2(-alpha, ConstVecView<real_type>(q), r);
             blas::axpy(-alpha, ConstVecView<real_type>(q_hat), r_hat);
             return rn;
         });
-        obs::traced("precond_apply", [&] {
+        obs::traced(obs::Phase::precond, "precond_apply", [&] {
             prec.apply(ConstVecView<real_type>(r), z);
             prec.apply(ConstVecView<real_type>(r_hat), z_hat);
         });
-        const real_type rho_new = obs::traced("reduction", [&] {
+        const real_type rho_new = obs::traced(obs::Phase::reduction, "reduction", [&] {
             return blas::dot(ConstVecView<real_type>(z),
                              ConstVecView<real_type>(r_hat));
         });
         const real_type beta = rho_new / rho;
         // Primal/shadow direction updates share their scalars: one loop.
-        obs::traced("update", [&] {
+        obs::traced(obs::Phase::update, "update", [&] {
             blas::axpby2(real_type{1}, ConstVecView<real_type>(z),
                          ConstVecView<real_type>(z_hat), beta, p, p_hat);
         });

@@ -58,8 +58,8 @@ EntryResult bicgstab_kernel(const MatrixView& a, ConstVecView<real_type> b,
     // r = b - A x fused with ||r||; with a zero guess this reduces to
     // r = b. The sweep writes over the A x it reads (aliasing is safe:
     // each element is read before it is written).
-    obs::traced("spmv", [&] { spmv(a, ConstVecView<real_type>(x), r); });
-    real_type r_norm = obs::traced("update", [&] {
+    obs::traced(obs::Phase::spmv, "spmv", [&] { spmv(a, ConstVecView<real_type>(x), r); });
+    real_type r_norm = obs::traced(obs::Phase::update, "update", [&] {
         return blas::zaxpby_nrm2(real_type{1}, b, real_type{-1},
                                  ConstVecView<real_type>(r), r);
     });
@@ -86,7 +86,7 @@ EntryResult bicgstab_kernel(const MatrixView& a, ConstVecView<real_type> b,
             // the iteration limit.
             return {iter, r_norm, false, FailureClass::non_finite};
         }
-        const real_type rho = obs::traced("reduction", [&] {
+        const real_type rho = obs::traced(obs::Phase::reduction, "reduction", [&] {
             return blas::dot(ConstVecView<real_type>(r),
                              ConstVecView<real_type>(r_hat));
         });
@@ -98,16 +98,16 @@ EntryResult bicgstab_kernel(const MatrixView& a, ConstVecView<real_type> b,
         }
         const real_type beta = (rho / rho_old) * (alpha / omega);
         // p = r + beta * (p - omega * v) in ONE sweep.
-        obs::traced("update", [&] {
+        obs::traced(obs::Phase::update, "update", [&] {
             blas::axpbypcz(real_type{1}, ConstVecView<real_type>(r),
                            -beta * omega, ConstVecView<real_type>(v), beta,
                            p);
         });
-        obs::traced("precond_apply",
+        obs::traced(obs::Phase::precond, "precond_apply",
                     [&] { prec.apply(ConstVecView<real_type>(p), p_hat); });
-        obs::traced("spmv",
+        obs::traced(obs::Phase::spmv, "spmv",
                     [&] { spmv(a, ConstVecView<real_type>(p_hat), v); });
-        const real_type r_hat_v = obs::traced("reduction", [&] {
+        const real_type r_hat_v = obs::traced(obs::Phase::reduction, "reduction", [&] {
             return blas::dot(ConstVecView<real_type>(r_hat),
                              ConstVecView<real_type>(v));
         });
@@ -117,7 +117,7 @@ EntryResult bicgstab_kernel(const MatrixView& a, ConstVecView<real_type> b,
         }
         alpha = rho / r_hat_v;
         // s = r - alpha * v fused with ||s||.
-        const real_type s_norm = obs::traced("update", [&] {
+        const real_type s_norm = obs::traced(obs::Phase::update, "update", [&] {
             return blas::zaxpby_nrm2(real_type{1},
                                      ConstVecView<real_type>(r), -alpha,
                                      ConstVecView<real_type>(v), s);
@@ -126,14 +126,14 @@ EntryResult bicgstab_kernel(const MatrixView& a, ConstVecView<real_type> b,
             blas::axpy(alpha, ConstVecView<real_type>(p_hat), x);
             return {iter + 1, s_norm, true, FailureClass::converged};
         }
-        obs::traced("precond_apply",
+        obs::traced(obs::Phase::precond, "precond_apply",
                     [&] { prec.apply(ConstVecView<real_type>(s), s_hat); });
-        obs::traced("spmv",
+        obs::traced(obs::Phase::spmv, "spmv",
                     [&] { spmv(a, ConstVecView<real_type>(s_hat), t); });
         // t.t and t.s in one sweep over t.
         real_type t_t;
         real_type t_s;
-        obs::traced("reduction", [&] {
+        obs::traced(obs::Phase::reduction, "reduction", [&] {
             blas::dot2(ConstVecView<real_type>(t), ConstVecView<real_type>(t),
                        ConstVecView<real_type>(s), t_t, t_s);
         });
@@ -147,12 +147,12 @@ EntryResult bicgstab_kernel(const MatrixView& a, ConstVecView<real_type> b,
         }
         omega = t_s / t_t;
         // x = x + alpha * p_hat + omega * s_hat in ONE sweep.
-        obs::traced("update", [&] {
+        obs::traced(obs::Phase::update, "update", [&] {
             blas::axpbypcz(alpha, ConstVecView<real_type>(p_hat), omega,
                            ConstVecView<real_type>(s_hat), real_type{1}, x);
         });
         // r = s - omega * t fused with ||r||.
-        r_norm = obs::traced("update", [&] {
+        r_norm = obs::traced(obs::Phase::update, "update", [&] {
             return blas::zaxpby_nrm2(real_type{1},
                                      ConstVecView<real_type>(s), -omega,
                                      ConstVecView<real_type>(t), r);
@@ -192,7 +192,7 @@ EntryResult bicgstab_kernel_unfused(
     const real_type b_norm = blas::nrm2(b);
 
     // r = b - A x; with a zero guess this reduces to r = b.
-    obs::traced("spmv", [&] { spmv(a, ConstVecView<real_type>(x), r); });
+    obs::traced(obs::Phase::spmv, "spmv", [&] { spmv(a, ConstVecView<real_type>(x), r); });
     blas::axpby(real_type{1}, b, real_type{-1}, r);
     blas::copy(ConstVecView<real_type>(r), r_hat);
     blas::fill(p, real_type{0});
@@ -202,7 +202,8 @@ EntryResult bicgstab_kernel_unfused(
     real_type omega = 1;
     real_type alpha = 1;
     real_type r_norm = obs::traced(
-        "reduction", [&] { return blas::nrm2(ConstVecView<real_type>(r)); });
+        obs::Phase::reduction, "reduction",
+        [&] { return blas::nrm2(ConstVecView<real_type>(r)); });
     const real_type r0 = r_norm;
 
     if (history != nullptr) {
@@ -226,15 +227,15 @@ EntryResult bicgstab_kernel_unfused(
         }
         const real_type beta = (rho / rho_old) * (alpha / omega);
         // p = r + beta * (p - omega * v)
-        obs::traced("update", [&] {
+        obs::traced(obs::Phase::update, "update", [&] {
             blas::axpy(-omega, ConstVecView<real_type>(v), p);
             blas::axpby(real_type{1}, ConstVecView<real_type>(r), beta, p);
         });
-        obs::traced("precond_apply",
+        obs::traced(obs::Phase::precond, "precond_apply",
                     [&] { prec.apply(ConstVecView<real_type>(p), p_hat); });
-        obs::traced("spmv",
+        obs::traced(obs::Phase::spmv, "spmv",
                     [&] { spmv(a, ConstVecView<real_type>(p_hat), v); });
-        const real_type r_hat_v = obs::traced("reduction", [&] {
+        const real_type r_hat_v = obs::traced(obs::Phase::reduction, "reduction", [&] {
             return blas::dot(ConstVecView<real_type>(r_hat),
                              ConstVecView<real_type>(v));
         });
@@ -243,26 +244,26 @@ EntryResult bicgstab_kernel_unfused(
         }
         alpha = rho / r_hat_v;
         // s = r - alpha * v
-        obs::traced("update", [&] {
+        obs::traced(obs::Phase::update, "update", [&] {
             blas::copy(ConstVecView<real_type>(r), s);
             blas::axpy(-alpha, ConstVecView<real_type>(v), s);
         });
-        const real_type s_norm = obs::traced("reduction", [&] {
+        const real_type s_norm = obs::traced(obs::Phase::reduction, "reduction", [&] {
             return blas::nrm2(ConstVecView<real_type>(s));
         });
         if (stop.done(s_norm, b_norm)) {
             blas::axpy(alpha, ConstVecView<real_type>(p_hat), x);
             return {iter + 1, s_norm, true, FailureClass::converged};
         }
-        obs::traced("precond_apply",
+        obs::traced(obs::Phase::precond, "precond_apply",
                     [&] { prec.apply(ConstVecView<real_type>(s), s_hat); });
-        obs::traced("spmv",
+        obs::traced(obs::Phase::spmv, "spmv",
                     [&] { spmv(a, ConstVecView<real_type>(s_hat), t); });
-        const real_type t_t = obs::traced("reduction", [&] {
+        const real_type t_t = obs::traced(obs::Phase::reduction, "reduction", [&] {
             return blas::dot(ConstVecView<real_type>(t),
                              ConstVecView<real_type>(t));
         });
-        const real_type t_s = obs::traced("reduction", [&] {
+        const real_type t_s = obs::traced(obs::Phase::reduction, "reduction", [&] {
             return blas::dot(ConstVecView<real_type>(t),
                              ConstVecView<real_type>(s));
         });
@@ -276,16 +277,16 @@ EntryResult bicgstab_kernel_unfused(
         }
         omega = t_s / t_t;
         // x = x + alpha * p_hat + omega * s_hat
-        obs::traced("update", [&] {
+        obs::traced(obs::Phase::update, "update", [&] {
             blas::axpy(alpha, ConstVecView<real_type>(p_hat), x);
             blas::axpy(omega, ConstVecView<real_type>(s_hat), x);
         });
         // r = s - omega * t
-        obs::traced("update", [&] {
+        obs::traced(obs::Phase::update, "update", [&] {
             blas::copy(ConstVecView<real_type>(s), r);
             blas::axpy(-omega, ConstVecView<real_type>(t), r);
         });
-        r_norm = obs::traced("reduction", [&] {
+        r_norm = obs::traced(obs::Phase::reduction, "reduction", [&] {
             return blas::nrm2(ConstVecView<real_type>(r));
         });
         rho_old = rho;

@@ -36,15 +36,16 @@ EntryResult cg_kernel(const MatrixView& a, ConstVecView<real_type> b,
 
     const real_type b_norm = blas::nrm2(b);
 
-    obs::traced("spmv", [&] { spmv(a, ConstVecView<real_type>(x), r); });
+    obs::traced(obs::Phase::spmv, "spmv", [&] { spmv(a, ConstVecView<real_type>(x), r); });
     blas::axpby(real_type{1}, b, real_type{-1}, r);
     real_type r_norm = obs::traced(
-        "reduction", [&] { return blas::nrm2(ConstVecView<real_type>(r)); });
+        obs::Phase::reduction, "reduction",
+        [&] { return blas::nrm2(ConstVecView<real_type>(r)); });
 
-    obs::traced("precond_apply",
+    obs::traced(obs::Phase::precond, "precond_apply",
                 [&] { prec.apply(ConstVecView<real_type>(r), z); });
     blas::copy(ConstVecView<real_type>(z), p);
-    real_type rz = obs::traced("reduction", [&] {
+    real_type rz = obs::traced(obs::Phase::reduction, "reduction", [&] {
         return blas::dot(ConstVecView<real_type>(r),
                          ConstVecView<real_type>(z));
     });
@@ -65,9 +66,9 @@ EntryResult cg_kernel(const MatrixView& a, ConstVecView<real_type> b,
             // The search direction collapsed: alpha = rz / pq undefined.
             return {iter, r_norm, false, FailureClass::breakdown_rho};
         }
-        obs::traced("spmv",
+        obs::traced(obs::Phase::spmv, "spmv",
                     [&] { spmv(a, ConstVecView<real_type>(p), q); });
-        const real_type pq = obs::traced("reduction", [&] {
+        const real_type pq = obs::traced(obs::Phase::reduction, "reduction", [&] {
             return blas::dot(ConstVecView<real_type>(p),
                              ConstVecView<real_type>(q));
         });
@@ -78,17 +79,17 @@ EntryResult cg_kernel(const MatrixView& a, ConstVecView<real_type> b,
         const real_type alpha = rz / pq;
         blas::axpy(alpha, ConstVecView<real_type>(p), x);
         // r -= alpha * q fused with ||r|| (one sweep instead of two).
-        r_norm = obs::traced("update", [&] {
+        r_norm = obs::traced(obs::Phase::update, "update", [&] {
             return blas::axpy_nrm2(-alpha, ConstVecView<real_type>(q), r);
         });
-        obs::traced("precond_apply",
+        obs::traced(obs::Phase::precond, "precond_apply",
                     [&] { prec.apply(ConstVecView<real_type>(r), z); });
-        const real_type rz_new = obs::traced("reduction", [&] {
+        const real_type rz_new = obs::traced(obs::Phase::reduction, "reduction", [&] {
             return blas::dot(ConstVecView<real_type>(r),
                              ConstVecView<real_type>(z));
         });
         const real_type beta = rz_new / rz;
-        obs::traced("update", [&] {
+        obs::traced(obs::Phase::update, "update", [&] {
             blas::axpby(real_type{1}, ConstVecView<real_type>(z), beta, p);
         });
         rz = rz_new;

@@ -40,11 +40,12 @@ EntryResult cgs_kernel(const MatrixView& a, ConstVecView<real_type> b,
 
     const real_type b_norm = blas::nrm2(b);
 
-    obs::traced("spmv", [&] { spmv(a, ConstVecView<real_type>(x), r); });
+    obs::traced(obs::Phase::spmv, "spmv", [&] { spmv(a, ConstVecView<real_type>(x), r); });
     blas::axpby(real_type{1}, b, real_type{-1}, r);
     blas::copy(ConstVecView<real_type>(r), r_hat);
     real_type r_norm = obs::traced(
-        "reduction", [&] { return blas::nrm2(ConstVecView<real_type>(r)); });
+        obs::Phase::reduction, "reduction",
+        [&] { return blas::nrm2(ConstVecView<real_type>(r)); });
     const real_type r0 = r_norm;
     real_type rho_old = 1;
 
@@ -59,7 +60,7 @@ EntryResult cgs_kernel(const MatrixView& a, ConstVecView<real_type> b,
         if (!std::isfinite(r_norm)) {
             return {iter, r_norm, false, FailureClass::non_finite};
         }
-        const real_type rho = obs::traced("reduction", [&] {
+        const real_type rho = obs::traced(obs::Phase::reduction, "reduction", [&] {
             return blas::dot(ConstVecView<real_type>(r_hat),
                              ConstVecView<real_type>(r));
         });
@@ -71,7 +72,7 @@ EntryResult cgs_kernel(const MatrixView& a, ConstVecView<real_type> b,
             blas::copy(ConstVecView<real_type>(u), p);
         } else {
             const real_type beta = rho / rho_old;
-            obs::traced("update", [&] {
+            obs::traced(obs::Phase::update, "update", [&] {
                 // u = r + beta q in one sweep (was copy + axpy).
                 blas::zaxpby(real_type{1}, ConstVecView<real_type>(r), beta,
                              ConstVecView<real_type>(q), u);
@@ -80,11 +81,11 @@ EntryResult cgs_kernel(const MatrixView& a, ConstVecView<real_type> b,
                                ConstVecView<real_type>(q), beta * beta, p);
             });
         }
-        obs::traced("precond_apply",
+        obs::traced(obs::Phase::precond, "precond_apply",
                     [&] { prec.apply(ConstVecView<real_type>(p), u_hat); });
-        obs::traced("spmv",
+        obs::traced(obs::Phase::spmv, "spmv",
                     [&] { spmv(a, ConstVecView<real_type>(u_hat), v); });
-        const real_type sigma = obs::traced("reduction", [&] {
+        const real_type sigma = obs::traced(obs::Phase::reduction, "reduction", [&] {
             return blas::dot(ConstVecView<real_type>(r_hat),
                              ConstVecView<real_type>(v));
         });
@@ -93,7 +94,7 @@ EntryResult cgs_kernel(const MatrixView& a, ConstVecView<real_type> b,
             return {iter, r_norm, false, FailureClass::breakdown_rho};
         }
         const real_type alpha = rho / sigma;
-        obs::traced("update", [&] {
+        obs::traced(obs::Phase::update, "update", [&] {
             // q = u - alpha v in one sweep (was copy + axpy).
             blas::zaxpby(real_type{1}, ConstVecView<real_type>(u), -alpha,
                          ConstVecView<real_type>(v), q);
@@ -101,13 +102,13 @@ EntryResult cgs_kernel(const MatrixView& a, ConstVecView<real_type> b,
             blas::zaxpby(real_type{1}, ConstVecView<real_type>(u),
                          real_type{1}, ConstVecView<real_type>(q), t);
         });
-        obs::traced("precond_apply",
+        obs::traced(obs::Phase::precond, "precond_apply",
                     [&] { prec.apply(ConstVecView<real_type>(t), u_hat); });
         blas::axpy(alpha, ConstVecView<real_type>(u_hat), x);
-        obs::traced("spmv",
+        obs::traced(obs::Phase::spmv, "spmv",
                     [&] { spmv(a, ConstVecView<real_type>(u_hat), t); });
         // r -= alpha * t fused with ||r||.
-        r_norm = obs::traced("update", [&] {
+        r_norm = obs::traced(obs::Phase::update, "update", [&] {
             return blas::axpy_nrm2(-alpha, ConstVecView<real_type>(t), r);
         });
         rho_old = rho;

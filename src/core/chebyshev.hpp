@@ -97,10 +97,11 @@ EntryResult chebyshev_kernel(const MatrixView& a, ConstVecView<real_type> b,
     const real_type delta = (bounds.eig_max - bounds.eig_min) / 2;
     const real_type b_norm = blas::nrm2(b);
 
-    obs::traced("spmv", [&] { spmv(a, ConstVecView<real_type>(x), r); });
+    obs::traced(obs::Phase::spmv, "spmv", [&] { spmv(a, ConstVecView<real_type>(x), r); });
     blas::axpby(real_type{1}, b, real_type{-1}, r);
     real_type r_norm = obs::traced(
-        "reduction", [&] { return blas::nrm2(ConstVecView<real_type>(r)); });
+        obs::Phase::reduction, "reduction",
+        [&] { return blas::nrm2(ConstVecView<real_type>(r)); });
     const real_type r0 = r_norm;
 
     if (history != nullptr) {
@@ -115,7 +116,7 @@ EntryResult chebyshev_kernel(const MatrixView& a, ConstVecView<real_type> b,
         if (!std::isfinite(r_norm)) {
             return {iter, r_norm, false, FailureClass::non_finite};
         }
-        obs::traced("precond_apply",
+        obs::traced(obs::Phase::precond, "precond_apply",
                     [&] { prec.apply(ConstVecView<real_type>(r), z); });
         if (iter == 0) {
             blas::copy(ConstVecView<real_type>(z), p);
@@ -125,17 +126,17 @@ EntryResult chebyshev_kernel(const MatrixView& a, ConstVecView<real_type> b,
                 iter == 1 ? real_type{0.5} * (delta * alpha) * (delta * alpha)
                           : (delta * alpha / 2) * (delta * alpha / 2);
             alpha = 1 / (theta - beta / alpha);
-            obs::traced("update", [&] {
+            obs::traced(obs::Phase::update, "update", [&] {
                 blas::axpby(real_type{1}, ConstVecView<real_type>(z), beta,
                             p);
             });
         }
         blas::axpy(alpha, ConstVecView<real_type>(p), x);
-        obs::traced("spmv",
+        obs::traced(obs::Phase::spmv, "spmv",
                     [&] { spmv(a, ConstVecView<real_type>(p), q); });
-        obs::traced("update",
+        obs::traced(obs::Phase::update, "update",
                     [&] { blas::axpy(-alpha, ConstVecView<real_type>(q), r); });
-        r_norm = obs::traced("reduction", [&] {
+        r_norm = obs::traced(obs::Phase::reduction, "reduction", [&] {
             return blas::nrm2(ConstVecView<real_type>(r));
         });
         if (history != nullptr) {

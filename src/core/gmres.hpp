@@ -74,10 +74,11 @@ EntryResult gmres_kernel(const MatrixView& a, ConstVecView<real_type> b,
     const real_type b_norm = blas::nrm2(b);
     int total_iters = 0;
 
-    obs::traced("spmv", [&] { spmv(a, ConstVecView<real_type>(x), r); });
+    obs::traced(obs::Phase::spmv, "spmv", [&] { spmv(a, ConstVecView<real_type>(x), r); });
     blas::axpby(real_type{1}, b, real_type{-1}, r);
     real_type beta = obs::traced(
-        "reduction", [&] { return blas::nrm2(ConstVecView<real_type>(r)); });
+        obs::Phase::reduction, "reduction",
+        [&] { return blas::nrm2(ConstVecView<real_type>(r)); });
     const real_type r0 = beta;
 
     if (history != nullptr) {
@@ -103,13 +104,13 @@ EntryResult gmres_kernel(const MatrixView& a, ConstVecView<real_type> b,
         int j = 0;
         bool happy = false;
         for (; j < restart && total_iters < max_iters; ++j) {
-            obs::traced("precond_apply", [&] {
+            obs::traced(obs::Phase::precond, "precond_apply", [&] {
                 prec.apply(ConstVecView<real_type>(basis(j)), z);
             });
-            obs::traced("spmv",
+            obs::traced(obs::Phase::spmv, "spmv",
                         [&] { spmv(a, ConstVecView<real_type>(z), w); });
             // Modified Gram-Schmidt orthogonalization.
-            obs::traced("reduction", [&] {
+            obs::traced(obs::Phase::reduction, "reduction", [&] {
                 for (int i = 0; i <= j; ++i) {
                     const real_type hij =
                         blas::dot(ConstVecView<real_type>(w),
@@ -118,7 +119,7 @@ EntryResult gmres_kernel(const MatrixView& a, ConstVecView<real_type> b,
                     blas::axpy(-hij, ConstVecView<real_type>(basis(i)), w);
                 }
             });
-            const real_type h_next = obs::traced("reduction", [&] {
+            const real_type h_next = obs::traced(obs::Phase::reduction, "reduction", [&] {
                 return blas::nrm2(ConstVecView<real_type>(w));
             });
             h_at(j + 1, j) = h_next;
@@ -167,21 +168,21 @@ EntryResult gmres_kernel(const MatrixView& a, ConstVecView<real_type> b,
             y[static_cast<std::size_t>(i)] = sum / h_at(i, i);
         }
         // x += M^-1 (V y)
-        obs::traced("update", [&] {
+        obs::traced(obs::Phase::update, "update", [&] {
             blas::fill(w, real_type{0});
             for (int i = 0; i < j; ++i) {
                 blas::axpy(y[static_cast<std::size_t>(i)],
                            ConstVecView<real_type>(basis(i)), w);
             }
         });
-        obs::traced("precond_apply",
+        obs::traced(obs::Phase::precond, "precond_apply",
                     [&] { prec.apply(ConstVecView<real_type>(w), z); });
         blas::axpy(real_type{1}, ConstVecView<real_type>(z), x);
         // True residual for the restart / convergence decision.
-        obs::traced("spmv",
+        obs::traced(obs::Phase::spmv, "spmv",
                     [&] { spmv(a, ConstVecView<real_type>(x), r); });
         blas::axpby(real_type{1}, b, real_type{-1}, r);
-        beta = obs::traced("reduction", [&] {
+        beta = obs::traced(obs::Phase::reduction, "reduction", [&] {
             return blas::nrm2(ConstVecView<real_type>(r));
         });
         if (happy && stop.done(beta, b_norm)) {

@@ -315,7 +315,7 @@ void bicgstab_lockstep(const SourceBatch& a, const EllSlabPattern& pattern,
         // rho = r . r_hat; serious breakdown parks the lane with the
         // scalar kernel's exact result (iter, r_norm, false).
         real_type rho[W];
-        obs::traced("reduction", [&] { blas::dot_lanes<W>(r, r_hat, n, rho); });
+        obs::traced(obs::Phase::reduction, "reduction", [&] { blas::dot_lanes<W>(r, r_hat, n, rho); });
         real_type beta[W] = {};
         for (int l = 0; l < W; ++l) {
             if (active[l]) {
@@ -335,11 +335,11 @@ void bicgstab_lockstep(const SourceBatch& a, const EllSlabPattern& pattern,
             cb[l] = active[l] ? -beta[l] * omega[l] : real_type{0};
             cc[l] = active[l] ? beta[l] : real_type{1};
         }
-        obs::traced("update",
+        obs::traced(obs::Phase::update, "update",
                     [&] { blas::axpbypcz_lanes<W>(ca, r, cb, v, cc, p, n); });
         // p_hat = M^-1 p (mask-selected so parked columns keep their
         // values rather than being recomputed from stale operands).
-        obs::traced("precond_apply", [&] {
+        obs::traced(obs::Phase::precond, "precond_apply", [&] {
             if constexpr (UseJacobi) {
                 blas::mul_elementwise_lanes<W>(inv_diag, p, act, p_hat, n);
             } else {
@@ -348,9 +348,9 @@ void bicgstab_lockstep(const SourceBatch& a, const EllSlabPattern& pattern,
         });
         // v = A p_hat for all lanes; a parked lane's column receives
         // garbage that never escapes the lane (refill rewrites it).
-        obs::traced("spmv", [&] { spmv_lanes<W>(av, p_hat, v); });
+        obs::traced(obs::Phase::spmv, "spmv", [&] { spmv_lanes<W>(av, p_hat, v); });
         real_type r_hat_v[W];
-        obs::traced("reduction",
+        obs::traced(obs::Phase::reduction, "reduction",
                     [&] { blas::dot_lanes<W>(r_hat, v, n, r_hat_v); });
         for (int l = 0; l < W; ++l) {
             if (active[l]) {
@@ -368,7 +368,7 @@ void bicgstab_lockstep(const SourceBatch& a, const EllSlabPattern& pattern,
             ca[l] = act[l];
             cb[l] = active[l] ? -alpha[l] : real_type{0};
         }
-        obs::traced("update", [&] {
+        obs::traced(obs::Phase::update, "update", [&] {
             blas::zaxpby_nrm2_lanes<W>(ca, r, cb, v, s, n, s_norm);
         });
         // Early exit on ||s||: the scalar kernel applies x += alpha*p_hat
@@ -381,17 +381,17 @@ void bicgstab_lockstep(const SourceBatch& a, const EllSlabPattern& pattern,
                 early[l] = stop.done(s_norm[l], b_norm[l]);
             }
         }
-        obs::traced("precond_apply", [&] {
+        obs::traced(obs::Phase::precond, "precond_apply", [&] {
             if constexpr (UseJacobi) {
                 blas::mul_elementwise_lanes<W>(inv_diag, s, act, s_hat, n);
             } else {
                 blas::copy_lanes<W>(s, act, s_hat, n);
             }
         });
-        obs::traced("spmv", [&] { spmv_lanes<W>(av, s_hat, t); });
+        obs::traced(obs::Phase::spmv, "spmv", [&] { spmv_lanes<W>(av, s_hat, t); });
         real_type t_t[W];
         real_type t_s[W];
-        obs::traced("reduction",
+        obs::traced(obs::Phase::reduction, "reduction",
                     [&] { blas::dot2_lanes<W>(t, t, s, n, t_t, t_s); });
         bool tt0[W] = {};
         for (int l = 0; l < W; ++l) {
@@ -411,7 +411,7 @@ void bicgstab_lockstep(const SourceBatch& a, const EllSlabPattern& pattern,
                                                       : real_type{0};
             cc[l] = real_type{1};
         }
-        obs::traced("update", [&] {
+        obs::traced(obs::Phase::update, "update", [&] {
             blas::axpbypcz_lanes<W>(ca, p_hat, cb, s_hat, cc, xg, n);
         });
         // r = s - omega * t fused with ||r|| for continuing lanes.
@@ -421,7 +421,7 @@ void bicgstab_lockstep(const SourceBatch& a, const EllSlabPattern& pattern,
             ca[l] = cont ? real_type{1} : real_type{0};
             cb[l] = cont ? -omega[l] : real_type{0};
         }
-        obs::traced("update", [&] {
+        obs::traced(obs::Phase::update, "update", [&] {
             blas::zaxpby_nrm2_lanes<W>(ca, s, cb, t, r, n, rn_new);
         });
         for (int l = 0; l < W; ++l) {
@@ -618,9 +618,9 @@ void bicgstab_lockstep_pipelined(
             cb[l] = active[l] ? -beta[l] * omega[l] : real_type{0};
             cc[l] = active[l] ? beta[l] : real_type{1};
         }
-        obs::traced("update",
+        obs::traced(obs::Phase::update, "update",
                     [&] { blas::axpbypcz_lanes<W>(ca, r, cb, v, cc, p, n); });
-        obs::traced("precond_apply", [&] {
+        obs::traced(obs::Phase::precond, "precond_apply", [&] {
             if constexpr (UseJacobi) {
                 blas::mul_elementwise_lanes<W>(inv_diag, p, act, p_hat, n);
             } else {
@@ -630,7 +630,7 @@ void bicgstab_lockstep_pipelined(
         // v = A p_hat with r_hat . v fused into the producing sweep: the
         // first lane-group synchronization point of the iteration.
         real_type r_hat_v[W];
-        obs::traced("spmv", [&] {
+        obs::traced(obs::Phase::spmv, "spmv", [&] {
             spmv_lanes_dot<W>(av, p_hat, r_hat, v, r_hat_v);
         });
         for (int l = 0; l < W; ++l) {
@@ -651,7 +651,7 @@ void bicgstab_lockstep_pipelined(
             ca[l] = act[l];
             cb[l] = active[l] ? -alpha[l] : real_type{0};
         }
-        obs::traced("update", [&] {
+        obs::traced(obs::Phase::update, "update", [&] {
             blas::zaxpby_nrm2_dot_lanes<W>(ca, r, cb, v, r_hat, s, n,
                                            s_norm, s_rhat);
         });
@@ -661,7 +661,7 @@ void bicgstab_lockstep_pipelined(
                 early[l] = stop.done(s_norm[l], b_norm[l]);
             }
         }
-        obs::traced("precond_apply", [&] {
+        obs::traced(obs::Phase::precond, "precond_apply", [&] {
             if constexpr (UseJacobi) {
                 blas::mul_elementwise_lanes<W>(inv_diag, s, act, s_hat, n);
             } else {
@@ -674,7 +674,7 @@ void bicgstab_lockstep_pipelined(
         real_type t_t[W];
         real_type t_s[W];
         real_type t_rhat[W];
-        obs::traced("spmv", [&] {
+        obs::traced(obs::Phase::spmv, "spmv", [&] {
             spmv_lanes_dot3<W>(av, s_hat, s, r_hat, t, t_t, t_s, t_rhat);
         });
         bool tt0[W] = {};
@@ -695,7 +695,7 @@ void bicgstab_lockstep_pipelined(
                                                       : real_type{0};
             cc[l] = real_type{1};
         }
-        obs::traced("update", [&] {
+        obs::traced(obs::Phase::update, "update", [&] {
             blas::axpbypcz_lanes<W>(ca, p_hat, cb, s_hat, cc, xg, n);
         });
         // r = s - omega * t, PLAIN: ||r|| and the next rho come from the
@@ -705,7 +705,7 @@ void bicgstab_lockstep_pipelined(
             ca[l] = cont ? real_type{1} : real_type{0};
             cb[l] = cont ? -omega[l] : real_type{0};
         }
-        obs::traced("update",
+        obs::traced(obs::Phase::update, "update",
                     [&] { blas::zaxpby_lanes<W>(ca, s, cb, t, r, n); });
         for (int l = 0; l < W; ++l) {
             if (!active[l]) {
@@ -868,9 +868,9 @@ void cg_lockstep(const SourceBatch& a, const EllSlabPattern& pattern,
         real_type alpha[W] = {};
 
         // q = A p; pq = p . q; pq <= 0 means CG is not applicable.
-        obs::traced("spmv", [&] { spmv_lanes<W>(av, p, q); });
+        obs::traced(obs::Phase::spmv, "spmv", [&] { spmv_lanes<W>(av, p, q); });
         real_type pq[W];
-        obs::traced("reduction", [&] { blas::dot_lanes<W>(p, q, n, pq); });
+        obs::traced(obs::Phase::reduction, "reduction", [&] { blas::dot_lanes<W>(p, q, n, pq); });
         for (int l = 0; l < W; ++l) {
             if (active[l]) {
                 if (pq[l] <= real_type{0}) {
@@ -887,7 +887,7 @@ void cg_lockstep(const SourceBatch& a, const EllSlabPattern& pattern,
             cb[l] = real_type{0};
             cc[l] = real_type{1};
         }
-        obs::traced("update", [&] {
+        obs::traced(obs::Phase::update, "update", [&] {
             blas::axpbypcz_lanes<W>(ca, p, cb, p, cc, xg, n);
         });
         // r -= alpha * q fused with ||r||.
@@ -896,7 +896,7 @@ void cg_lockstep(const SourceBatch& a, const EllSlabPattern& pattern,
             ca[l] = active[l] ? -alpha[l] : real_type{0};
             cb[l] = real_type{1};
         }
-        obs::traced("update", [&] {
+        obs::traced(obs::Phase::update, "update", [&] {
             blas::axpy_nrm2_lanes<W>(ca, q, cb, r, n, rn_new);
         });
         for (int l = 0; l < W; ++l) {
@@ -905,7 +905,7 @@ void cg_lockstep(const SourceBatch& a, const EllSlabPattern& pattern,
             }
         }
         // z = M^-1 r; beta = (r . z)_new / rz; p = z + beta * p.
-        obs::traced("precond_apply", [&] {
+        obs::traced(obs::Phase::precond, "precond_apply", [&] {
             if constexpr (UseJacobi) {
                 blas::mul_elementwise_lanes<W>(inv_diag, r, act, z, n);
             } else {
@@ -913,7 +913,7 @@ void cg_lockstep(const SourceBatch& a, const EllSlabPattern& pattern,
             }
         });
         real_type rz_new[W];
-        obs::traced("reduction",
+        obs::traced(obs::Phase::reduction, "reduction",
                     [&] { blas::dot_lanes<W>(r, z, n, rz_new); });
         real_type beta[W] = {};
         for (int l = 0; l < W; ++l) {
@@ -926,7 +926,7 @@ void cg_lockstep(const SourceBatch& a, const EllSlabPattern& pattern,
             cb[l] = real_type{0};
             cc[l] = active[l] ? beta[l] : real_type{1};
         }
-        obs::traced("update", [&] {
+        obs::traced(obs::Phase::update, "update", [&] {
             blas::axpbypcz_lanes<W>(ca, z, cb, z, cc, p, n);
         });
         for (int l = 0; l < W; ++l) {
@@ -1086,12 +1086,12 @@ void cg_lockstep_pipelined(const SourceBatch& a,
 
         // q = A p, then the merged reduction: q.p, q.q, q.r and the
         // measured ||r|| in one sweep.
-        obs::traced("spmv", [&] { spmv_lanes<W>(av, p, q); });
+        obs::traced(obs::Phase::spmv, "spmv", [&] { spmv_lanes<W>(av, p, q); });
         real_type pq[W];
         real_type qq[W];
         real_type qr[W];
         real_type r_meas[W];
-        obs::traced("reduction", [&] {
+        obs::traced(obs::Phase::reduction, "reduction", [&] {
             blas::dot3_nrm2_lanes<W>(q, p, r, n, pq, qq, qr, r_meas);
         });
         for (int l = 0; l < W; ++l) {
@@ -1110,7 +1110,7 @@ void cg_lockstep_pipelined(const SourceBatch& a,
             cb[l] = real_type{0};
             cc[l] = real_type{1};
         }
-        obs::traced("update", [&] {
+        obs::traced(obs::Phase::update, "update", [&] {
             blas::axpbypcz_lanes<W>(ca, p, cb, p, cc, xg, n);
         });
         // r -= alpha * q, PLAIN (the norm comes from the recurrence,
@@ -1119,7 +1119,7 @@ void cg_lockstep_pipelined(const SourceBatch& a,
             ca[l] = active[l] ? -alpha[l] : real_type{0};
             cb[l] = real_type{1};
         }
-        obs::traced("update",
+        obs::traced(obs::Phase::update, "update",
                     [&] { blas::zaxpby_lanes<W>(ca, q, cb, r, r, n); });
         for (int l = 0; l < W; ++l) {
             if (active[l]) {
@@ -1129,7 +1129,7 @@ void cg_lockstep_pipelined(const SourceBatch& a,
             }
         }
         // z = M^-1 r; beta = (r . z)_new / rz; p = z + beta * p.
-        obs::traced("precond_apply", [&] {
+        obs::traced(obs::Phase::precond, "precond_apply", [&] {
             if constexpr (UseJacobi) {
                 blas::mul_elementwise_lanes<W>(inv_diag, r, act, z, n);
             } else {
@@ -1137,7 +1137,7 @@ void cg_lockstep_pipelined(const SourceBatch& a,
             }
         });
         real_type rz_new[W];
-        obs::traced("reduction",
+        obs::traced(obs::Phase::reduction, "reduction",
                     [&] { blas::dot_lanes<W>(r, z, n, rz_new); });
         real_type beta[W] = {};
         for (int l = 0; l < W; ++l) {
@@ -1150,7 +1150,7 @@ void cg_lockstep_pipelined(const SourceBatch& a,
             cb[l] = real_type{0};
             cc[l] = active[l] ? beta[l] : real_type{1};
         }
-        obs::traced("update", [&] {
+        obs::traced(obs::Phase::update, "update", [&] {
             blas::axpbypcz_lanes<W>(ca, z, cb, z, cc, p, n);
         });
         for (int l = 0; l < W; ++l) {

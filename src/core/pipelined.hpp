@@ -81,8 +81,8 @@ EntryResult pipelined_bicgstab_kernel(
 
     const real_type b_norm = blas::nrm2(b);
 
-    obs::traced("spmv", [&] { spmv(a, ConstVecView<real_type>(x), r); });
-    real_type r_norm = obs::traced("update", [&] {
+    obs::traced(obs::Phase::spmv, "spmv", [&] { spmv(a, ConstVecView<real_type>(x), r); });
+    real_type r_norm = obs::traced(obs::Phase::update, "update", [&] {
         return blas::zaxpby_nrm2(real_type{1}, b, real_type{-1},
                                  ConstVecView<real_type>(r), r);
     });
@@ -97,7 +97,7 @@ EntryResult pipelined_bicgstab_kernel(
     // The first iteration's rho is measured directly (r_hat = r here, so
     // this matches the classic kernel's iteration-0 dot bit for bit);
     // every later rho comes from the dot4 recurrence.
-    real_type rho = obs::traced("reduction", [&] {
+    real_type rho = obs::traced(obs::Phase::reduction, "reduction", [&] {
         return blas::dot(ConstVecView<real_type>(r),
                          ConstVecView<real_type>(r_hat));
     });
@@ -121,16 +121,16 @@ EntryResult pipelined_bicgstab_kernel(
         }
         const real_type beta = (rho / rho_old) * (alpha / omega);
         // p = r + beta * (p - omega * v) in ONE sweep.
-        obs::traced("update", [&] {
+        obs::traced(obs::Phase::update, "update", [&] {
             blas::axpbypcz(real_type{1}, ConstVecView<real_type>(r),
                            -beta * omega, ConstVecView<real_type>(v), beta,
                            p);
         });
-        obs::traced("precond_apply",
+        obs::traced(obs::Phase::precond, "precond_apply",
                     [&] { prec.apply(ConstVecView<real_type>(p), p_hat); });
-        obs::traced("spmv",
+        obs::traced(obs::Phase::spmv, "spmv",
                     [&] { spmv(a, ConstVecView<real_type>(p_hat), v); });
-        const real_type r_hat_v = obs::traced("reduction", [&] {
+        const real_type r_hat_v = obs::traced(obs::Phase::reduction, "reduction", [&] {
             return blas::dot(ConstVecView<real_type>(r_hat),
                              ConstVecView<real_type>(v));
         });
@@ -140,7 +140,7 @@ EntryResult pipelined_bicgstab_kernel(
         alpha = rho / r_hat_v;
         // s = r - alpha * v fused with ||s|| (measured, anchoring the
         // residual-norm recurrence below).
-        const real_type s_norm = obs::traced("update", [&] {
+        const real_type s_norm = obs::traced(obs::Phase::update, "update", [&] {
             return blas::zaxpby_nrm2(real_type{1},
                                      ConstVecView<real_type>(r), -alpha,
                                      ConstVecView<real_type>(v), s);
@@ -149,9 +149,9 @@ EntryResult pipelined_bicgstab_kernel(
             blas::axpy(alpha, ConstVecView<real_type>(p_hat), x);
             return {iter + 1, s_norm, true, FailureClass::converged};
         }
-        obs::traced("precond_apply",
+        obs::traced(obs::Phase::precond, "precond_apply",
                     [&] { prec.apply(ConstVecView<real_type>(s), s_hat); });
-        obs::traced("spmv",
+        obs::traced(obs::Phase::spmv, "spmv",
                     [&] { spmv(a, ConstVecView<real_type>(s_hat), t); });
         // The pipelined quad reduction: t.t and t.s (bit-identical to the
         // classic dual dot) plus s.r_hat and t.r_hat for the recurrences.
@@ -159,7 +159,7 @@ EntryResult pipelined_bicgstab_kernel(
         real_type t_s;
         real_type s_rhat;
         real_type t_rhat;
-        obs::traced("reduction", [&] {
+        obs::traced(obs::Phase::reduction, "reduction", [&] {
             blas::dot4(ConstVecView<real_type>(t), ConstVecView<real_type>(s),
                        ConstVecView<real_type>(r_hat), t_t, t_s, s_rhat,
                        t_rhat);
@@ -174,13 +174,13 @@ EntryResult pipelined_bicgstab_kernel(
         }
         omega = t_s / t_t;
         // x = x + alpha * p_hat + omega * s_hat in ONE sweep.
-        obs::traced("update", [&] {
+        obs::traced(obs::Phase::update, "update", [&] {
             blas::axpbypcz(alpha, ConstVecView<real_type>(p_hat), omega,
                            ConstVecView<real_type>(s_hat), real_type{1}, x);
         });
         // r = s - omega * t -- no norm fused in: ||r|| and the next rho
         // come from the dot4 results, which is the whole point.
-        obs::traced("update", [&] {
+        obs::traced(obs::Phase::update, "update", [&] {
             blas::zaxpby(real_type{1}, ConstVecView<real_type>(s), -omega,
                          ConstVecView<real_type>(t), r);
         });
@@ -219,13 +219,14 @@ EntryResult pipelined_cg_kernel(const MatrixView& a,
 
     const real_type b_norm = blas::nrm2(b);
 
-    obs::traced("spmv", [&] { spmv(a, ConstVecView<real_type>(x), r); });
+    obs::traced(obs::Phase::spmv, "spmv", [&] { spmv(a, ConstVecView<real_type>(x), r); });
     blas::axpby(real_type{1}, b, real_type{-1}, r);
     real_type r_norm = obs::traced(
-        "reduction", [&] { return blas::nrm2(ConstVecView<real_type>(r)); });
+        obs::Phase::reduction, "reduction",
+        [&] { return blas::nrm2(ConstVecView<real_type>(r)); });
 
     real_type rz = obs::traced(
-        "precond_apply",
+        obs::Phase::precond, "precond_apply",
         [&] { return prec.apply_dot(ConstVecView<real_type>(r), z); });
     blas::copy(ConstVecView<real_type>(z), p);
     const real_type r0 = r_norm;
@@ -244,7 +245,7 @@ EntryResult pipelined_cg_kernel(const MatrixView& a,
         if (rz == real_type{0}) {
             return {iter, r_norm, false, FailureClass::breakdown_rho};
         }
-        obs::traced("spmv",
+        obs::traced(obs::Phase::spmv, "spmv",
                     [&] { spmv(a, ConstVecView<real_type>(p), q); });
         // q.p, q.q, q.r and the measured ||r|| in one sweep: everything
         // the iteration's scalars and the residual-norm recurrence need.
@@ -252,7 +253,7 @@ EntryResult pipelined_cg_kernel(const MatrixView& a,
         real_type qq;
         real_type qr;
         real_type r_meas;
-        obs::traced("reduction", [&] {
+        obs::traced(obs::Phase::reduction, "reduction", [&] {
             blas::dot3_nrm2(ConstVecView<real_type>(q),
                             ConstVecView<real_type>(p),
                             ConstVecView<real_type>(r), pq, qq, qr, r_meas);
@@ -263,7 +264,7 @@ EntryResult pipelined_cg_kernel(const MatrixView& a,
         }
         const real_type alpha = rz / pq;
         blas::axpy(alpha, ConstVecView<real_type>(p), x);
-        obs::traced("update", [&] {
+        obs::traced(obs::Phase::update, "update", [&] {
             blas::axpy(-alpha, ConstVecView<real_type>(q), r);
         });
         // ||r - alpha q||^2 re-anchored at this iteration's measured
@@ -271,10 +272,10 @@ EntryResult pipelined_cg_kernel(const MatrixView& a,
         r_norm = recurrence_norm(r_meas * r_meas - 2 * alpha * qr +
                                  alpha * alpha * qq);
         const real_type rz_new = obs::traced(
-            "precond_apply",
+            obs::Phase::precond, "precond_apply",
             [&] { return prec.apply_dot(ConstVecView<real_type>(r), z); });
         const real_type beta = rz_new / rz;
-        obs::traced("update", [&] {
+        obs::traced(obs::Phase::update, "update", [&] {
             blas::axpby(real_type{1}, ConstVecView<real_type>(z), beta, p);
         });
         rz = rz_new;

@@ -37,9 +37,9 @@ EntryResult richardson_kernel(const MatrixView& a, ConstVecView<real_type> b,
         history->clear();
     }
     for (int iter = 0; iter < max_iters; ++iter) {
-        obs::traced("spmv", [&] { spmv(a, ConstVecView<real_type>(x), r); });
+        obs::traced(obs::Phase::spmv, "spmv", [&] { spmv(a, ConstVecView<real_type>(x), r); });
         blas::axpby(real_type{1}, b, real_type{-1}, r);
-        const real_type r_norm = obs::traced("reduction", [&] {
+        const real_type r_norm = obs::traced(obs::Phase::reduction, "reduction", [&] {
             return blas::nrm2(ConstVecView<real_type>(r));
         });
         if (iter == 0) {
@@ -54,15 +54,16 @@ EntryResult richardson_kernel(const MatrixView& a, ConstVecView<real_type> b,
         if (!std::isfinite(r_norm)) {
             return {iter, r_norm, false, FailureClass::non_finite};
         }
-        obs::traced("precond_apply",
+        obs::traced(obs::Phase::precond, "precond_apply",
                     [&] { prec.apply(ConstVecView<real_type>(r), t); });
-        obs::traced("update",
+        obs::traced(obs::Phase::update, "update",
                     [&] { blas::axpy(omega, ConstVecView<real_type>(t), x); });
     }
-    obs::traced("spmv", [&] { spmv(a, ConstVecView<real_type>(x), r); });
+    obs::traced(obs::Phase::spmv, "spmv", [&] { spmv(a, ConstVecView<real_type>(x), r); });
     blas::axpby(real_type{1}, b, real_type{-1}, r);
     const real_type r_norm = obs::traced(
-        "reduction", [&] { return blas::nrm2(ConstVecView<real_type>(r)); });
+        obs::Phase::reduction, "reduction",
+        [&] { return blas::nrm2(ConstVecView<real_type>(r)); });
     if (history != nullptr) {
         history->push_back(r_norm);
     }

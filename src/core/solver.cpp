@@ -4,6 +4,7 @@
 #include <omp.h>
 #endif
 
+#include <algorithm>
 #include <exception>
 
 #include "core/bicg.hpp"
@@ -17,6 +18,7 @@
 #include "core/pipelined.hpp"
 #include "core/richardson.hpp"
 #include "core/workspace.hpp"
+#include "obs/attribution.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/telemetry.hpp"
 #include "util/error.hpp"
@@ -249,6 +251,7 @@ void run_batch(const BatchMatrix& a, const BatchVector<real_type>& b,
         }();
         {
             obs::ScopedSpan setup_span("precond_setup", "solver");
+            obs::PhaseTimer setup_timer(obs::Phase::precond);
             if constexpr (std::is_same_v<Prec, JacobiPrec>) {
                 prec.generate(av, ws.slot(prec_slot_base));
             } else if constexpr (std::is_same_v<Prec, BlockJacobiPrec>) {
@@ -366,8 +369,99 @@ void dispatch_stop(const BatchMatrix& a, const BatchVector<real_type>& b,
     }
 }
 
+/// Ledger view of a batch matrix's storage (shape + format), feeding the
+/// attribution byte/flop accounting.
+template <typename BatchMatrix>
+obs::LedgerShape ledger_shape(const BatchMatrix& a)
+{
+    obs::LedgerShape shape;
+    shape.rows = a.rows();
+    if constexpr (std::is_same_v<BatchMatrix, BatchCsr<real_type>>) {
+        shape.stored_nnz = a.nnz_per_entry();
+        shape.nnz_per_row = a.max_nnz_per_row();
+    } else if constexpr (std::is_same_v<BatchMatrix, BatchEll<real_type>>) {
+        shape.stored_nnz = a.stored_per_entry();
+        shape.nnz_per_row = a.nnz_per_row();
+    } else if constexpr (std::is_same_v<BatchMatrix,
+                                        BatchSellp<real_type>>) {
+        shape.stored_nnz = a.stored_per_entry();
+        shape.nnz_per_row =
+            a.rows() > 0 ? a.stored_per_entry() / a.rows() : 0;
+    } else {
+        shape.stored_nnz = a.rows() * a.rows();
+        shape.nnz_per_row = a.rows();
+    }
+    return shape;
+}
+
+template <typename BatchMatrix>
+constexpr obs::LedgerFormat ledger_format()
+{
+    if constexpr (std::is_same_v<BatchMatrix, BatchCsr<real_type>>) {
+        return obs::LedgerFormat::csr;
+    } else if constexpr (std::is_same_v<BatchMatrix, BatchEll<real_type>>) {
+        return obs::LedgerFormat::ell;
+    } else if constexpr (std::is_same_v<BatchMatrix,
+                                        BatchSellp<real_type>>) {
+        return obs::LedgerFormat::sellp;
+    } else {
+        return obs::LedgerFormat::dense;
+    }
+}
+
+/// Joins the measured phase-time delta of this solve with the work ledger:
+/// per-phase achieved-GB/s / GF/s / roofline gauges, the drift check
+/// against the host roofline model, and the continuous-profiler window.
+void record_phase_metrics(obs::MetricsRegistry& m,
+                          const obs::WorkLedger& ledger,
+                          const obs::PhaseTotals& phases)
+{
+    const auto peaks = obs::host_roofline();
+    const auto attribution = obs::attribute_phases(ledger, phases, peaks);
+    obs::record_phase_attribution(m, "solve", attribution);
+    m.set_named("solve.roofline.peak_gbps", peaks.gbps);
+    m.set_named("solve.roofline.peak_gflops", peaks.gflops);
+
+    // Drift: measured thread-CPU seconds per phase vs the roofline floor
+    // the ledger implies (only the SHARES are compared, so the model's
+    // absolute bandwidth assumption cancels out). CPU rather than wall
+    // time: a scheduler preemption landing inside one span rewrites the
+    // wall-share mix of a millisecond-scale solve, while the CPU shares
+    // stay put -- bandwidth attribution above keeps wall time, drift
+    // keeps its meaning on a loaded machine. Phase::other has no model
+    // and stays zero on both sides.
+    double measured[obs::phase_count] = {};
+    double modeled[obs::phase_count] = {};
+    for (int p = 0; p < obs::phase_count; ++p) {
+        if (p == static_cast<int>(obs::Phase::other)) {
+            continue;
+        }
+        measured[p] = phases.cpu_seconds[p];
+        const auto& w = ledger.phase[p];
+        const double mem_s =
+            peaks.gbps > 0 ? w.bytes() / (peaks.gbps * 1e9) : 0.0;
+        const double flop_s =
+            peaks.gflops > 0 ? w.flops / (peaks.gflops * 1e9) : 0.0;
+        modeled[p] = std::max(mem_s, flop_s);
+    }
+    const auto drift =
+        obs::detect_drift(measured, modeled, obs::drift_config());
+    obs::record_drift(m, "solve", drift);
+
+    obs::ProfileWindow::Sample sample;
+    for (const auto& a : attribution) {
+        const int p = static_cast<int>(a.phase);
+        sample.seconds[p] = a.seconds;
+        sample.gbps[p] = a.gbps;
+    }
+    obs::profile_window().push(sample);
+    obs::profile_window().export_gauges(m);
+}
+
 /// Post-solve metrics recording (cold path; called once per batch).
-void record_solve_metrics(const BatchSolveResult& result)
+void record_solve_metrics(const BatchSolveResult& result,
+                          const obs::WorkLedger& ledger,
+                          const obs::PhaseTotals& phases)
 {
     auto& m = obs::metrics();
     m.add_named("solve.batches");
@@ -398,6 +492,8 @@ void record_solve_metrics(const BatchSolveResult& result)
     m.set_named("solve.last_wall_seconds", result.wall_seconds);
     m.set_named("solve.simd_lanes",
                 static_cast<double>(result.work.simd_lanes));
+    record_phase_metrics(m, ledger, phases);
+    obs::sync_trace_dropped_gauge();
 }
 
 /// Dumps every non-converged system of the finished solve to the armed
@@ -479,6 +575,16 @@ BatchSolveResult solve_batch(const BatchMatrix& a,
     }
     obs::ScopedSpan batch_span("solve_batch", "solver",
                                static_cast<std::int64_t>(a.num_batch()));
+    // Phase-time delta bracket for the attribution join. The global
+    // accumulator tallies every thread, so the delta is attributable to
+    // THIS solve as long as solves are not concurrent (the documented
+    // assumption of per-solve attribution; concurrent solves only blur
+    // the split, never the totals).
+    obs::PhaseTotals phases_before;
+    const bool attribute = obs::metrics_enabled();
+    if (attribute) {
+        phases_before = obs::phase_times().totals();
+    }
     Timer timer;
     switch (settings.precond) {
     case PrecondType::identity:
@@ -495,8 +601,14 @@ BatchSolveResult solve_batch(const BatchMatrix& a,
         break;
     }
     result.wall_seconds = timer.seconds();
-    if (obs::metrics_enabled()) {
-        record_solve_metrics(result);
+    if (attribute && obs::metrics_enabled()) {
+        const obs::PhaseTotals phase_delta =
+            obs::phase_times().totals() - phases_before;
+        const auto ledger = obs::work_ledger(
+            result.work, ledger_shape(a), ledger_format<BatchMatrix>(),
+            static_cast<double>(result.log.total_iterations()),
+            static_cast<double>(a.num_batch()));
+        record_solve_metrics(result, ledger, phase_delta);
     }
     if (settings.flight_recorder != nullptr) {
         capture_failures(a, b, x0_snapshot, settings, result);

@@ -33,15 +33,23 @@ public:
     index_type length() const { return length_; }
     int num_slots() const { return num_slots_; }
 
-    /// Grows (never shrinks) to at least the requested shape.
+    /// Adopts the requested shape exactly; the backing storage grows but
+    /// never shrinks, so repeated solves of any already-seen size do no
+    /// allocation. The shape must track the request exactly -- not the
+    /// historical maximum -- because slots are handed to kernels and
+    /// preconditioners as full-length views: after a 992-row solve, a
+    /// 56-row solve must get 56-long slots, not 992-long ones.
     void require(index_type length, int num_slots)
     {
-        if (length > length_ || num_slots > num_slots_) {
-            length_ = std::max(length, length_);
-            num_slots_ = std::max(num_slots, num_slots_);
-            storage_.assign(
-                static_cast<std::size_t>(length_) * num_slots_, 0.0);
+        BSIS_ENSURE_ARG(length >= 0 && num_slots >= 0,
+                        "negative workspace size");
+        const auto need =
+            static_cast<std::size_t>(length) * num_slots;
+        if (need > storage_.size()) {
+            storage_.assign(need, 0.0);
         }
+        length_ = length;
+        num_slots_ = num_slots;
     }
 
     VecView<real_type> slot(int i)

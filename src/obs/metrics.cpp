@@ -10,16 +10,25 @@ namespace bsis::obs {
 
 namespace {
 
-/// Quantile of an unsorted sample set (nearest-rank on a sorted copy).
+/// Quantile of an unsorted sample set: type-7 linear interpolation on a
+/// sorted copy (the R/NumPy default). Degenerate inputs behave sensibly:
+/// no samples -> 0, one sample -> that sample for every q, all-equal
+/// samples -> that value exactly (nearest-rank rounding used to bias
+/// small-n quantiles toward the upper sample).
 double quantile(std::vector<double> samples, double q)
 {
     if (samples.empty()) {
         return 0.0;
     }
     std::sort(samples.begin(), samples.end());
-    const auto rank = static_cast<std::size_t>(
-        q * static_cast<double>(samples.size() - 1) + 0.5);
-    return samples[std::min(rank, samples.size() - 1)];
+    if (samples.size() == 1) {
+        return samples[0];
+    }
+    const double pos = q * static_cast<double>(samples.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, samples.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return samples[lo] + frac * (samples[hi] - samples[lo]);
 }
 
 void append_json_number(std::ostringstream& os, double v)

@@ -24,4 +24,16 @@ TraceSession& trace()
     return session;
 }
 
+PhaseAccumulator& phase_times()
+{
+    static PhaseAccumulator accumulator;
+    return accumulator;
+}
+
+void sync_trace_dropped_gauge()
+{
+    metrics().set_named("obs.trace.dropped",
+                        static_cast<double>(trace().dropped()));
+}
+
 }  // namespace bsis::obs

@@ -10,10 +10,13 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <ctime>
 #include <utility>
 
 #include "obs/metrics.hpp"
+#include "obs/phase.hpp"
 #include "obs/trace.hpp"
 
 namespace bsis::obs {
@@ -44,6 +47,12 @@ void set_trace_enabled(bool on);
 /// into them is only meaningful while the matching flag is on.
 MetricsRegistry& metrics();
 TraceSession& trace();
+
+/// Mirrors the global TraceSession's span-drop count into the
+/// `obs.trace.dropped` gauge of the global registry, so a truncated trace
+/// is visible in the metrics snapshot. Called on the cold paths that
+/// publish snapshots (record_solve_metrics, ObsCli::flush).
+void sync_trace_dropped_gauge();
 
 /// RAII span against the global TraceSession; no-op when tracing is off
 /// at construction time (the end is driven by the same decision, so a
@@ -82,6 +91,83 @@ inline decltype(auto) traced(const char* name, F&& f)
 {
     ScopedSpan span(name, "kernel");
     return std::forward<F>(f)();
+}
+
+/// Calling thread's consumed CPU nanoseconds, or -1 where no per-thread
+/// CPU clock exists. Immune to scheduler preemption, which is exactly
+/// what drift detection needs on a loaded machine (see PhaseTotals).
+inline std::int64_t thread_cpu_ns()
+{
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+    timespec ts;
+    if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0) {
+        return static_cast<std::int64_t>(ts.tv_sec) * 1000000000 +
+               ts.tv_nsec;
+    }
+#endif
+    return -1;
+}
+
+/// RAII phase timer against the global PhaseAccumulator (the measurement
+/// half of the attribution layer); no-op unless metrics are enabled at
+/// construction. Enabled cost: two steady_clock reads, two thread-CPU
+/// clock reads, and three relaxed fetch_adds on the thread's own shard.
+/// Where no thread-CPU clock exists the wall time is recorded on both
+/// axes.
+class PhaseTimer {
+public:
+    explicit PhaseTimer(Phase phase)
+    {
+        if (metrics_enabled()) {
+            active_ = true;
+            phase_ = phase;
+            start_cpu_ = thread_cpu_ns();
+            start_ = std::chrono::steady_clock::now();
+        }
+    }
+
+    PhaseTimer(const PhaseTimer&) = delete;
+    PhaseTimer& operator=(const PhaseTimer&) = delete;
+
+    ~PhaseTimer()
+    {
+        if (active_) {
+            const auto ns =
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - start_)
+                    .count();
+            const auto cpu = start_cpu_ >= 0
+                                 ? thread_cpu_ns() - start_cpu_
+                                 : ns;
+            phase_times().add(phase_, ns, cpu);
+        }
+    }
+
+private:
+    bool active_ = false;
+    Phase phase_ = Phase::other;
+    std::int64_t start_cpu_ = -1;
+    std::chrono::steady_clock::time_point start_;
+};
+
+/// Phase-kind form of traced(): the span is still emitted under `name`
+/// for the trace timeline, and the elapsed time is additionally tallied
+/// under `phase` in the global PhaseAccumulator so the attribution layer
+/// can join it with the work ledger. All solver-kernel spans use this
+/// form since the attribution PR.
+template <typename F>
+inline decltype(auto) traced(Phase phase, const char* name, F&& f)
+{
+    ScopedSpan span(name, "kernel");
+    PhaseTimer timer(phase);
+    return std::forward<F>(f)();
+}
+
+/// Shorthand using the phase's canonical span name.
+template <typename F>
+inline decltype(auto) traced(Phase phase, F&& f)
+{
+    return traced(phase, phase_name(phase), std::forward<F>(f));
 }
 
 }  // namespace bsis::obs

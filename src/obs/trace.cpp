@@ -1,6 +1,7 @@
 #include "obs/trace.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 
@@ -55,7 +56,16 @@ void TraceSession::push_event(Shard& shard, const TraceEvent& event)
 {
     if (shard.events.size() >=
         shard_capacity_.load(std::memory_order_relaxed)) {
-        dropped_.fetch_add(1, std::memory_order_relaxed);
+        if (dropped_.fetch_add(1, std::memory_order_relaxed) == 0) {
+            // Warn once per session so a truncated trace never passes
+            // silently; the running total is surfaced as the
+            // `obs.trace.dropped` gauge in the metrics snapshot.
+            std::fprintf(stderr,
+                         "[bsis.obs] trace shard capacity (%zu events) "
+                         "reached; further spans will be dropped and "
+                         "counted\n",
+                         shard_capacity_.load(std::memory_order_relaxed));
+        }
         return;
     }
     shard.events.push_back(event);

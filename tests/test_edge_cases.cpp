@@ -227,12 +227,19 @@ TEST(EdgeCases, BatchDriversPropagateExceptionsAcrossOpenMp)
     EXPECT_THROW(lapack::batch_thomas(tri, xt), NumericalBreakdown);
 }
 
-TEST(EdgeCases, WorkspaceGrowsMonotonically)
+TEST(EdgeCases, WorkspaceShapeTracksRequestStorageNeverShrinks)
 {
+    // The logical shape must follow every request exactly -- slots are
+    // handed to kernels as full-length views, so a smaller solve after a
+    // bigger one must get exactly-sized slots, not high-water-mark ones.
     Workspace ws(10, 2);
-    ws.require(5, 1);  // smaller: no change
-    EXPECT_EQ(ws.length(), 10);
-    EXPECT_EQ(ws.num_slots(), 2);
+    const auto* storage = ws.slot(0).data;
+    ws.require(5, 1);
+    EXPECT_EQ(ws.length(), 5);
+    EXPECT_EQ(ws.num_slots(), 1);
+    EXPECT_EQ(ws.slot(0).len, 5);
+    // ...but shrinking requests reuse the existing storage.
+    EXPECT_EQ(ws.slot(0).data, storage);
     ws.require(20, 4);
     EXPECT_EQ(ws.length(), 20);
     EXPECT_EQ(ws.num_slots(), 4);

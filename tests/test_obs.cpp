@@ -250,6 +250,45 @@ TEST(Metrics, CountersGaugesHistogramsRoundTrip)
     EXPECT_NEAR(summary.p95, 95.0, 2.0);
 }
 
+TEST(Metrics, HistogramQuantileEdgeCases)
+{
+    obs::MetricsRegistry reg;
+
+    // Zero samples: everything is the neutral zero.
+    const auto h0 = reg.histogram("empty");
+    (void)h0;
+    const auto empty = reg.snapshot().histogram("empty");
+    EXPECT_EQ(empty.count, 0);
+    EXPECT_DOUBLE_EQ(empty.p50, 0.0);
+    EXPECT_DOUBLE_EQ(empty.p95, 0.0);
+
+    // One sample: every quantile IS that sample.
+    const auto h1 = reg.histogram("one");
+    reg.observe(h1, 42.0);
+    const auto one = reg.snapshot().histogram("one");
+    EXPECT_EQ(one.count, 1);
+    EXPECT_DOUBLE_EQ(one.p50, 42.0);
+    EXPECT_DOUBLE_EQ(one.p95, 42.0);
+    EXPECT_DOUBLE_EQ(one.max, 42.0);
+
+    // Two samples: type-7 linear interpolation between them.
+    const auto h2 = reg.histogram("two");
+    reg.observe(h2, 1.0);
+    reg.observe(h2, 3.0);
+    const auto two = reg.snapshot().histogram("two");
+    EXPECT_DOUBLE_EQ(two.p50, 2.0);   // 1 + 0.50 * (3 - 1)
+    EXPECT_DOUBLE_EQ(two.p95, 2.9);   // 1 + 0.95 * (3 - 1)
+
+    // All-equal samples: quantiles are exact, no interpolation artifact.
+    const auto he = reg.histogram("equal");
+    for (int i = 0; i < 17; ++i) {
+        reg.observe(he, 5.0);
+    }
+    const auto equal = reg.snapshot().histogram("equal");
+    EXPECT_DOUBLE_EQ(equal.p50, 5.0);
+    EXPECT_DOUBLE_EQ(equal.p95, 5.0);
+}
+
 TEST(Metrics, RegistrationIsIdempotentAndKindCollisionsThrow)
 {
     obs::MetricsRegistry reg;
