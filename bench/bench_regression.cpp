@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "common.hpp"
+#include "obs/monitor.hpp"
 #include "obs/telemetry.hpp"
 
 namespace {
@@ -242,6 +243,19 @@ struct TelemetryCase {
     double enabled_overhead_percent = 0;
 };
 
+/// Live-monitor overhead A/B on the same configuration: metrics-on solves
+/// with and without the background sampler (obs::Monitor) ticking. The
+/// two cases are interleaved rep-by-rep so slow machine drift hits both
+/// medians equally; the gated number is the sampler's MARGINAL cost on
+/// top of metrics recording, which is what `--monitor` actually adds.
+struct MonitorCase {
+    double tick_ms = 250;
+    double metrics_only_median_wall_seconds = 0;  ///< sampler stopped
+    double enabled_median_wall_seconds = 0;       ///< sampler ticking
+    double overhead_percent = 0;  ///< enabled vs metrics-only
+    long long ticks = 0;
+};
+
 /// Extracts the csr/fused median_wall_seconds and num_systems from a
 /// BENCH_solvers.json written by this bench (line-per-case layout).
 bool read_baseline(const std::string& path, double& median_out,
@@ -279,7 +293,8 @@ void write_json(const std::string& path, bool smoke, size_type num_systems,
                 index_type rows, index_type nnz_per_row, int reps,
                 const std::vector<HostCase>& host,
                 const std::vector<DeviceCase>& devices,
-                const TelemetryCase& telemetry)
+                const TelemetryCase& telemetry,
+                const MonitorCase& monitor)
 {
     std::ofstream out(path);
     if (!out) {
@@ -323,7 +338,14 @@ void write_json(const std::string& path, bool smoke, size_type num_systems,
         << ", \"enabled_median_wall_seconds\": "
         << telemetry.enabled_median_wall_seconds
         << ", \"enabled_overhead_percent\": "
-        << telemetry.enabled_overhead_percent << "}\n";
+        << telemetry.enabled_overhead_percent << "},\n";
+    out << "  \"monitor\": {\"tick_ms\": " << monitor.tick_ms
+        << ", \"metrics_only_median_wall_seconds\": "
+        << monitor.metrics_only_median_wall_seconds
+        << ", \"enabled_median_wall_seconds\": "
+        << monitor.enabled_median_wall_seconds
+        << ", \"overhead_percent\": " << monitor.overhead_percent
+        << ", \"ticks\": " << monitor.ticks << "}\n";
     out << "}\n";
 }
 
@@ -516,6 +538,72 @@ int main(int argc, char** argv)
         }
     }
 
+    // Monitor A/B on the same configuration: metrics live (no tracing)
+    // with and without the background sampler ticking at its default
+    // 250 ms period -- the exact setup `--monitor` enables on the
+    // examples. The reps ALTERNATE between the two cases so slow machine
+    // drift (frequency scaling, a shared box) lands on both medians
+    // equally; the gated number is the sampler's marginal cost on top of
+    // metrics recording, which is all `--monitor` adds. It must stay
+    // under the 2% envelope (gated below for non-smoke runs).
+    MonitorCase monitor_case;
+    {
+        obs::set_metrics_enabled(true);
+        obs::MonitorConfig mc;
+        mc.tick_seconds = monitor_case.tick_ms / 1000.0;
+        obs::Monitor monitor(obs::metrics(), mc);
+        SolverSettings settings;
+        settings.solver = SolverType::bicgstab;
+        settings.precond = PrecondType::jacobi;
+        settings.fused_kernels = true;
+        BatchVector<real_type> x(csr.num_batch(), csr.rows());
+        solve_batch(csr, b, x, settings);  // untimed warm-up
+        // Paired statistics: each rep times the two cases back-to-back
+        // and contributes one with/without ratio; the gate uses the
+        // median ratio. A median-of-ratios is far less sensitive to slow
+        // drift than a ratio-of-medians because both halves of a pair
+        // see the same machine state, and the ABBA ordering (which case
+        // runs first alternates per rep) cancels any within-pair
+        // position bias. Doubled reps since this is the tightest (2%)
+        // gate in the bench.
+        const int pair_reps = 2 * reps;
+        std::vector<double> metrics_only;
+        std::vector<double> with_sampler;
+        std::vector<double> ratios;
+        const auto run_plain = [&] {
+            return solve_batch(csr, b, x, settings).wall_seconds;
+        };
+        const auto run_sampled = [&] {
+            monitor.start();
+            const double wall = solve_batch(csr, b, x, settings).wall_seconds;
+            monitor.stop();
+            return wall;
+        };
+        for (int rep = 0; rep < pair_reps; ++rep) {
+            double without = 0;
+            double sampled = 0;
+            if (rep % 2 == 0) {
+                without = run_plain();
+                sampled = run_sampled();
+            } else {
+                sampled = run_sampled();
+                without = run_plain();
+            }
+            metrics_only.push_back(without);
+            with_sampler.push_back(sampled);
+            ratios.push_back(sampled / without);
+        }
+        monitor_case.metrics_only_median_wall_seconds =
+            median(std::move(metrics_only));
+        monitor_case.enabled_median_wall_seconds =
+            median(std::move(with_sampler));
+        monitor_case.overhead_percent =
+            100.0 * (median(std::move(ratios)) - 1.0);
+        monitor_case.ticks = monitor.ticks();
+        obs::set_metrics_enabled(false);
+        obs::metrics().reset_values();
+    }
+
     std::cout << "\n=== host wall time (fused vs unfused kernels)\n\n";
     table.print(std::cout);
     std::cout << "\n=== modeled kernel time (warp 32 / warp 64)\n\n";
@@ -524,9 +612,16 @@ int main(int argc, char** argv)
               << telemetry.disabled_median_wall_seconds << " s, enabled "
               << telemetry.enabled_median_wall_seconds << " s ("
               << telemetry.enabled_overhead_percent << "% when live)\n";
+    std::cout << "monitor overhead (csr/fused, " << monitor_case.tick_ms
+              << " ms tick): metrics-only "
+              << monitor_case.metrics_only_median_wall_seconds
+              << " s, sampler on "
+              << monitor_case.enabled_median_wall_seconds << " s ("
+              << monitor_case.overhead_percent << "% marginal, "
+              << monitor_case.ticks << " ticks)\n";
 
     write_json(out_path, smoke, num_systems, rows, width, reps, host,
-               devices, telemetry);
+               devices, telemetry, monitor_case);
     std::cout << "\n[json written to " << out_path << "]\n";
 
     // Overhead gate against the committed baseline: the csr/fused median
@@ -557,6 +652,16 @@ int main(int argc, char** argv)
                 return 1;
             }
         }
+    }
+
+    // Monitor overhead gate: the sampler-on median must stay within 2%
+    // of the interleaved metrics-only median -- the sampler's marginal
+    // cost. Smoke batches are too small/noisy to gate.
+    if (!smoke && monitor_case.overhead_percent > 2.0) {
+        std::cerr << "regression bench: monitor sampler overhead "
+                  << monitor_case.overhead_percent
+                  << "% exceeds the 2% envelope\n";
+        return 1;
     }
 
     // Self-check: the regression harness is only useful if the numbers it

@@ -18,6 +18,25 @@
 //                        whose measured-vs-modeled phase comparison
 //                        alarms writes a drift_<seq>_<prefix>.json
 //                        describing the disagreement under DIR
+//   --monitor[=tick_ms]  metrics registry on; start the live monitor
+//                        (background sampler + alert engine) at the given
+//                        tick (default 250 ms)
+//   --prom=FILE          implies --monitor; the Prometheus exposition is
+//                        atomically rewritten to FILE every tick (point
+//                        `obs_top FILE` or a node_exporter textfile
+//                        collector at it)
+//   --prom-port=N        implies --monitor; serve the exposition on
+//                        127.0.0.1:N (N=0 binds an ephemeral port; the
+//                        bound port is printed)
+//   --alerts=FILE        implies --monitor; replace the default alert
+//                        rules with FILE (one rule per line, see
+//                        obs/monitor.hpp for the grammar)
+//   --events=FILE        structured JSON-lines event log (solve start/end,
+//                        failure captures, drift alarms, alert
+//                        transitions) appended to FILE with size-capped
+//                        rotation
+//   --trace-buffer=N     cap each trace shard at N spans; overflow is
+//                        dropped and counted in `obs.trace.dropped`
 //
 // Construct an ObsCli early in main with argc/argv: it consumes the
 // recognized flags (compacting argv so positional parsing downstream is
@@ -27,6 +46,7 @@
 // neither flag is given.
 #pragma once
 
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -35,9 +55,12 @@
 #include <string>
 
 #include "obs/attribution.hpp"
+#include "obs/events.hpp"
 #include "obs/flight_recorder.hpp"
+#include "obs/monitor.hpp"
 #include "obs/report.hpp"
 #include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
 
 namespace bsis::examples {
 
@@ -60,6 +83,26 @@ public:
             } else if (std::strncmp(argv[i], "--drift-dump=", 13) == 0) {
                 drift_dump_ = true;
                 obs::set_drift_dump_dir(argv[i] + 13);
+            } else if (std::strcmp(argv[i], "--monitor") == 0) {
+                monitor_requested_ = true;
+            } else if (std::strncmp(argv[i], "--monitor=", 10) == 0) {
+                monitor_requested_ = true;
+                monitor_config_.tick_seconds =
+                    std::atof(argv[i] + 10) / 1000.0;
+            } else if (std::strncmp(argv[i], "--prom=", 7) == 0) {
+                monitor_requested_ = true;
+                monitor_config_.prom_path = argv[i] + 7;
+            } else if (std::strncmp(argv[i], "--prom-port=", 12) == 0) {
+                monitor_requested_ = true;
+                monitor_config_.http = true;
+                monitor_config_.http_port = std::atoi(argv[i] + 12);
+            } else if (std::strncmp(argv[i], "--alerts=", 9) == 0) {
+                monitor_requested_ = true;
+                alerts_path_ = argv[i] + 9;
+            } else if (std::strncmp(argv[i], "--events=", 9) == 0) {
+                events_path_ = argv[i] + 9;
+            } else if (std::strncmp(argv[i], "--trace-buffer=", 15) == 0) {
+                obs::trace().set_shard_capacity(std::atoi(argv[i] + 15));
             } else {
                 argv[out++] = argv[i];
             }
@@ -68,8 +111,35 @@ public:
         if (!trace_path_.empty()) {
             obs::set_trace_enabled(true);
         }
-        if (!metrics_path_.empty() || !report_path_.empty()) {
+        if (!metrics_path_.empty() || !report_path_.empty() ||
+            monitor_requested_) {
             obs::set_metrics_enabled(true);
+        }
+        if (!events_path_.empty()) {
+            if (!obs::open_events(events_path_)) {
+                std::cerr << "[obs] failed to open event log "
+                          << events_path_ << '\n';
+                events_path_.clear();
+            }
+        }
+        if (monitor_requested_) {
+            if (!alerts_path_.empty()) {
+                std::string error;
+                if (!obs::load_alert_rules(alerts_path_,
+                                           monitor_config_.rules, &error)) {
+                    std::cerr << "[obs] bad alert rules: " << error << '\n';
+                }
+            }
+            if (monitor_config_.tick_seconds <= 0) {
+                monitor_config_.tick_seconds = 0.25;
+            }
+            monitor_ = std::make_unique<obs::Monitor>(obs::metrics(),
+                                                      monitor_config_);
+            monitor_->start();
+            if (monitor_config_.http) {
+                std::cout << "[obs] prometheus endpoint on 127.0.0.1:"
+                          << monitor_->http_port() << '\n';
+            }
         }
     }
 
@@ -82,8 +152,13 @@ public:
     bool active() const
     {
         return !trace_path_.empty() || !metrics_path_.empty() ||
-               !report_path_.empty();
+               !report_path_.empty() || monitor_ != nullptr ||
+               !events_path_.empty();
     }
+
+    /// The live monitor, or nullptr when --monitor/--prom/--prom-port was
+    /// not given.
+    obs::Monitor* monitor() const { return monitor_.get(); }
 
     /// The armed flight recorder, or nullptr when --capture-failures was
     /// not given. Assign to SolverSettings::flight_recorder.
@@ -93,6 +168,38 @@ public:
     /// Idempotent; the destructor calls it for the common case.
     void flush()
     {
+        if (monitor_ != nullptr) {
+            // Stop (with its final publishing sample) while metrics and
+            // the event log are still live.
+            obs::sync_trace_dropped_gauge();
+            monitor_->stop();
+            int firing = 0;
+            for (const auto& alert : monitor_->alerts()) {
+                if (alert.phase == obs::AlertPhase::firing) {
+                    std::cout << "[obs] ALERT firing: " << alert.rule.name
+                              << " (" << alert.rule.metric << " = "
+                              << alert.last_value << ")\n";
+                    ++firing;
+                }
+            }
+            std::cout << "[obs] monitor: " << monitor_->ticks()
+                      << " ticks, " << firing << " alerts firing";
+            if (!monitor_config_.prom_path.empty()) {
+                std::cout << ", exposition at "
+                          << monitor_config_.prom_path;
+            }
+            std::cout << '\n';
+            monitor_.reset();
+            if (metrics_path_.empty() && report_path_.empty()) {
+                obs::set_metrics_enabled(false);
+            }
+        }
+        if (!events_path_.empty()) {
+            std::cout << "[obs] " << obs::events().emitted()
+                      << " events logged to " << events_path_ << '\n';
+            obs::close_events();
+            events_path_.clear();
+        }
         if (!report_path_.empty()) {
             obs::sync_trace_dropped_gauge();
             obs::MetricsDocument doc;
@@ -159,7 +266,12 @@ private:
     std::string trace_path_;
     std::string metrics_path_;
     std::string report_path_;
+    std::string events_path_;
+    std::string alerts_path_;
     bool drift_dump_ = false;
+    bool monitor_requested_ = false;
+    obs::MonitorConfig monitor_config_;
+    std::unique_ptr<obs::Monitor> monitor_;
     std::unique_ptr<obs::FlightRecorder> recorder_;
 };
 

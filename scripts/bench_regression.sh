@@ -70,4 +70,31 @@ print("bench_regression.sh: pipelined lockstep8 gate OK "
 EOF
 fi
 
+# Append a one-line history record so commit-over-commit medians can be
+# plotted without digging through git history: timestamp, git SHA, the
+# per-variant medians, and the telemetry/monitor overhead percentages.
+mkdir -p results
+python3 - <<'EOF'
+import json, subprocess, time
+doc = json.load(open("BENCH_solvers.json"))
+sha = subprocess.run(["git", "rev-parse", "--short", "HEAD"],
+                     capture_output=True, text=True).stdout.strip()
+entry = {
+    "utc": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+    "git_sha": sha or "unknown",
+    "smoke": bool(doc.get("smoke")),
+    "num_systems": doc.get("num_systems"),
+    "host_median_wall_seconds": {
+        "%s/%s" % (c["format"], c["variant"]): c["median_wall_seconds"]
+        for c in doc["host"]},
+    "telemetry_overhead_percent":
+        doc["telemetry"]["enabled_overhead_percent"],
+    "monitor_overhead_percent": doc["monitor"]["overhead_percent"],
+}
+with open("results/bench_history.jsonl", "a") as out:
+    out.write(json.dumps(entry, sort_keys=True) + "\n")
+print("bench_regression.sh: appended results/bench_history.jsonl (%s)"
+      % entry["utc"])
+EOF
+
 echo "bench_regression.sh: wrote $(pwd)/BENCH_solvers.json"

@@ -41,6 +41,30 @@ trap 'rm -rf "$FORENSICS_DIR"' EXIT
 "$BUILD_DIR/tools/replay_entry" --selftest "$FORENSICS_DIR/bundles" \
     > /dev/null
 
+# Live monitoring: the time-series sampler, alert hysteresis, Prometheus
+# exposition round-trip, the event log, and the seeded failure-storm
+# firing/resolved end-to-end. The storm test exports its firing-tick
+# promfile so obs_top's --once gate can be asserted binary-level: it must
+# exit 1 (alerts firing) on the storm exposition and 0 on a healthy one.
+echo "== monitor test tier =="
+MONITOR_DIR=$(mktemp -d)
+trap 'rm -rf "$FORENSICS_DIR" "$MONITOR_DIR"' EXIT
+BSIS_MONITOR_E2E_PROM="$MONITOR_DIR/storm.prom" \
+    ctest --test-dir "$BUILD_DIR" -L monitor --output-on-failure
+echo "-- obs_top --once e2e"
+if [ ! -f "$MONITOR_DIR/storm.prom" ]; then
+    echo "check.sh: storm test did not export its promfile" >&2
+    exit 1
+fi
+if "$BUILD_DIR/tools/obs_top" --once "$MONITOR_DIR/storm.prom" \
+    > /dev/null; then
+    echo "check.sh: obs_top exited 0 on a firing exposition" >&2
+    exit 1
+fi
+"$BUILD_DIR/examples/quickstart" --monitor=50 \
+    --prom="$MONITOR_DIR/healthy.prom" > /dev/null
+"$BUILD_DIR/tools/obs_top" --once "$MONITOR_DIR/healthy.prom" > /dev/null
+
 # Pipelined variants: classic-vs-pipelined equivalence across solvers,
 # preconditioners, formats and execution paths, recurrence-drift bounds,
 # failure-classification parity on seeded breakdown/NaN batches, and the

@@ -19,6 +19,7 @@
 #include "core/richardson.hpp"
 #include "core/workspace.hpp"
 #include "obs/attribution.hpp"
+#include "obs/events.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/telemetry.hpp"
 #include "util/error.hpp"
@@ -536,6 +537,22 @@ BatchSolveResult solve_batch(const BatchMatrix& a,
                     "negative iteration limit");
     BSIS_ENSURE_ARG(settings.tolerance >= 0, "negative tolerance");
 
+    if (settings.trace_shard_capacity > 0) {
+        obs::trace().set_shard_capacity(
+            static_cast<std::size_t>(settings.trace_shard_capacity));
+    }
+    if (obs::events_enabled()) {
+        obs::events().emit(
+            "solve.start",
+            {obs::field("systems",
+                        static_cast<std::int64_t>(a.num_batch())),
+             obs::field("rows", static_cast<std::int64_t>(a.rows())),
+             obs::field("solver", solver_name(settings.solver)),
+             obs::field("precond", precond_name(settings.precond)),
+             obs::field("lockstep_width", settings.lockstep_width),
+             obs::field("pipelined", settings.pipelined)});
+    }
+
     BatchSolveResult result;
     result.log = BatchLog(a.num_batch());
     result.work = work_profile(settings.solver, settings.precond,
@@ -612,6 +629,19 @@ BatchSolveResult solve_batch(const BatchMatrix& a,
     }
     if (settings.flight_recorder != nullptr) {
         capture_failures(a, b, x0_snapshot, settings, result);
+    }
+    if (obs::events_enabled()) {
+        std::int64_t unconverged = 0;
+        for (size_type i = 0; i < result.log.num_batch(); ++i) {
+            unconverged += result.log.converged(i) ? 0 : 1;
+        }
+        obs::events().emit(
+            "solve.end",
+            {obs::field("systems",
+                        static_cast<std::int64_t>(a.num_batch())),
+             obs::field("wall_seconds", result.wall_seconds),
+             obs::field("iterations", result.log.total_iterations()),
+             obs::field("unconverged", unconverged)});
     }
     return result;
 }

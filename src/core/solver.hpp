@@ -80,6 +80,13 @@ struct SolverSettings {
     /// caller and may serve many solves; capture happens after the solve,
     /// off the hot path.
     obs::FlightRecorder* flight_recorder = nullptr;
+    /// When positive, the global TraceSession's per-shard event capacity
+    /// is set to this many spans before the solve runs (the equivalent of
+    /// `--trace-buffer=N` on the example CLIs). 0 keeps the session's
+    /// current capacity. Spans past the cap are dropped and counted in
+    /// the `obs.trace.dropped` gauge; the emitted Chrome trace stays
+    /// valid JSON either way.
+    int trace_shard_capacity = 0;
 };
 
 /// Outcome of a batched solve.

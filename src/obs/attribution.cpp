@@ -8,6 +8,9 @@
 #include <mutex>
 #include <sstream>
 
+#include "obs/events.hpp"
+#include "obs/json.hpp"
+
 namespace bsis::obs {
 
 namespace {
@@ -303,8 +306,9 @@ void dump_drift_annotation(const std::string& dir, const std::string& prefix,
     if (!out) {
         return;
     }
-    out << "{\n  \"kind\": \"drift\",\n  \"prefix\": \"" << prefix
-        << "\",\n  \"alarms\": " << report.alarms() << ",\n  \"phases\": [";
+    out << "{\n  \"kind\": \"drift\",\n  \"prefix\": ";
+    json_quote(out, prefix);
+    out << ",\n  \"alarms\": " << report.alarms() << ",\n  \"phases\": [";
     bool first = true;
     for (const auto& p : report.phases) {
         out << (first ? "" : ",") << "\n    {\"phase\": \""
@@ -318,8 +322,9 @@ void dump_drift_annotation(const std::string& dir, const std::string& prefix,
     out << "\n  ],\n  \"scalars\": [";
     first = true;
     for (const auto& s : report.scalars) {
-        out << (first ? "" : ",") << "\n    {\"name\": \"" << s.name
-            << "\", \"measured\": " << s.measured
+        out << (first ? "" : ",") << "\n    {\"name\": ";
+        json_quote(out, s.name);
+        out << ", \"measured\": " << s.measured
             << ", \"modeled\": " << s.modeled << ", \"ratio\": " << s.ratio
             << ", \"alarmed\": " << (s.alarmed ? "true" : "false") << "}";
         first = false;
@@ -359,6 +364,27 @@ int record_drift(MetricsRegistry& registry, const std::string& prefix,
         }
         if (!dir.empty()) {
             dump_drift_annotation(dir, prefix, report, seq);
+        }
+        if (events_enabled()) {
+            // Name the worst phase so the event line is actionable on its
+            // own, without joining against the gauge snapshot.
+            const char* worst = "";
+            double worst_ratio = 0;
+            for (const auto& p : report.phases) {
+                if (p.alarmed && std::abs(std::log(p.ratio)) >
+                                     std::abs(std::log(
+                                         worst_ratio > 0 ? worst_ratio
+                                                         : 1.0))) {
+                    worst = phase_name(p.phase);
+                    worst_ratio = p.ratio;
+                }
+            }
+            events().emit("drift.alarm",
+                          {field("prefix", prefix),
+                           field("alarms", alarms),
+                           field("checks", checks),
+                           field("worst_phase", worst),
+                           field("worst_ratio", worst_ratio)});
         }
     }
     return alarms;

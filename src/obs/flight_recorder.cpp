@@ -9,6 +9,8 @@
 #include <limits>
 #include <sstream>
 
+#include "obs/events.hpp"
+#include "obs/json.hpp"
 #include "util/error.hpp"
 
 namespace bsis::obs {
@@ -18,27 +20,6 @@ namespace {
 namespace fs = std::filesystem;
 
 // --- minimal JSON sidecar writer -----------------------------------------
-
-void json_escape(std::ostream& os, const std::string& s)
-{
-    os << '"';
-    for (const char c : s) {
-        switch (c) {
-        case '"':
-            os << "\\\"";
-            break;
-        case '\\':
-            os << "\\\\";
-            break;
-        case '\n':
-            os << "\\n";
-            break;
-        default:
-            os << c;
-        }
-    }
-    os << '"';
-}
 
 void json_number(std::ostream& os, real_type v)
 {
@@ -60,13 +41,13 @@ void write_meta(std::ostream& os, const FailureBundleMeta& meta)
 {
     os << "{\n";
     os << "  \"failure\": ";
-    json_escape(os, meta.failure);
+    json_quote(os, meta.failure);
     os << ",\n  \"solver\": ";
-    json_escape(os, meta.solver);
+    json_quote(os, meta.solver);
     os << ",\n  \"precond\": ";
-    json_escape(os, meta.precond);
+    json_quote(os, meta.precond);
     os << ",\n  \"stop\": ";
-    json_escape(os, meta.stop);
+    json_quote(os, meta.stop);
     os << ",\n  \"tolerance\": ";
     json_number(os, meta.tolerance);
     os << ",\n  \"max_iterations\": " << meta.max_iterations;
@@ -357,6 +338,16 @@ bool FlightRecorder::capture(const io::Coo& a, ConstVecView<real_type> b,
     {
         std::ofstream os(dir / "meta.json");
         write_meta(os, meta);
+    }
+    if (events_enabled()) {
+        events().emit("failure.capture",
+                      {field("bundle", dir.string()),
+                       field("failure", meta.failure),
+                       field("solver", meta.solver),
+                       field("system_index", meta.system_index),
+                       field("iterations", meta.iterations),
+                       field("residual_norm",
+                             static_cast<double>(meta.residual_norm))});
     }
     return true;
 }

@@ -1,0 +1,101 @@
+// Shared JSON string escaping for every obs emitter.
+//
+// The metrics snapshot, the Chrome trace, the flight-recorder sidecars,
+// the drift annotations, and the event log all hand-write small JSON
+// documents; they used to interpolate names raw (or each carried a
+// private escaper), so a metric or span name containing a quote,
+// backslash, or control character produced an invalid document. Every
+// emitter now routes strings through this one escaper.
+#pragma once
+
+#include <cstdio>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+namespace bsis::obs {
+
+/// Appends `s` to `os` with JSON string escaping applied (quotes,
+/// backslashes, and control characters; the surrounding quotes are the
+/// caller's).
+inline void json_escape(std::ostream& os, std::string_view s)
+{
+    for (const char c : s) {
+        switch (c) {
+        case '"':
+            os << "\\\"";
+            break;
+        case '\\':
+            os << "\\\\";
+            break;
+        case '\n':
+            os << "\\n";
+            break;
+        case '\r':
+            os << "\\r";
+            break;
+        case '\t':
+            os << "\\t";
+            break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                os << buf;
+            } else {
+                os << c;
+            }
+        }
+    }
+}
+
+/// Appends `s` as a complete JSON string token (quotes included).
+inline void json_quote(std::ostream& os, std::string_view s)
+{
+    os << '"';
+    json_escape(os, s);
+    os << '"';
+}
+
+/// String form of json_quote for stream-free call sites.
+inline std::string json_quoted(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    out += '"';
+    for (const char c : s) {
+        switch (c) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\r':
+            out += "\\r";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+    return out;
+}
+
+}  // namespace bsis::obs

@@ -4,6 +4,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "obs/json.hpp"
 #include "util/error.hpp"
 
 namespace bsis::obs {
@@ -89,8 +90,9 @@ std::string MetricsSnapshot::json() const
     os.precision(12);
     os << "{\n  \"counters\": {";
     for (std::size_t i = 0; i < counters.size(); ++i) {
-        os << (i == 0 ? "\n" : ",\n") << "    \"" << counters[i].name
-           << "\": " << counters[i].value;
+        os << (i == 0 ? "\n" : ",\n") << "    ";
+        json_quote(os, counters[i].name);
+        os << ": " << counters[i].value;
     }
     os << (counters.empty() ? "}" : "\n  }") << ",\n  \"gauges\": {";
     std::size_t emitted = 0;
@@ -98,15 +100,18 @@ std::string MetricsSnapshot::json() const
         if (!g.set) {
             continue;
         }
-        os << (emitted == 0 ? "\n" : ",\n") << "    \"" << g.name << "\": ";
+        os << (emitted == 0 ? "\n" : ",\n") << "    ";
+        json_quote(os, g.name);
+        os << ": ";
         append_json_number(os, g.value);
         ++emitted;
     }
     os << (emitted == 0 ? "}" : "\n  }") << ",\n  \"histograms\": {";
     for (std::size_t i = 0; i < histograms.size(); ++i) {
         const auto& h = histograms[i];
-        os << (i == 0 ? "\n" : ",\n") << "    \"" << h.name
-           << "\": {\"count\": " << h.summary.count << ", \"sum\": ";
+        os << (i == 0 ? "\n" : ",\n") << "    ";
+        json_quote(os, h.name);
+        os << ": {\"count\": " << h.summary.count << ", \"sum\": ";
         append_json_number(os, h.summary.sum);
         os << ", \"mean\": ";
         append_json_number(os, h.summary.mean());

@@ -5,6 +5,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "obs/json.hpp"
+
 namespace bsis::obs {
 
 TraceSession::TraceSession() : epoch_(std::chrono::steady_clock::now()) {}
@@ -98,20 +100,6 @@ std::vector<TraceEvent> TraceSession::snapshot() const
     return events;
 }
 
-namespace {
-
-void append_escaped(std::ostringstream& os, const char* s)
-{
-    for (; *s != '\0'; ++s) {
-        if (*s == '"' || *s == '\\') {
-            os << '\\';
-        }
-        os << *s;
-    }
-}
-
-}  // namespace
-
 std::string TraceSession::chrome_trace_json() const
 {
     auto events = snapshot();
@@ -135,9 +123,9 @@ std::string TraceSession::chrome_trace_json() const
     for (std::size_t i = 0; i < events.size(); ++i) {
         const auto& e = events[i];
         os << (i == 0 ? "\n" : ",\n") << "  {\"name\": \"";
-        append_escaped(os, e.name);
+        json_escape(os, e.name);
         os << "\", \"cat\": \"";
-        append_escaped(os, e.cat);
+        json_escape(os, e.cat);
         os << "\", \"ph\": \"X\", \"ts\": " << e.ts_us
            << ", \"dur\": " << e.dur_us << ", \"pid\": " << e.pid
            << ", \"tid\": " << e.tid;

@@ -1,0 +1,815 @@
+// Live-monitoring tier (`monitor` ctest label): the time-series sampler,
+// the alert-rule engine and its hysteresis, the Prometheus exposition
+// round-trip, the structured event log, the shared JSON escaping, and the
+// failure-storm end-to-end (seeded failures -> default alert firing ->
+// promfile and obs.alerts.* counters agree).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#ifndef _WIN32
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+#include "core/solver.hpp"
+#include "matrix/stencil.hpp"
+#include "obs/events.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/monitor.hpp"
+#include "obs/report.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
+#include "util/rng.hpp"
+
+namespace bsis {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string temp_path(const std::string& stem)
+{
+    return (fs::temp_directory_path() /
+            ("bsis_monitor_test_" + stem + "_" +
+             std::to_string(::getpid())))
+        .string();
+}
+
+std::string read_file(const std::string& path)
+{
+    std::ifstream in(path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+/// When scripts/check.sh sets BSIS_MONITOR_E2E_PROM, the failure-storm
+/// test copies the firing-tick promfile there so the script can run
+/// `obs_top --once` against it and assert the nonzero exit.
+std::string keep_prom_path()
+{
+    const char* env = std::getenv("BSIS_MONITOR_E2E_PROM");
+    return env == nullptr ? std::string{} : std::string(env);
+}
+
+std::vector<std::string> read_lines(const std::string& path)
+{
+    std::ifstream in(path);
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(in, line)) {
+        lines.push_back(line);
+    }
+    return lines;
+}
+
+// ---------------------------------------------------------------------
+// Time-series ring
+// ---------------------------------------------------------------------
+
+TEST(TimeSeriesRing, FillsThenWrapsOverwritingOldest)
+{
+    obs::TimeSeriesRing ring(4);
+    EXPECT_EQ(ring.capacity(), 4);
+    EXPECT_EQ(ring.size(), 0);
+    for (int i = 0; i < 6; ++i) {
+        ring.push(static_cast<double>(i), 10.0 * i);
+    }
+    EXPECT_EQ(ring.size(), 4);
+    EXPECT_EQ(ring.pushed(), 6);
+    // Oldest retained is push #2, newest is push #5.
+    EXPECT_DOUBLE_EQ(ring.at(0).t, 2.0);
+    EXPECT_DOUBLE_EQ(ring.at(0).value, 20.0);
+    EXPECT_DOUBLE_EQ(ring.at(3).t, 5.0);
+    EXPECT_DOUBLE_EQ(ring.back().value, 50.0);
+    const auto pts = ring.points();
+    ASSERT_EQ(pts.size(), 4u);
+    for (std::size_t i = 1; i < pts.size(); ++i) {
+        EXPECT_LT(pts[i - 1].t, pts[i].t);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Alert-rule grammar
+// ---------------------------------------------------------------------
+
+TEST(AlertRules, ParsesRateRuleWithWildcardAndDuration)
+{
+    obs::AlertRule rule;
+    ASSERT_TRUE(obs::parse_alert_rule(
+        "solve_failures: rate(solve.fail.*) > 0 for 0.5s", rule));
+    EXPECT_EQ(rule.name, "solve_failures");
+    EXPECT_EQ(rule.func, obs::AlertFunc::rate);
+    EXPECT_EQ(rule.metric, "solve.fail.*");
+    EXPECT_EQ(rule.op, obs::AlertOp::gt);
+    EXPECT_DOUBLE_EQ(rule.threshold, 0.0);
+    EXPECT_DOUBLE_EQ(rule.for_seconds, 0.5);
+}
+
+TEST(AlertRules, ParsesValueRuleWithoutDuration)
+{
+    obs::AlertRule rule;
+    ASSERT_TRUE(obs::parse_alert_rule(
+        "slow: value(solve.last_wall_seconds) >= 2.5", rule));
+    EXPECT_EQ(rule.func, obs::AlertFunc::value);
+    EXPECT_EQ(rule.op, obs::AlertOp::ge);
+    EXPECT_DOUBLE_EQ(rule.threshold, 2.5);
+    EXPECT_DOUBLE_EQ(rule.for_seconds, 0.0);
+}
+
+TEST(AlertRules, ParsesAbsentRule)
+{
+    obs::AlertRule rule;
+    ASSERT_TRUE(obs::parse_alert_rule(
+        "heartbeat: absent(solve.batches) for 10s", rule));
+    EXPECT_EQ(rule.func, obs::AlertFunc::absent);
+    EXPECT_DOUBLE_EQ(rule.for_seconds, 10.0);
+}
+
+TEST(AlertRules, RejectsMalformedLines)
+{
+    obs::AlertRule rule;
+    std::string error;
+    EXPECT_FALSE(obs::parse_alert_rule("no colon here", rule, &error));
+    EXPECT_FALSE(obs::parse_alert_rule("a: max(x) > 1", rule, &error));
+    EXPECT_FALSE(obs::parse_alert_rule("a: value(x) != 1", rule, &error));
+    EXPECT_FALSE(obs::parse_alert_rule("a: value(x) >", rule, &error));
+    EXPECT_FALSE(
+        obs::parse_alert_rule("a: value(x) > 1 for axes", rule, &error));
+    EXPECT_FALSE(obs::parse_alert_rule("a: value(x) > 1 for 2s extra",
+                                       rule, &error));
+    EXPECT_FALSE(obs::parse_alert_rule("a: absent(x)", rule, &error));
+    EXPECT_FALSE(obs::parse_alert_rule("a: value() > 1", rule, &error));
+    EXPECT_FALSE(error.empty());
+}
+
+TEST(AlertRules, LoadsRuleFileSkippingCommentsAndBlanks)
+{
+    const std::string path = temp_path("rules");
+    {
+        std::ofstream out(path);
+        out << "# storm detection\n\n"
+            << "storms: rate(solve.fail.*) > 1 for 1s  # inline comment\n"
+            << "drops: value(obs.trace.dropped) > 0\n";
+    }
+    std::vector<obs::AlertRule> rules;
+    std::string error;
+    ASSERT_TRUE(obs::load_alert_rules(path, rules, &error)) << error;
+    ASSERT_EQ(rules.size(), 2u);
+    EXPECT_EQ(rules[0].name, "storms");
+    EXPECT_EQ(rules[1].name, "drops");
+    // A malformed line fails the whole file with its line number.
+    {
+        std::ofstream out(path);
+        out << "ok: value(x) > 1\nbroken line\n";
+    }
+    EXPECT_FALSE(obs::load_alert_rules(path, rules, &error));
+    EXPECT_NE(error.find(":2:"), std::string::npos) << error;
+    fs::remove(path);
+}
+
+TEST(AlertRules, DefaultRulesCoverFailureDriftAndDrops)
+{
+    const auto rules = obs::default_alert_rules();
+    std::vector<std::string> metrics;
+    for (const auto& r : rules) {
+        metrics.push_back(r.metric);
+    }
+    EXPECT_NE(std::find(metrics.begin(), metrics.end(), "solve.fail.*"),
+              metrics.end());
+    EXPECT_NE(std::find(metrics.begin(), metrics.end(), "gpusim.fail.*"),
+              metrics.end());
+    EXPECT_NE(
+        std::find(metrics.begin(), metrics.end(), "obs.drift.alarms"),
+        metrics.end());
+    EXPECT_NE(
+        std::find(metrics.begin(), metrics.end(), "obs.trace.dropped"),
+        metrics.end());
+}
+
+// ---------------------------------------------------------------------
+// Sampler math
+// ---------------------------------------------------------------------
+
+obs::MonitorConfig quiet_config()
+{
+    obs::MonitorConfig config;
+    config.use_default_rules = false;
+    return config;
+}
+
+TEST(MonitorSampling, CounterDeltasBecomePerSecondRates)
+{
+    obs::MetricsRegistry registry;
+    const auto id = registry.counter("work.items");
+    obs::Monitor monitor(registry, quiet_config());
+
+    registry.add(id, 100);
+    monitor.sample_at(10.0);  // priming tick: baseline only, no rate
+    EXPECT_TRUE(monitor.counter_rate("work.items").empty());
+
+    registry.add(id, 50);
+    monitor.sample_at(12.0);  // 50 in 2 s -> 25/s
+    auto rates = monitor.counter_rate("work.items");
+    ASSERT_EQ(rates.size(), 1u);
+    EXPECT_DOUBLE_EQ(rates[0].t, 12.0);
+    EXPECT_DOUBLE_EQ(rates[0].value, 25.0);
+
+    monitor.sample_at(13.0);  // no increments -> rate 0
+    rates = monitor.counter_rate("work.items");
+    ASSERT_EQ(rates.size(), 2u);
+    EXPECT_DOUBLE_EQ(rates[1].value, 0.0);
+
+    // reset_values() shows up as a negative delta: the series re-primes
+    // instead of recording a negative rate.
+    registry.reset_values();
+    monitor.sample_at(14.0);
+    rates = monitor.counter_rate("work.items");
+    ASSERT_EQ(rates.size(), 2u);
+    registry.add(id, 7);
+    monitor.sample_at(15.0);
+    rates = monitor.counter_rate("work.items");
+    ASSERT_EQ(rates.size(), 3u);
+    EXPECT_DOUBLE_EQ(rates[2].value, 7.0);
+}
+
+TEST(MonitorSampling, GaugeAndHistogramTracks)
+{
+    obs::MetricsRegistry registry;
+    const auto g = registry.gauge("queue.depth");
+    const auto h = registry.histogram("iter.count");
+    obs::Monitor monitor(registry, quiet_config());
+
+    monitor.sample_at(1.0);  // neither metric recorded yet
+    EXPECT_TRUE(monitor.gauge_values("queue.depth").empty());
+    EXPECT_TRUE(monitor.histogram_quantile("iter.count", 0.95).empty());
+
+    registry.set(g, 42.0);
+    for (int i = 1; i <= 100; ++i) {
+        registry.observe(h, static_cast<double>(i));
+    }
+    monitor.sample_at(2.0);
+    const auto gauge = monitor.gauge_values("queue.depth");
+    ASSERT_EQ(gauge.size(), 1u);
+    EXPECT_DOUBLE_EQ(gauge[0].value, 42.0);
+    const auto p50 = monitor.histogram_quantile("iter.count", 0.5);
+    const auto p95 = monitor.histogram_quantile("iter.count", 0.95);
+    ASSERT_EQ(p50.size(), 1u);
+    ASSERT_EQ(p95.size(), 1u);
+    EXPECT_NEAR(p50[0].value, 50.0, 2.0);
+    EXPECT_NEAR(p95[0].value, 95.0, 2.0);
+}
+
+TEST(MonitorSampling, RingCapacityBoundsRetainedHistory)
+{
+    obs::MetricsRegistry registry;
+    const auto id = registry.counter("c");
+    auto config = quiet_config();
+    config.ring_capacity = 4;
+    obs::Monitor monitor(registry, config);
+    for (int i = 0; i < 10; ++i) {
+        registry.add(id, 1);
+        monitor.sample_at(static_cast<double>(i));
+    }
+    const auto rates = monitor.counter_rate("c");
+    ASSERT_EQ(rates.size(), 4u);  // 9 rate points pushed, 4 retained
+    EXPECT_DOUBLE_EQ(rates.back().t, 9.0);
+}
+
+// ---------------------------------------------------------------------
+// Alert engine
+// ---------------------------------------------------------------------
+
+obs::MonitorConfig one_rule_config(const std::string& line)
+{
+    obs::MonitorConfig config;
+    config.use_default_rules = false;
+    obs::AlertRule rule;
+    EXPECT_TRUE(obs::parse_alert_rule(line, rule));
+    config.rules.push_back(rule);
+    return config;
+}
+
+TEST(MonitorAlerts, SingleBadTickDoesNotFlap)
+{
+    obs::MetricsRegistry registry;
+    const auto id = registry.counter("solve.fail.max_iters");
+    obs::Monitor monitor(
+        registry,
+        one_rule_config("storm: rate(solve.fail.max_iters) > 0 for 1s"));
+
+    monitor.sample_at(0.0);
+    registry.add(id, 5);
+    monitor.sample_at(0.5);  // one bad tick -> pending, not firing
+    auto alerts = monitor.alerts();
+    ASSERT_EQ(alerts.size(), 1u);
+    EXPECT_EQ(alerts[0].phase, obs::AlertPhase::pending);
+    EXPECT_EQ(monitor.firing(), 0);
+
+    monitor.sample_at(1.0);  // rate back to 0 before the for-duration
+    alerts = monitor.alerts();
+    EXPECT_EQ(alerts[0].phase, obs::AlertPhase::ok);
+    EXPECT_EQ(alerts[0].fired, 0);
+    EXPECT_EQ(registry.snapshot().counter("obs.alerts.fired"), 0);
+}
+
+TEST(MonitorAlerts, FiresAfterForDurationAndResolvesWithHysteresis)
+{
+    obs::MetricsRegistry registry;
+    const auto id = registry.counter("solve.fail.max_iters");
+    obs::Monitor monitor(
+        registry,
+        one_rule_config("storm: rate(solve.fail.max_iters) > 0 for 1s"));
+
+    monitor.sample_at(0.0);
+    for (int tick = 1; tick <= 4; ++tick) {  // sustained failures
+        registry.add(id, 3);
+        monitor.sample_at(0.5 * tick);
+    }
+    auto alerts = monitor.alerts();
+    ASSERT_EQ(alerts.size(), 1u);
+    EXPECT_EQ(alerts[0].phase, obs::AlertPhase::firing);
+    EXPECT_EQ(alerts[0].fired, 1);
+    EXPECT_EQ(monitor.firing(), 1);
+    {
+        const auto snap = registry.snapshot();
+        EXPECT_EQ(snap.counter("obs.alerts.fired"), 1);
+        EXPECT_DOUBLE_EQ(snap.gauge("obs.alerts.firing"), 1.0);
+    }
+
+    // One clean tick must NOT resolve (same 1 s hysteresis on the clear
+    // edge)...
+    monitor.sample_at(2.5);
+    alerts = monitor.alerts();
+    EXPECT_EQ(alerts[0].phase, obs::AlertPhase::firing);
+    // ...and a failure inside the clear window resets it.
+    registry.add(id, 1);
+    monitor.sample_at(3.0);
+    monitor.sample_at(3.5);
+    alerts = monitor.alerts();
+    EXPECT_EQ(alerts[0].phase, obs::AlertPhase::firing);
+
+    // Sustained quiet resolves.
+    monitor.sample_at(4.0);
+    monitor.sample_at(4.6);
+    alerts = monitor.alerts();
+    EXPECT_EQ(alerts[0].phase, obs::AlertPhase::ok);
+    EXPECT_EQ(alerts[0].resolved, 1);
+    {
+        const auto snap = registry.snapshot();
+        EXPECT_EQ(snap.counter("obs.alerts.resolved"), 1);
+        EXPECT_DOUBLE_EQ(snap.gauge("obs.alerts.firing"), 0.0);
+    }
+}
+
+TEST(MonitorAlerts, ZeroForDurationFiresImmediately)
+{
+    obs::MetricsRegistry registry;
+    const auto id = registry.gauge("obs.trace.dropped");
+    obs::Monitor monitor(
+        registry,
+        one_rule_config("drops: value(obs.trace.dropped) > 0"));
+    registry.set(id, 12.0);
+    monitor.sample_at(1.0);
+    const auto alerts = monitor.alerts();
+    ASSERT_EQ(alerts.size(), 1u);
+    EXPECT_EQ(alerts[0].phase, obs::AlertPhase::firing);
+    EXPECT_DOUBLE_EQ(alerts[0].last_value, 12.0);
+}
+
+TEST(MonitorAlerts, AbsenceRuleFiresUntilMetricAppears)
+{
+    obs::MetricsRegistry registry;
+    obs::Monitor monitor(
+        registry,
+        one_rule_config("heartbeat: absent(solve.batches) for 1s"));
+    monitor.sample_at(0.0);
+    monitor.sample_at(0.6);
+    monitor.sample_at(1.2);
+    EXPECT_EQ(monitor.firing(), 1);
+    registry.counter("solve.batches");  // registration makes it present
+    monitor.sample_at(1.8);
+    monitor.sample_at(3.0);
+    EXPECT_EQ(monitor.firing(), 0);
+}
+
+TEST(MonitorAlerts, WildcardSumsAcrossFailureClasses)
+{
+    obs::MetricsRegistry registry;
+    const auto a = registry.counter("solve.fail.max_iters");
+    const auto b = registry.counter("solve.fail.stagnated");
+    obs::Monitor monitor(
+        registry, one_rule_config("storm: value(solve.fail.*) > 4"));
+    registry.add(a, 3);
+    registry.add(b, 3);
+    monitor.sample_at(1.0);
+    const auto alerts = monitor.alerts();
+    ASSERT_EQ(alerts.size(), 1u);
+    EXPECT_DOUBLE_EQ(alerts[0].last_value, 6.0);
+    EXPECT_EQ(alerts[0].phase, obs::AlertPhase::firing);
+}
+
+// ---------------------------------------------------------------------
+// Prometheus exposition
+// ---------------------------------------------------------------------
+
+TEST(Prometheus, NameSanitization)
+{
+    EXPECT_EQ(obs::prometheus_name("solve.fail.max_iters"),
+              "bsis_solve_fail_max_iters");
+    EXPECT_EQ(obs::prometheus_name("weird-name with spaces"),
+              "bsis_weird_name_with_spaces");
+}
+
+TEST(Prometheus, RenderParseRoundTrip)
+{
+    obs::MetricsRegistry registry;
+    const auto c = registry.counter("solve.batches");
+    const auto g = registry.gauge("solve.last_wall_seconds");
+    const auto h = registry.histogram("solve.system_iterations");
+    obs::Monitor monitor(registry, quiet_config());
+
+    registry.add(c, 10);
+    monitor.sample_at(1.0);
+    registry.add(c, 20);
+    registry.set(g, 0.125);
+    for (int i = 1; i <= 20; ++i) {
+        registry.observe(h, static_cast<double>(i));
+    }
+    monitor.sample_at(3.0);
+
+    const std::string text = monitor.prometheus_text();
+    obs::PromDocument doc;
+    ASSERT_TRUE(obs::parse_prometheus_text(text, doc));
+
+    EXPECT_DOUBLE_EQ(doc.value("bsis_solve_batches"), 30.0);
+    EXPECT_DOUBLE_EQ(doc.value("bsis_solve_batches_per_sec"), 10.0);
+    EXPECT_DOUBLE_EQ(doc.value("bsis_solve_last_wall_seconds"), 0.125);
+    const auto* p95 = doc.find("bsis_solve_system_iterations", "quantile",
+                               "0.95");
+    ASSERT_NE(p95, nullptr);
+    EXPECT_NEAR(p95->value, 19.0, 1.5);
+    EXPECT_DOUBLE_EQ(doc.value("bsis_solve_system_iterations_count"),
+                     20.0);
+    // HELP carries the original dotted registry name; TYPE is exposed.
+    EXPECT_EQ(doc.help["bsis_solve_batches"], "solve.batches");
+    EXPECT_EQ(doc.type["bsis_solve_batches"], "counter");
+    EXPECT_EQ(doc.type["bsis_solve_system_iterations"], "summary");
+    EXPECT_TRUE(doc.has("bsis_monitor_ticks"));
+}
+
+TEST(Prometheus, PromfileIsWrittenAtomicallyEachTick)
+{
+    obs::MetricsRegistry registry;
+    registry.counter("solve.batches");
+    auto config = quiet_config();
+    config.prom_path = temp_path("promfile");
+    obs::Monitor monitor(registry, config);
+    monitor.sample_at(1.0);
+    obs::PromDocument doc;
+    ASSERT_TRUE(obs::load_prometheus_file(config.prom_path, doc));
+    EXPECT_TRUE(doc.has("bsis_monitor_ticks"));
+    EXPECT_FALSE(fs::exists(config.prom_path + ".tmp"));
+    EXPECT_EQ(read_file(config.prom_path), monitor.prometheus_text());
+    fs::remove(config.prom_path);
+}
+
+#ifndef _WIN32
+TEST(Prometheus, HttpEndpointServesExposition)
+{
+    obs::MetricsRegistry registry;
+    registry.counter("solve.batches");
+    auto config = quiet_config();
+    config.http = true;
+    config.http_port = 0;  // ephemeral
+    config.tick_seconds = 0.01;
+    obs::Monitor monitor(registry, config);
+    monitor.start();
+    ASSERT_TRUE(monitor.running());
+    const int port = monitor.http_port();
+    ASSERT_GT(port, 0);
+    // Wait for the first tick so the cached exposition is non-empty.
+    for (int i = 0; i < 200 && monitor.ticks() == 0; ++i) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    ASSERT_GT(monitor.ticks(), 0);
+
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    ASSERT_EQ(
+        ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+        0);
+    const char request[] = "GET /metrics HTTP/1.1\r\n\r\n";
+    ASSERT_GT(::write(fd, request, sizeof(request) - 1), 0);
+    std::string response;
+    char buf[4096];
+    for (;;) {
+        const auto n = ::read(fd, buf, sizeof(buf));
+        if (n <= 0) {
+            break;
+        }
+        response.append(buf, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+    monitor.stop();
+    EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+    const auto split = response.find("\r\n\r\n");
+    ASSERT_NE(split, std::string::npos);
+    obs::PromDocument doc;
+    ASSERT_TRUE(
+        obs::parse_prometheus_text(response.substr(split + 4), doc));
+    EXPECT_TRUE(doc.has("bsis_monitor_ticks"));
+    EXPECT_EQ(monitor.http_port(), 0);  // endpoint closed after stop()
+}
+#endif
+
+// ---------------------------------------------------------------------
+// Event log
+// ---------------------------------------------------------------------
+
+TEST(EventLog, EmitsOneJsonObjectPerLineWithEscaping)
+{
+    const std::string path = temp_path("events");
+    obs::EventLog log;
+    ASSERT_TRUE(log.open(path));
+    log.emit("solve.start", {obs::field("systems", 8),
+                             obs::field("solver", "bicgstab"),
+                             obs::field("pipelined", false),
+                             obs::field("wall", 0.25)});
+    log.emit("na\"sty", {obs::field("k", "v\\w\nx")});
+    EXPECT_EQ(log.emitted(), 2);
+    log.close();
+
+    const auto lines = read_lines(path);
+    ASSERT_EQ(lines.size(), 2u);
+    EXPECT_NE(lines[0].find("\"event\": \"solve.start\""),
+              std::string::npos);
+    EXPECT_NE(lines[0].find("\"systems\": 8"), std::string::npos);
+    EXPECT_NE(lines[0].find("\"solver\": \"bicgstab\""),
+              std::string::npos);
+    EXPECT_NE(lines[0].find("\"pipelined\": false"), std::string::npos);
+    EXPECT_NE(lines[0].find("\"ts\": "), std::string::npos);
+    // The quote in the kind and the backslash/newline in the value must be
+    // escaped -- every line stays one self-contained JSON object.
+    EXPECT_NE(lines[1].find("na\\\"sty"), std::string::npos);
+    EXPECT_NE(lines[1].find("v\\\\w\\nx"), std::string::npos);
+    fs::remove(path);
+}
+
+TEST(EventLog, RotatesWhenByteCapIsExceeded)
+{
+    const std::string path = temp_path("rotating_events");
+    obs::EventLog log;
+    ASSERT_TRUE(log.open(path, /*max_bytes=*/256, /*max_rotations=*/2));
+    for (int i = 0; i < 50; ++i) {
+        log.emit("tick", {obs::field("i", i)});
+    }
+    log.close();
+    EXPECT_EQ(log.emitted(), 50);
+    EXPECT_GT(log.rotations(), 0);
+    EXPECT_TRUE(fs::exists(path));
+    EXPECT_TRUE(fs::exists(path + ".1"));
+    EXPECT_FALSE(fs::exists(path + ".3"));  // beyond max_rotations
+    EXPECT_LE(fs::file_size(path), 256u + 128u);
+    fs::remove(path);
+    fs::remove(path + ".1");
+    fs::remove(path + ".2");
+}
+
+// ---------------------------------------------------------------------
+// Shared JSON escaping (satellite: metric names with quotes/backslashes/
+// control characters must survive snapshot_json)
+// ---------------------------------------------------------------------
+
+TEST(JsonEscaping, EscapesQuotesBackslashesAndControlChars)
+{
+    std::ostringstream os;
+    obs::json_escape(os, "a\"b\\c\nd\te\x01" "f");
+    EXPECT_EQ(os.str(), "a\\\"b\\\\c\\nd\\te\\u0001f");
+    EXPECT_EQ(obs::json_quoted("x\"y"), "\"x\\\"y\"");
+}
+
+TEST(JsonEscaping, MetricNamesSurviveSnapshotJson)
+{
+    obs::MetricsRegistry registry;
+    const std::string nasty = "solve.\"quoted\\name";
+    registry.add_named(nasty, 7);
+    registry.add_named(std::string("ctrl.\x02.name"), 3);
+    const std::string json = registry.snapshot_json();
+    // No raw control bytes and no unescaped quote inside a name.
+    for (const char ch : json) {
+        EXPECT_TRUE(static_cast<unsigned char>(ch) >= 0x20 || ch == '\n');
+    }
+    EXPECT_NE(json.find("solve.\\\"quoted\\\\name"), std::string::npos);
+    EXPECT_NE(json.find("ctrl.\\u0002.name"), std::string::npos);
+    // And the document still parses, recovering the original names.
+    obs::MetricsDocument doc;
+    ASSERT_TRUE(obs::parse_metrics_json(json, doc));
+    EXPECT_DOUBLE_EQ(doc.counter(nasty), 7.0);
+}
+
+// ---------------------------------------------------------------------
+// Solver integration: trace-buffer knob, solve events, failure storm
+// ---------------------------------------------------------------------
+
+struct Problem {
+    BatchCsr<real_type> a;
+    BatchVector<real_type> b;
+};
+
+Problem make_problem(size_type nbatch)
+{
+    SyntheticStencilParams params;
+    params.seed = 99;
+    auto a = make_synthetic_batch(8, 7, StencilKind::nine_point, nbatch,
+                                  params);
+    BatchVector<real_type> b(nbatch, a.rows());
+    Rng rng(7);
+    for (size_type i = 0; i < nbatch; ++i) {
+        for (auto& v : b.entry(i)) {
+            v = rng.uniform(-1.0, 1.0);
+        }
+    }
+    return {std::move(a), std::move(b)};
+}
+
+/// Global-telemetry fixture: flips the obs switches on and restores a
+/// clean global state afterwards (the registries are process-global).
+class MonitorIntegrationTest : public ::testing::Test {
+protected:
+    void SetUp() override
+    {
+        obs::set_metrics_enabled(true);
+        obs::metrics().reset_values();
+        obs::trace().clear();
+        obs::trace().set_shard_capacity(1u << 20);
+    }
+
+    void TearDown() override
+    {
+        obs::close_events();
+        obs::set_metrics_enabled(false);
+        obs::set_trace_enabled(false);
+        obs::trace().clear();
+        obs::trace().set_shard_capacity(1u << 20);
+        obs::metrics().reset_values();
+    }
+};
+
+TEST_F(MonitorIntegrationTest, TraceBufferSettingDropsSpansButStaysValid)
+{
+    obs::set_trace_enabled(true);
+    auto p = make_problem(6);
+    SolverSettings settings;
+    settings.trace_shard_capacity = 4;  // far below the spans of a solve
+    BatchVector<real_type> x(p.a.num_batch(), p.a.rows());
+    const auto result = solve_batch(p.a, p.b, x, settings);
+    EXPECT_TRUE(result.log.all_converged());
+    EXPECT_GT(obs::trace().dropped(), 0);
+    obs::sync_trace_dropped_gauge();
+    EXPECT_GT(obs::metrics().snapshot().gauge("obs.trace.dropped"), 0.0);
+    // The emitted Chrome trace must stay valid JSON: balanced and closed.
+    std::string json = obs::trace().chrome_trace_json();
+    while (!json.empty() && std::isspace(static_cast<unsigned char>(
+                                json.back()))) {
+        json.pop_back();
+    }
+    ASSERT_FALSE(json.empty());
+    EXPECT_EQ(json.front(), '{');
+    EXPECT_EQ(json.back(), '}');
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+}
+
+TEST_F(MonitorIntegrationTest, SolveEmitsStartAndEndEvents)
+{
+    const std::string path = temp_path("solve_events");
+    ASSERT_TRUE(obs::open_events(path));
+    auto p = make_problem(4);
+    SolverSettings settings;
+    BatchVector<real_type> x(p.a.num_batch(), p.a.rows());
+    solve_batch(p.a, p.b, x, settings);
+    obs::close_events();
+
+    const auto lines = read_lines(path);
+    ASSERT_GE(lines.size(), 2u);
+    EXPECT_NE(lines[0].find("\"event\": \"solve.start\""),
+              std::string::npos);
+    EXPECT_NE(lines[0].find("\"solver\": \"bicgstab\""),
+              std::string::npos);
+    EXPECT_NE(lines[1].find("\"event\": \"solve.end\""),
+              std::string::npos);
+    EXPECT_NE(lines[1].find("\"unconverged\": 0"), std::string::npos);
+    fs::remove(path);
+}
+
+/// The end-to-end the issue asks for: a seeded failure storm drives the
+/// default solve_failures alert through firing and resolved, visible in
+/// the events log, the obs.alerts.* counters, and the promfile. The
+/// promfile of the firing tick is kept for scripts/check.sh, which runs
+/// `obs_top --once` on it and asserts the nonzero exit.
+TEST_F(MonitorIntegrationTest, FailureStormFiresAndResolvesDefaultAlert)
+{
+    const std::string events_path = temp_path("storm_events");
+    ASSERT_TRUE(obs::open_events(events_path));
+
+    obs::MonitorConfig config;
+    config.prom_path = temp_path("storm_prom");
+    obs::Monitor monitor(obs::metrics(), config);
+
+    auto p = make_problem(6);
+    BatchVector<real_type> x(p.a.num_batch(), p.a.rows());
+    SolverSettings storm;
+    storm.max_iterations = 2;  // guaranteed max_iters failures
+    storm.tolerance = 1e-30;
+
+    // One failing solve BEFORE the first sample so the failure counters
+    // exist (and get primed) at t=0 regardless of which tests ran earlier
+    // in this process; rates then flow from the first storm tick. Without
+    // this, a fresh process primes the counter on tick 1 and the rule
+    // only reaches `pending` by tick 3.
+    (void)solve_batch(p.a, p.b, x, storm);
+    monitor.sample_at(0.0);
+    // Failure storm: failing solves on every tick until the for-duration
+    // (0.5 s) elapses.
+    for (int tick = 1; tick <= 3; ++tick) {
+        const auto result = solve_batch(p.a, p.b, x, storm);
+        EXPECT_FALSE(result.log.all_converged());
+        monitor.sample_at(0.3 * tick);
+    }
+    // The solve_failures rule must be firing; other default rules (e.g.
+    // drift on these degenerate 2-iteration solves) may legitimately fire
+    // alongside it.
+    EXPECT_GE(monitor.firing(), 1);
+    bool storm_firing = false;
+    for (const auto& alert : monitor.alerts()) {
+        if (alert.rule.name == "solve_failures") {
+            storm_firing = alert.phase == obs::AlertPhase::firing;
+            EXPECT_EQ(alert.fired, 1);
+        }
+    }
+    EXPECT_TRUE(storm_firing);
+    {
+        const auto snap = obs::metrics().snapshot();
+        EXPECT_GT(snap.counter("solve.fail.max_iters"), 0);
+        EXPECT_GE(snap.counter("obs.alerts.fired"), 1);
+    }
+    // The promfile written on the firing tick: obs_top --once must see the
+    // firing alert (checked binary-level by scripts/check.sh; here the
+    // parsed document is asserted directly).
+    const std::string firing_prom = read_file(config.prom_path);
+    {
+        obs::PromDocument doc;
+        ASSERT_TRUE(obs::parse_prometheus_text(firing_prom, doc));
+        EXPECT_GE(doc.value("bsis_alerts_firing"), 1.0);
+        const auto* sample =
+            doc.find("bsis_alert_firing", "alert", "solve_failures");
+        ASSERT_NE(sample, nullptr);
+        EXPECT_DOUBLE_EQ(sample->value, 1.0);
+    }
+    const std::string keep = keep_prom_path();
+    if (!keep.empty()) {
+        std::ofstream out(keep);
+        out << firing_prom;
+    }
+
+    // Quiet ticks resolve the alert after the clear-side hysteresis.
+    monitor.sample_at(1.5);
+    monitor.sample_at(2.1);
+    EXPECT_EQ(monitor.firing(), 0);
+    {
+        const auto snap = obs::metrics().snapshot();
+        EXPECT_GE(snap.counter("obs.alerts.resolved"), 1);
+        EXPECT_DOUBLE_EQ(snap.gauge("obs.alerts.firing"), 0.0);
+    }
+    obs::close_events();
+
+    // The transitions are in the event log.
+    const std::string events = read_file(events_path);
+    EXPECT_NE(events.find("\"event\": \"alert.firing\""),
+              std::string::npos);
+    EXPECT_NE(events.find("\"alert\": \"solve_failures\""),
+              std::string::npos);
+    EXPECT_NE(events.find("\"event\": \"alert.resolved\""),
+              std::string::npos);
+    fs::remove(events_path);
+    fs::remove(config.prom_path);
+}
+
+}  // namespace
+}  // namespace bsis
